@@ -1,0 +1,65 @@
+// Command rmmap-bench regenerates the paper's tables and figures. Each
+// experiment prints the rows/series of one figure of the evaluation (§5)
+// or motivation (§2.3), plus four design ablations.
+//
+// Usage:
+//
+//	rmmap-bench -list
+//	rmmap-bench [-scale 0.25] [fig11a fig14 ...]
+//
+// With no experiment IDs, all experiments run in registration order.
+// -scale shrinks payload sizes for quick runs; 1.0 is the calibrated
+// default documented in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmmap/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "payload scale factor in (0,1]")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n%-14s   expect: %s\n", e.ID, e.Title, "", e.Expect)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	ran := 0
+	for _, e := range bench.All() {
+		if len(ids) > 0 && !contains(ids, e.ID) {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		fmt.Printf("expected shape: %s\n\n", e.Expect)
+		start := time.Now()
+		if err := e.Run(os.Stdout, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v; known: %v\n", ids, bench.IDs())
+		os.Exit(1)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+// Command rmmap-plan prints the static virtual-memory plan (§4.2) the
+// platform generates for one of the built-in workflows: a disjoint address
+// range (and segment layout) per function instance.
+//
+// Usage:
+//
+//	rmmap-plan [-workflow finra|ml-training|ml-prediction|wordcount] [-full]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rmmap/internal/platform"
+	"rmmap/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workflow", "finra", "workflow: finra, ml-training, ml-prediction, wordcount")
+	full := flag.Bool("full", false, "print every instance slot (default: first/last per type)")
+	asJSON := flag.Bool("json", false, "emit the plan as JSON (the form stored with the workflow, §4.2)")
+	flag.Parse()
+
+	wf, err := builtinWorkflow(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plan, err := platform.GeneratePlan(wf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plan generation failed: %v\n", err)
+		os.Exit(1)
+	}
+	if err := plan.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "plan invalid: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workflow %q: %d functions, %d instance slots, plan verified disjoint\n\n",
+		wf.Name, len(wf.Functions), len(plan.Slots()))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "slot\trange\ttext\theap\tstack")
+	lastFn := ""
+	slots := plan.Slots()
+	for i, id := range slots {
+		if !*full {
+			nextDiffers := i+1 >= len(slots) || slots[i+1].Function != id.Function
+			if id.Function == lastFn && !nextDiffers {
+				continue // show first and last instance per type
+			}
+		}
+		lastFn = id.Function
+		l, _ := plan.Slot(id)
+		fmt.Fprintf(tw, "%s\t[%#x,%#x)\t[%#x,%#x)\t[%#x,%#x)\t[%#x,%#x)\n",
+			id, l.Start, l.End, l.TextStart, l.TextEnd, l.HeapStart, l.HeapEnd, l.StackStart, l.StackEnd)
+	}
+	tw.Flush()
+}
+
+func builtinWorkflow(name string) (*platform.Workflow, error) {
+	switch name {
+	case "finra":
+		return workloads.FINRA(workloads.DefaultFINRA()), nil
+	case "ml-training":
+		return workloads.MLTrain(workloads.DefaultMLTrain()), nil
+	case "ml-prediction":
+		return workloads.MLPredict(workloads.DefaultMLPredict()), nil
+	case "wordcount":
+		return workloads.WordCount(workloads.DefaultWordCount()), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow %q", name)
+	}
+}

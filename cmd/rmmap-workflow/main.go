@@ -1,0 +1,146 @@
+// Command rmmap-workflow runs one of the built-in serverless workflows
+// under a chosen state-transfer mode and prints the request latency, the
+// per-category work breakdown, and the workflow's functional result.
+//
+// Usage:
+//
+//	rmmap-workflow [-workflow finra] [-mode rmmap-prefetch] [-small] [-requests 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+	"rmmap/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workflow", "finra", "workflow: finra, ml-training, ml-prediction, wordcount")
+	modeName := flag.String("mode", "rmmap-prefetch",
+		"transfer mode: messaging, pocket, drtm, rmmap, rmmap-prefetch")
+	small := flag.Bool("small", false, "use the small (test-scale) configuration")
+	requests := flag.Int("requests", 1, "requests to run back to back (warm containers)")
+	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
+	tcp := flag.Bool("tcp", false, "connect the cluster's machines over real loopback TCP sockets")
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wf, err := buildWorkflow(*name, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := platform.DefaultClusterConfig()
+	var engine *platform.Engine
+	if *tcp {
+		cluster, closeCluster, err := platform.NewClusterTCP(cfg.Machines, simtime.DefaultCostModel())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcp cluster: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeCluster()
+		engine, err = platform.NewEngineOn(cluster, wf, mode, platform.Options{Trace: *trace}, cfg.Pods)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster: %d machines over real TCP sockets\n", cfg.Machines)
+	} else {
+		var err error
+		engine, err = platform.NewEngine(wf, mode, platform.Options{Trace: *trace}, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for r := 0; r < *requests; r++ {
+		var res platform.RunResult
+		engine.Submit(func(out platform.RunResult) { res = out })
+		engine.Cluster.Sim.Run()
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "request %d failed: %v\n", r, res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("request %d: latency %v (mode %v)\n", r, res.Latency, mode)
+		fmt.Printf("  result: %+v\n", res.Output)
+		fmt.Printf("  total work: %v  transfer: %v (%.1f%%)\n",
+			res.Meter.Total(), res.Meter.TransferTotal(),
+			100*float64(res.Meter.TransferTotal())/float64(res.Meter.Total()))
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		var fns []string
+		for fn := range res.PerFunction {
+			fns = append(fns, fn)
+		}
+		sort.Strings(fns)
+		fmt.Fprintln(tw, "  function\twork\tserdes\tregister+map\tfault\tnetwork+storage")
+		for _, fn := range fns {
+			m := res.PerFunction[fn]
+			fmt.Fprintf(tw, "  %s\t%v\t%v\t%v\t%v\t%v\n", fn, m.Total(), m.SerTotal(),
+				m.Get(simtime.CatRegister)+m.Get(simtime.CatMap), m.Get(simtime.CatFault),
+				m.Get(simtime.CatNetwork)+m.Get(simtime.CatStorage))
+		}
+		tw.Flush()
+		if *trace {
+			fmt.Println("  execution timeline:")
+			platform.WriteTrace(os.Stdout, res.Trace)
+		}
+	}
+}
+
+func parseMode(s string) (platform.Mode, error) {
+	switch s {
+	case "messaging":
+		return platform.ModeMessaging, nil
+	case "pocket":
+		return platform.ModeStoragePocket, nil
+	case "drtm":
+		return platform.ModeStorageDrTM, nil
+	case "rmmap":
+		return platform.ModeRMMAP, nil
+	case "rmmap-prefetch":
+		return platform.ModeRMMAPPrefetch, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func buildWorkflow(name string, small bool) (*platform.Workflow, error) {
+	switch name {
+	case "finra":
+		cfg := workloads.DefaultFINRA()
+		if small {
+			cfg = workloads.SmallFINRA()
+		}
+		return workloads.FINRA(cfg), nil
+	case "ml-training":
+		cfg := workloads.DefaultMLTrain()
+		if small {
+			cfg = workloads.SmallMLTrain()
+		}
+		return workloads.MLTrain(cfg), nil
+	case "ml-prediction":
+		cfg := workloads.DefaultMLPredict()
+		if small {
+			cfg = workloads.SmallMLPredict()
+		}
+		return workloads.MLPredict(cfg), nil
+	case "wordcount":
+		cfg := workloads.DefaultWordCount()
+		if small {
+			cfg = workloads.SmallWordCount()
+		}
+		return workloads.WordCount(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow %q", name)
+	}
+}

@@ -1,0 +1,41 @@
+// WordCount example: the FunctionBench MapReduce workflow in both Python
+// and Java runtime modes (§5.7 / Fig 13d). The Java mode exercises
+// CDS-shared type metadata: every container maps the same class-data
+// archive, so klass IDs embedded in one function's objects resolve
+// identically in another's — the type-safety half of §4.3.
+//
+// Run: go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/platform"
+	"rmmap/internal/workloads"
+)
+
+func main() {
+	for _, lang := range []objrt.Lang{objrt.LangPython, objrt.LangJava} {
+		cfg := workloads.DefaultWordCount()
+		cfg.BookBytes = 1 << 20
+		cfg.Lang = lang
+		fmt.Printf("%s runtime, %d-byte book, %d mappers\n", lang, cfg.BookBytes, cfg.Mappers)
+		for _, mode := range []platform.Mode{platform.ModeMessaging, platform.ModeStorageDrTM, platform.ModeRMMAPPrefetch} {
+			engine, err := platform.NewEngine(workloads.WordCount(cfg), mode, platform.Options{},
+				platform.DefaultClusterConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := engine.Run()
+			if err != nil {
+				log.Fatalf("%v: %v", mode, err)
+			}
+			out := res.Output.(workloads.WordCountResult)
+			fmt.Printf("  %-16v latency %v  %d words, %d distinct, top %q\n",
+				mode, res.Latency, out.TotalWords, out.DistinctWords, out.TopWord)
+		}
+		fmt.Println()
+	}
+}

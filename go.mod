@@ -1,0 +1,3 @@
+module rmmap
+
+go 1.23

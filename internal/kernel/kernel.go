@@ -1,0 +1,298 @@
+// Package kernel implements the RMMAP OS primitive (§4.1, Table 1):
+// register_mem, rmap, deregister_mem and set_segment, plus the remote
+// page-fault path and the shadow-copy lifecycle management.
+//
+// One Kernel instance runs per machine. register_mem CoW-marks the caller's
+// pages and takes shadow references so the registered memory outlives the
+// producer container. rmap issues the auth/page-table RPC to the producer's
+// kernel, then installs a VMA whose fault handler reads remote physical
+// frames with one-sided RDMA; Prefetch reads many pages in one
+// doorbell-batched request (§4.4).
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/rdma"
+	"rmmap/internal/simtime"
+)
+
+// FuncID identifies the registering function instance.
+type FuncID uint64
+
+// Key is the registration secret used for authentication.
+type Key uint64
+
+// AuthEndpoint is the RPC endpoint name kernels serve for rmap
+// authentication and page-table fetch.
+const AuthEndpoint = "rmmap.auth"
+
+// DeregEndpoint is the RPC endpoint the serverless framework calls to
+// reclaim registered memory on a remote machine (§4.2).
+const DeregEndpoint = "rmmap.dereg"
+
+// PageEndpoint serves single-page reads over RPC; it exists only for the
+// Fig 15 "no RDMA" ablation, which pays messaging-style costs per page.
+const PageEndpoint = "rmmap.page"
+
+// Errors.
+var (
+	ErrAuth          = errors.New("kernel: authentication failed")
+	ErrDenied        = errors.New("kernel: consumer not permitted by registration ACL")
+	ErrNotRegistered = errors.New("kernel: memory not registered")
+	ErrRangeOutside  = errors.New("kernel: requested range outside registration")
+)
+
+// VMMeta describes a successful registration; the producer ships it (via
+// the coordinator) to consumers, which pass it to Rmap.
+type VMMeta struct {
+	Machine    memsim.MachineID
+	ID         FuncID
+	Key        Key
+	Start, End uint64
+	// Pages is the number of present (shadowed) pages registered.
+	Pages int
+}
+
+type regKey struct {
+	id  FuncID
+	key Key
+}
+
+type regEntry struct {
+	start, end   uint64
+	snapshot     map[memsim.VPN]memsim.PFN
+	registeredAt simtime.Time
+	// respCache holds the encoded full-range auth response; many
+	// consumers of one registration (e.g. a 200-wide fan-out) fetch the
+	// same page table.
+	respCache []byte
+	// allowed is the connection-based permission list (§4.1, following
+	// MITOSIS): non-nil restricts rmap to the listed consumer IDs.
+	allowed map[FuncID]struct{}
+}
+
+// Kernel is one machine's RMMAP kernel module.
+type Kernel struct {
+	mu        sync.Mutex
+	machine   *memsim.Machine
+	transport rdma.Transport
+	cm        *simtime.CostModel
+	regs      map[regKey]*regEntry
+	// Clock supplies the current virtual time for lease-based
+	// reclamation; nil means time 0 (leases disabled).
+	Clock func() simtime.Time
+}
+
+// New returns a kernel for machine m whose remote operations go through t.
+func New(m *memsim.Machine, t rdma.Transport, cm *simtime.CostModel) *Kernel {
+	return &Kernel{machine: m, transport: t, cm: cm, regs: make(map[regKey]*regEntry)}
+}
+
+// Machine returns the hosting machine.
+func (k *Kernel) Machine() *memsim.Machine { return k.machine }
+
+func (k *Kernel) now() simtime.Time {
+	if k.Clock == nil {
+		return 0
+	}
+	return k.Clock()
+}
+
+// RegisterMem implements register_mem(id, key, vm_start, vm_end): it marks
+// the range copy-on-write in the caller's page table, records shadow
+// references on every present frame (so the memory survives the caller's
+// exit), and stores auth info for later rmap validation.
+func (k *Kernel) RegisterMem(as *memsim.AddressSpace, id FuncID, key Key, start, end uint64) (VMMeta, error) {
+	if as.Machine() != k.machine {
+		return VMMeta{}, fmt.Errorf("kernel: address space not on machine %d", k.machine.ID())
+	}
+	snap, err := as.MarkCoW(start, end)
+	if err != nil {
+		return VMMeta{}, err
+	}
+	for _, pfn := range snap {
+		k.machine.Ref(pfn)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	rk := regKey{id, key}
+	if old, ok := k.regs[rk]; ok {
+		// Re-registration replaces the previous shadow set.
+		for _, pfn := range old.snapshot {
+			k.machine.Unref(pfn)
+		}
+	}
+	k.regs[rk] = &regEntry{start: start, end: end, snapshot: snap, registeredAt: k.now()}
+	return VMMeta{
+		Machine: k.machine.ID(), ID: id, Key: key,
+		Start: start, End: end, Pages: len(snap),
+	}, nil
+}
+
+// SetACL restricts a registration to the listed consumer IDs (nil or
+// empty allows any key-holder) — the connection-based permission control
+// that isolates access from unrelated functions.
+func (k *Kernel) SetACL(id FuncID, key Key, allowed []FuncID) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.regs[regKey{id, key}]
+	if !ok {
+		return fmt.Errorf("%w: id=%d", ErrNotRegistered, id)
+	}
+	if len(allowed) == 0 {
+		e.allowed = nil
+		return nil
+	}
+	e.allowed = make(map[FuncID]struct{}, len(allowed))
+	for _, c := range allowed {
+		e.allowed[c] = struct{}{}
+	}
+	return nil
+}
+
+// DeregisterMem implements deregister_mem(job_id, key): it drops the shadow
+// references, allowing the frames to be freed once no consumer mapping
+// still holds them.
+func (k *Kernel) DeregisterMem(id FuncID, key Key) error {
+	k.mu.Lock()
+	e, ok := k.regs[regKey{id, key}]
+	if ok {
+		delete(k.regs, regKey{id, key})
+	}
+	k.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: id=%d", ErrNotRegistered, id)
+	}
+	for _, pfn := range e.snapshot {
+		k.machine.Unref(pfn)
+	}
+	return nil
+}
+
+// Registrations reports how many registrations are live.
+func (k *Kernel) Registrations() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.regs)
+}
+
+// ScanExpired reclaims registrations older than maxAge — the
+// coordinator-failure fallback of §4.2 ("maximum lifetime plus a grace
+// period"). It returns the number reclaimed.
+func (k *Kernel) ScanExpired(maxAge simtime.Duration) int {
+	now := k.now()
+	k.mu.Lock()
+	var expired []regKey
+	for rk, e := range k.regs {
+		if now.Sub(e.registeredAt) > maxAge {
+			expired = append(expired, rk)
+		}
+	}
+	k.mu.Unlock()
+	for _, rk := range expired {
+		// DeregisterMem re-checks existence under the lock.
+		_ = k.DeregisterMem(rk.id, rk.key)
+	}
+	return len(expired)
+}
+
+// SetSegment implements set_segment: it positions a heap/stack segment of
+// the container at a fixed range so that the address-space plan (§4.2) is
+// enforced even for OS-assigned segments.
+func (k *Kernel) SetSegment(as *memsim.AddressSpace, kind memsim.VMAKind, start, end uint64) error {
+	return as.MapAnon(start, end, kind, true)
+}
+
+// --- RPC service side ---
+
+// ServeRPC registers this kernel's endpoints on a SimFabric.
+func (k *Kernel) ServeRPC(f *rdma.SimFabric) {
+	f.HandleFunc(k.machine.ID(), AuthEndpoint, k.handleAuth)
+	f.HandleFunc(k.machine.ID(), DeregEndpoint, k.handleDereg)
+	f.HandleFunc(k.machine.ID(), PageEndpoint, k.handlePage)
+}
+
+// ServeTCP registers this kernel's endpoints on a TCP server.
+func (k *Kernel) ServeTCP(s *rdma.TCPServer) {
+	s.HandleFunc(AuthEndpoint, k.handleAuth)
+	s.HandleFunc(DeregEndpoint, k.handleDereg)
+	s.HandleFunc(PageEndpoint, k.handlePage)
+}
+
+// auth request: id u64 | key u64 | start u64 | end u64 | consumer u64
+// auth response: count u32 | count × (vpn u64, pfn u64)
+func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 40 {
+		return nil, fmt.Errorf("kernel: bad auth request")
+	}
+	id := FuncID(binary.LittleEndian.Uint64(req))
+	key := Key(binary.LittleEndian.Uint64(req[8:]))
+	start := binary.LittleEndian.Uint64(req[16:])
+	end := binary.LittleEndian.Uint64(req[24:])
+	consumer := FuncID(binary.LittleEndian.Uint64(req[32:]))
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.regs[regKey{id, key}]
+	if !ok {
+		return nil, fmt.Errorf("%w: id=%d", ErrAuth, id)
+	}
+	if e.allowed != nil {
+		if _, ok := e.allowed[consumer]; !ok {
+			return nil, fmt.Errorf("%w: consumer %d", ErrDenied, consumer)
+		}
+	}
+	if start < e.start || end > e.end {
+		return nil, fmt.Errorf("%w: [%#x,%#x) not within [%#x,%#x)",
+			ErrRangeOutside, start, end, e.start, e.end)
+	}
+	full := start == e.start && end == e.end
+	if full && e.respCache != nil {
+		return e.respCache, nil
+	}
+	resp := make([]byte, 4, 4+16*len(e.snapshot))
+	count := 0
+	for vpn, pfn := range e.snapshot {
+		if vpn.Base() >= start && vpn.Base() < end {
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[:], uint64(vpn))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(pfn))
+			resp = append(resp, rec[:]...)
+			count++
+		}
+	}
+	binary.LittleEndian.PutUint32(resp, uint32(count))
+	if full {
+		e.respCache = resp
+	}
+	return resp, nil
+}
+
+// dereg request: id u64 | key u64
+func (k *Kernel) handleDereg(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 16 {
+		return nil, fmt.Errorf("kernel: bad dereg request")
+	}
+	id := FuncID(binary.LittleEndian.Uint64(req))
+	key := Key(binary.LittleEndian.Uint64(req[8:]))
+	if err := k.DeregisterMem(id, key); err != nil {
+		return nil, err
+	}
+	return []byte{1}, nil
+}
+
+// page request: pfn u64 → page bytes (the no-RDMA ablation path).
+func (k *Kernel) handlePage(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 8 {
+		return nil, fmt.Errorf("kernel: bad page request")
+	}
+	pfn := memsim.PFN(binary.LittleEndian.Uint64(req))
+	buf := make([]byte, memsim.PageSize)
+	k.machine.ReadFrame(pfn, 0, buf)
+	return buf, nil
+}

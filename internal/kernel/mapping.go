@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/rdma"
+	"rmmap/internal/simtime"
+)
+
+// PagingMode selects how the consumer fetches remote pages on fault.
+type PagingMode int
+
+const (
+	// PagingRDMA reads pages with one-sided RDMA (the design point).
+	PagingRDMA PagingMode = iota
+	// PagingRPC fetches pages with RPCs to the producer kernel — the
+	// Fig 15 ablation showing why the RDMA co-design is necessary
+	// (the paper reports a 62.2% slowdown without it).
+	PagingRPC
+)
+
+// Mapping is a live rmap: the producer's [Start, End) mapped into a
+// consumer address space.
+type Mapping struct {
+	k        *Kernel
+	as       *memsim.AddressSpace
+	target   memsim.MachineID
+	Start    uint64
+	End      uint64
+	remotePT map[memsim.VPN]memsim.PFN
+	mode     PagingMode
+	unmapped bool
+}
+
+// Rmap implements rmap(mac_addr, id, key, vm_start, vm_end) for consumer
+// address space as: it issues the auth/page-table RPC to the producer's
+// kernel (charged to the map category), then installs a remote-backed VMA.
+// It fails if the range conflicts with an existing mapping — the error the
+// address-space plan exists to prevent.
+func (k *Kernel) Rmap(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID, key Key, start, end uint64) (*Mapping, error) {
+	return k.RmapMode(as, mac, id, key, start, end, PagingRDMA)
+}
+
+// RmapMode is Rmap with an explicit paging mode (ablations only).
+func (k *Kernel) RmapMode(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID, key Key, start, end uint64, mode PagingMode) (*Mapping, error) {
+	return k.RmapAs(as, mac, id, key, start, end, 0, mode)
+}
+
+// RmapAs is RmapMode with an explicit consumer identity, validated against
+// the registration's ACL (connection-based permission control, §4.1).
+// Consumer 0 is anonymous and passes only ACL-free registrations.
+func (k *Kernel) RmapAs(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID, key Key, start, end uint64, consumer FuncID, mode PagingMode) (*Mapping, error) {
+	if as.Machine() != k.machine {
+		return nil, fmt.Errorf("kernel: address space not on machine %d", k.machine.ID())
+	}
+	meter := as.Meter()
+
+	// Auth RPC, piggybacking the page-table fetch (§4.1 Fig 8 step 2).
+	req := make([]byte, 40)
+	binary.LittleEndian.PutUint64(req, uint64(id))
+	binary.LittleEndian.PutUint64(req[8:], uint64(key))
+	binary.LittleEndian.PutUint64(req[16:], start)
+	binary.LittleEndian.PutUint64(req[24:], end)
+	binary.LittleEndian.PutUint64(req[32:], uint64(consumer))
+	resp, err := k.transport.Call(meter, mac, AuthEndpoint, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, fmt.Errorf("kernel: bad auth response")
+	}
+	count := int(binary.LittleEndian.Uint32(resp))
+	if len(resp) != 4+16*count {
+		return nil, fmt.Errorf("kernel: bad auth response length")
+	}
+	pt := make(map[memsim.VPN]memsim.PFN, count)
+	for i := 0; i < count; i++ {
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[4+i*16:]))
+		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[4+i*16+8:]))
+		pt[vpn] = pfn
+	}
+
+	mp := &Mapping{k: k, as: as, target: mac, Start: start, End: end, remotePT: pt, mode: mode}
+	vma := &memsim.VMA{
+		Start: start, End: end, Kind: memsim.SegRmap, Writable: true,
+		Fault: mp.fault,
+	}
+	if err := as.AddVMA(vma); err != nil {
+		return nil, err
+	}
+	meter.Charge(simtime.CatMap, k.cm.VMACreate)
+	return mp, nil
+}
+
+// fault resolves one page: fetch the remote frame (or zero-fill pages the
+// producer never touched), install it as a private writable copy. Consumer
+// writes therefore never reach the producer — the CoW coherency model.
+func (mp *Mapping) fault(as *memsim.AddressSpace, vaddr uint64, ft memsim.FaultType) error {
+	meter := as.Meter()
+	meter.Charge(simtime.CatFault, mp.k.cm.PageFault)
+	vpn := memsim.PageOf(vaddr)
+	local := as.Machine().AllocFrame()
+	if rpfn, ok := mp.remotePT[vpn]; ok {
+		buf := make([]byte, memsim.PageSize)
+		if err := mp.readRemote(meter, rpfn, buf); err != nil {
+			as.Machine().Unref(local)
+			return err
+		}
+		as.Machine().WriteFrame(local, 0, buf)
+	}
+	as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+	return nil
+}
+
+func (mp *Mapping) readRemote(meter *simtime.Meter, pfn memsim.PFN, buf []byte) error {
+	switch mp.mode {
+	case PagingRPC:
+		req := make([]byte, 8)
+		binary.LittleEndian.PutUint64(req, uint64(pfn))
+		nic, ok := mp.k.transport.(interface {
+			CallCat(*simtime.Meter, simtime.Category, memsim.MachineID, string, []byte) ([]byte, error)
+		})
+		var resp []byte
+		var err error
+		if ok {
+			resp, err = nic.CallCat(meter, simtime.CatFault, mp.target, PageEndpoint, req)
+		} else {
+			resp, err = mp.k.transport.Call(meter, mp.target, PageEndpoint, req)
+		}
+		if err != nil {
+			return err
+		}
+		copy(buf, resp)
+		return nil
+	default:
+		return mp.k.transport.Read(meter, mp.target, pfn, 0, buf)
+	}
+}
+
+// Prefetch reads the given pages in one doorbell-batched request and
+// installs them, so later accesses hit locally with no fault (§4.4). Pages
+// outside the mapping or already present are skipped; unknown remote pages
+// are zero-filled without network cost.
+func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
+	meter := mp.as.Meter()
+	type slot struct {
+		vpn  memsim.VPN
+		pfn  memsim.PFN // local destination
+		rpfn memsim.PFN
+	}
+	var reqs []rdma.PageRead
+	var slots []slot
+	for _, vpn := range vpns {
+		base := vpn.Base()
+		if base < mp.Start || base >= mp.End {
+			continue
+		}
+		if pte, ok := mp.as.Lookup(vpn); ok && pte.Present() {
+			continue
+		}
+		local := mp.as.Machine().AllocFrame()
+		if rpfn, ok := mp.remotePT[vpn]; ok {
+			slots = append(slots, slot{vpn, local, rpfn})
+			reqs = append(reqs, rdma.PageRead{PFN: rpfn, Buf: make([]byte, memsim.PageSize)})
+		} else {
+			mp.as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := mp.k.transport.ReadPages(meter, mp.target, reqs); err != nil {
+		for _, s := range slots {
+			mp.as.Machine().Unref(s.pfn)
+		}
+		return err
+	}
+	for i, s := range slots {
+		mp.as.Machine().WriteFrame(s.pfn, 0, reqs[i].Buf)
+		mp.as.InstallPTE(s.vpn, memsim.PTE{PFN: s.pfn, Flags: memsim.FlagPresent | memsim.FlagWritable})
+	}
+	return nil
+}
+
+// PrefetchRange prefetches every page of [start, end) within the mapping.
+func (mp *Mapping) PrefetchRange(start, end uint64) error {
+	var vpns []memsim.VPN
+	for vpn := memsim.PageOf(start); vpn.Base() < end; vpn++ {
+		vpns = append(vpns, vpn)
+	}
+	return mp.Prefetch(vpns)
+}
+
+// Unmap tears the mapping down, releasing the consumer-side frames. It is
+// what the hybrid GC calls when the remote root dies (§4.3).
+func (mp *Mapping) Unmap() error {
+	if mp.unmapped {
+		return nil
+	}
+	mp.unmapped = true
+	return mp.as.Unmap(mp.Start, mp.End)
+}
+
+// Target returns the producer machine.
+func (mp *Mapping) Target() memsim.MachineID { return mp.target }
+
+// RemotePages reports how many remote pages the mapping knows about.
+func (mp *Mapping) RemotePages() int { return len(mp.remotePT) }

@@ -1,0 +1,176 @@
+// Package memsim simulates the virtual-memory substrate RMMAP is built on:
+// machines with pools of 4 KB physical frames, per-container address spaces
+// with page tables and VMAs, copy-on-write, and pluggable page-fault
+// handlers. It reproduces exactly the page-table state machine the paper's
+// kernel module manipulates (§4.1), with real bytes behind every frame.
+package memsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Page geometry. 4 KB pages match the paper's Linux target.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// PFN is a physical frame number, an index into a Machine's frame table.
+type PFN uint64
+
+// VPN is a virtual page number (virtual address >> PageShift).
+type VPN uint64
+
+// PageOf returns the VPN containing a virtual address.
+func PageOf(vaddr uint64) VPN { return VPN(vaddr >> PageShift) }
+
+// PageBase returns the first address of a VPN.
+func (v VPN) Base() uint64 { return uint64(v) << PageShift }
+
+// MachineID identifies a machine in the cluster; it doubles as the
+// "mac_addr" argument of rmap.
+type MachineID int
+
+// frame is one physical page. Frames are reference counted so the kernel
+// can keep shadow copies of registered memory alive after the producer
+// exits (§4.1 "Management of the producer's memory lifecycle").
+type frame struct {
+	data []byte
+	refs int
+}
+
+// Machine owns a pool of physical frames. It is safe for concurrent use:
+// the TCP fabric serves one-sided reads from other goroutines.
+type Machine struct {
+	mu     sync.Mutex
+	id     MachineID
+	frames []*frame
+	free   []PFN
+	live   int
+	peak   int
+}
+
+// NewMachine returns an empty machine.
+func NewMachine(id MachineID) *Machine { return &Machine{id: id} }
+
+// ID returns the machine's identifier.
+func (m *Machine) ID() MachineID { return m.id }
+
+// AllocFrame allocates a zeroed frame with refcount 1.
+func (m *Machine) AllocFrame() PFN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var pfn PFN
+	if n := len(m.free); n > 0 {
+		pfn = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.frames[pfn] = &frame{data: make([]byte, PageSize), refs: 1}
+	} else {
+		pfn = PFN(len(m.frames))
+		m.frames = append(m.frames, &frame{data: make([]byte, PageSize), refs: 1})
+	}
+	m.live++
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+	return pfn
+}
+
+func (m *Machine) frameLocked(pfn PFN) *frame {
+	if int(pfn) >= len(m.frames) || m.frames[pfn] == nil {
+		panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfn))
+	}
+	return m.frames[pfn]
+}
+
+// Ref increments a frame's reference count (shadow copies).
+func (m *Machine) Ref(pfn PFN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frameLocked(pfn).refs++
+}
+
+// Unref decrements a frame's reference count, freeing it at zero.
+func (m *Machine) Unref(pfn PFN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.frameLocked(pfn)
+	f.refs--
+	if f.refs < 0 {
+		panic(fmt.Sprintf("memsim: machine %d: PFN %d refcount underflow", m.id, pfn))
+	}
+	if f.refs == 0 {
+		m.frames[pfn] = nil
+		m.free = append(m.free, pfn)
+		m.live--
+	}
+}
+
+// Refs reports a frame's current reference count.
+func (m *Machine) Refs(pfn PFN) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frameLocked(pfn).refs
+}
+
+// ReadFrame copies bytes out of a frame. This is the one-sided RDMA read
+// path: it touches only frame storage, never an address space, mirroring
+// CPU/OS bypass on the remote machine.
+func (m *Machine) ReadFrame(pfn PFN, off int, buf []byte) {
+	if off < 0 || off+len(buf) > PageSize {
+		panic(fmt.Sprintf("memsim: ReadFrame out of range off=%d len=%d", off, len(buf)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(buf, m.frameLocked(pfn).data[off:])
+}
+
+// WriteFrame copies bytes into a frame (used by address spaces and the
+// CoW-break path).
+func (m *Machine) WriteFrame(pfn PFN, off int, data []byte) {
+	if off < 0 || off+len(data) > PageSize {
+		panic(fmt.Sprintf("memsim: WriteFrame out of range off=%d len=%d", off, len(data)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.frameLocked(pfn).data[off:], data)
+}
+
+// CopyFrame duplicates src into a fresh frame and returns it (CoW break).
+func (m *Machine) CopyFrame(src PFN) PFN {
+	dst := m.AllocFrame()
+	m.mu.Lock()
+	copy(m.frames[dst].data, m.frames[src].data)
+	m.mu.Unlock()
+	return dst
+}
+
+// LiveFrames reports currently allocated frames (memory accounting for
+// Fig 16a).
+func (m *Machine) LiveFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live
+}
+
+// PeakFrames reports the high-water mark of allocated frames.
+func (m *Machine) PeakFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// ResetPeak sets the high-water mark to the current live count, so an
+// experiment can measure the peak of one phase.
+func (m *Machine) ResetPeak() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peak = m.live
+}
+
+// LiveBytes is LiveFrames in bytes.
+func (m *Machine) LiveBytes() int { return m.LiveFrames() * PageSize }
+
+// PeakBytes is PeakFrames in bytes.
+func (m *Machine) PeakBytes() int { return m.PeakFrames() * PageSize }

@@ -1,0 +1,224 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rmmap/internal/objrt"
+)
+
+// clusteredData makes two well-separated Gaussian blobs.
+func clusteredData(n, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(c)*6
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data varies mostly along (1,1,...)/√d; PCA's first component must
+	// align with it.
+	rng := rand.New(rand.NewSource(1))
+	d := 8
+	X := make([][]float64, 500)
+	for i := range X {
+		s := rng.NormFloat64() * 10
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = s + rng.NormFloat64()*0.1
+		}
+		X[i] = row
+	}
+	p, err := FitPCA(X, 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := 1 / math.Sqrt(float64(d))
+	align := 0.0
+	for j := 0; j < d; j++ {
+		align += p.Components[0][j] * dir
+	}
+	if math.Abs(align) < 0.99 {
+		t.Errorf("first component alignment = %.3f", align)
+	}
+	// First component variance dominates second.
+	v0 := p.ExplainedDirectionVariance(X, 0)
+	v1 := p.ExplainedDirectionVariance(X, 1)
+	if v0 < 50*v1 {
+		t.Errorf("variance ratio %.1f/%.3f too small", v0, v1)
+	}
+}
+
+func TestPCAComponentsOrthonormal(t *testing.T) {
+	X, _ := clusteredData(300, 10, 2)
+	p, err := FitPCA(X, 3, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Components {
+		for j := range p.Components {
+			got := dot(p.Components[i], p.Components[j])
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("<c%d,c%d> = %.8f, want %.0f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPCATransformDims(t *testing.T) {
+	X, _ := clusteredData(100, 12, 4)
+	p, _ := FitPCA(X, 5, 30, 5)
+	F := p.Transform(X)
+	if len(F) != 100 || len(F[0]) != 5 {
+		t.Fatalf("transform shape = %dx%d", len(F), len(F[0]))
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1, 10, 0); err == nil {
+		t.Error("empty data accepted")
+	}
+	X, _ := clusteredData(10, 4, 1)
+	if _, err := FitPCA(X, 5, 10, 0); err == nil {
+		t.Error("k > d accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1, 10, 0); err == nil {
+		t.Error("ragged data accepted")
+	}
+}
+
+func TestTreeSeparatesClusters(t *testing.T) {
+	X, y := clusteredData(400, 6, 11)
+	tree, err := TrainTree(X, y, DefaultTreeConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range X {
+		if int(PredictTree(tree, row)) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.98 {
+		t.Errorf("training accuracy = %.3f", acc)
+	}
+}
+
+func TestTreeDepthBound(t *testing.T) {
+	X, y := clusteredData(500, 4, 12)
+	cfg := TreeConfig{MaxDepth: 2, MinSamples: 2}
+	tree, err := TrainTree(X, y, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth ≤ 2 → at most 1 + 2 + 4 = 7 nodes.
+	if len(tree) > 7 {
+		t.Errorf("tree has %d nodes for depth 2", len(tree))
+	}
+}
+
+func TestForestAccuracyAndDeterminism(t *testing.T) {
+	X, y := clusteredData(300, 6, 13)
+	f1, err := TrainForest(X, y, 8, DefaultTreeConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(f1, X, y); acc < 0.97 {
+		t.Errorf("forest accuracy = %.3f", acc)
+	}
+	f2, _ := TrainForest(X, y, 8, DefaultTreeConfig(), 99)
+	for ti := range f1 {
+		if len(f1[ti]) != len(f2[ti]) {
+			t.Fatal("forest training nondeterministic")
+		}
+		for ni := range f1[ti] {
+			if f1[ti][ni] != f2[ti][ni] {
+				t.Fatal("forest training nondeterministic")
+			}
+		}
+	}
+}
+
+func TestGoAndHeapTreePredictAgree(t *testing.T) {
+	// The objrt in-memory tree and the Go-side evaluator must agree —
+	// the consistency that lets a consumer predict through an rmapped
+	// model with no reconstruction.
+	X, y := clusteredData(200, 5, 14)
+	nodes, err := TrainTree(X, y, DefaultTreeConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newTestRuntime(t)
+	tree, err := rt.NewTree(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range X[:50] {
+		want := PredictTree(nodes, row)
+		got, err := tree.PredictTree(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("heap tree %v vs go %v", got, want)
+		}
+	}
+}
+
+func TestTrainTreeErrors(t *testing.T) {
+	if _, err := TrainTree(nil, nil, DefaultTreeConfig(), nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}}, []int{0, 1}, DefaultTreeConfig(), nil); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+// Property: every trained tree is structurally valid — internal nodes
+// reference in-range children, and evaluation terminates for any input.
+func TestTreeStructureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		X, y := clusteredData(64, 3, seed)
+		tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 6, MinSamples: 2}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for _, nd := range tree {
+			if nd.Feature >= 0 {
+				if nd.Left < 0 || nd.Right < 0 ||
+					int(nd.Left) >= len(tree) || int(nd.Right) >= len(tree) {
+					return false
+				}
+			}
+		}
+		_ = PredictTree(tree, []float64{0, 0, 0})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestRuntime(t *testing.T) *objrt.Runtime {
+	t.Helper()
+	rt, err := objrt.NewRuntime(newTestAS(t), objrt.Config{HeapStart: 0x10000000, HeapEnd: 0x14000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}

@@ -1,0 +1,144 @@
+// Package ml provides the machine-learning substrate the ML training and
+// prediction workflows run on (§5.1): PCA feature extraction via power
+// iteration, CART decision trees, and random forests (standing in for
+// LightGBM). Everything is deterministic given a seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PCA holds a fitted principal-component model.
+type PCA struct {
+	Mean       []float64
+	Components [][]float64 // k × d, orthonormal rows
+}
+
+// FitPCA computes the top-k principal components of X (n samples × d
+// features) with power iteration and deflation on the covariance operator.
+// It never materializes the d×d covariance matrix, so wide inputs (d=784)
+// stay cheap.
+func FitPCA(X [][]float64, k, iters int, seed int64) (*PCA, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty data")
+	}
+	d := len(X[0])
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("ml: bad component count %d (d=%d)", k, d)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	mean := make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: ragged data")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	centered := make([][]float64, n)
+	for i, row := range X {
+		c := make([]float64, d)
+		for j, v := range row {
+			c[j] = v - mean[j]
+		}
+		centered[i] = c
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	comps := make([][]float64, 0, k)
+	proj := make([]float64, n) // scratch: centered · v
+	for c := 0; c < k; c++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		normalize(v)
+		for it := 0; it < iters; it++ {
+			// w = Cov·v ∝ Xᵀ(X v), with deflation against found comps.
+			for i, row := range centered {
+				proj[i] = dot(row, v)
+			}
+			w := make([]float64, d)
+			for i, row := range centered {
+				axpy(w, proj[i], row)
+			}
+			for _, u := range comps {
+				axpy(w, -dot(w, u), u)
+			}
+			if normalize(w) == 0 {
+				break
+			}
+			v = w
+		}
+		comps = append(comps, v)
+	}
+	return &PCA{Mean: mean, Components: comps}, nil
+}
+
+// Transform projects rows of X onto the fitted components.
+func (p *PCA) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		c := make([]float64, len(row))
+		for j, v := range row {
+			c[j] = v - p.Mean[j]
+		}
+		f := make([]float64, len(p.Components))
+		for k, comp := range p.Components {
+			f[k] = dot(c, comp)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// ExplainedDirectionVariance returns the variance of X projected on
+// component k — used by tests to check components capture real structure.
+func (p *PCA) ExplainedDirectionVariance(X [][]float64, k int) float64 {
+	var sum, sumSq float64
+	for _, row := range X {
+		c := 0.0
+		for j, v := range row {
+			c += (v - p.Mean[j]) * p.Components[k][j]
+		}
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(len(X))
+	m := sum / n
+	return sumSq/n - m*m
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(dst []float64, a float64, x []float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+func normalize(v []float64) float64 {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+package ml
+
+import (
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+func newTestAS(t *testing.T) *memsim.AddressSpace {
+	t.Helper()
+	as := memsim.NewAddressSpace(memsim.NewMachine(0), simtime.DefaultCostModel())
+	as.SetMeter(simtime.NewMeter())
+	return as
+}

@@ -1,0 +1,232 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rmmap/internal/objrt"
+)
+
+// TreeConfig bounds CART training.
+type TreeConfig struct {
+	MaxDepth    int
+	MinSamples  int
+	MaxFeatures int // features sampled per split (0 = all)
+}
+
+// DefaultTreeConfig returns reasonable bounds for the workloads.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 8, MinSamples: 4}
+}
+
+// TrainTree fits a CART classification tree (gini impurity, mean-split
+// candidates) and returns it as the flat node array the objrt TTree layout
+// stores. Leaf Value is the majority class.
+func TrainTree(X [][]float64, y []int, cfg TreeConfig, rng *rand.Rand) ([]objrt.TreeNode, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("ml: bad training set (%d samples, %d labels)", len(X), len(y))
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 2
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &treeBuilder{X: X, y: y, cfg: cfg, rng: rng}
+	b.build(idx, 0)
+	return b.nodes, nil
+}
+
+type treeBuilder struct {
+	X     [][]float64
+	y     []int
+	cfg   TreeConfig
+	rng   *rand.Rand
+	nodes []objrt.TreeNode
+}
+
+func (b *treeBuilder) leaf(idx []int) int {
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	best, bestN := 0, -1
+	var classes []int
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes) // deterministic tie-break
+	for _, c := range classes {
+		if counts[c] > bestN {
+			best, bestN = c, counts[c]
+		}
+	}
+	b.nodes = append(b.nodes, objrt.TreeNode{Feature: -1, Value: float64(best)})
+	return len(b.nodes) - 1
+}
+
+func gini(counts map[int]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// build returns the node index of the subtree root for idx.
+func (b *treeBuilder) build(idx []int, depth int) int {
+	pure := true
+	for _, i := range idx[1:] {
+		if b.y[i] != b.y[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure || depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSamples {
+		return b.leaf(idx)
+	}
+	d := len(b.X[0])
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < d && b.rng != nil {
+		b.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:b.cfg.MaxFeatures]
+		sort.Ints(features)
+	}
+
+	bestScore := math.Inf(1)
+	bestFeature, bestThreshold := -1, 0.0
+	for _, f := range features {
+		// Candidate threshold: mean of the feature over idx (cheap and
+		// effective for the synthetic workloads).
+		mean := 0.0
+		for _, i := range idx {
+			mean += b.X[i][f]
+		}
+		mean /= float64(len(idx))
+		lc, rc := map[int]int{}, map[int]int{}
+		ln, rn := 0, 0
+		for _, i := range idx {
+			if b.X[i][f] <= mean {
+				lc[b.y[i]]++
+				ln++
+			} else {
+				rc[b.y[i]]++
+				rn++
+			}
+		}
+		if ln == 0 || rn == 0 {
+			continue
+		}
+		score := (float64(ln)*gini(lc, ln) + float64(rn)*gini(rc, rn)) / float64(len(idx))
+		if score < bestScore {
+			bestScore, bestFeature, bestThreshold = score, f, mean
+		}
+	}
+	if bestFeature < 0 {
+		return b.leaf(idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	self := len(b.nodes)
+	b.nodes = append(b.nodes, objrt.TreeNode{Feature: int64(bestFeature), Threshold: bestThreshold})
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.nodes[self].Left = int64(l)
+	b.nodes[self].Right = int64(r)
+	return self
+}
+
+// PredictTree evaluates a flat node array (Go-side twin of
+// objrt.Obj.PredictTree, for training-time validation).
+func PredictTree(nodes []objrt.TreeNode, features []float64) float64 {
+	i := 0
+	for {
+		nd := nodes[i]
+		if nd.Feature < 0 {
+			return nd.Value
+		}
+		f := 0.0
+		if int(nd.Feature) < len(features) {
+			f = features[nd.Feature]
+		}
+		if f <= nd.Threshold {
+			i = int(nd.Left)
+		} else {
+			i = int(nd.Right)
+		}
+	}
+}
+
+// TrainForest trains n trees on bootstrap resamples.
+func TrainForest(X [][]float64, y []int, n int, cfg TreeConfig, seed int64) ([][]objrt.TreeNode, error) {
+	rng := rand.New(rand.NewSource(seed))
+	forest := make([][]objrt.TreeNode, 0, n)
+	for t := 0; t < n; t++ {
+		bi := make([]int, len(X))
+		bX := make([][]float64, len(X))
+		bY := make([]int, len(X))
+		for i := range bi {
+			j := rng.Intn(len(X))
+			bX[i], bY[i] = X[j], y[j]
+		}
+		tree, err := TrainTree(bX, bY, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		forest = append(forest, tree)
+	}
+	return forest, nil
+}
+
+// PredictForestMajority votes tree predictions (classification).
+func PredictForestMajority(forest [][]objrt.TreeNode, features []float64) int {
+	votes := map[int]int{}
+	for _, tree := range forest {
+		votes[int(PredictTree(tree, features))]++
+	}
+	best, bestN := 0, -1
+	var classes []int
+	for c := range votes {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		if votes[c] > bestN {
+			best, bestN = c, votes[c]
+		}
+	}
+	return best
+}
+
+// Accuracy scores majority-vote predictions against labels.
+func Accuracy(forest [][]objrt.TreeNode, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range X {
+		if PredictForestMajority(forest, row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

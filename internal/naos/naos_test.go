@@ -1,0 +1,123 @@
+package naos
+
+import (
+	"fmt"
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/objrt"
+	"rmmap/internal/simtime"
+)
+
+func newRT(t *testing.T, heapStart uint64) *objrt.Runtime {
+	t.Helper()
+	as := memsim.NewAddressSpace(memsim.NewMachine(0), simtime.DefaultCostModel())
+	as.SetMeter(simtime.NewMeter())
+	rt, err := objrt.NewRuntime(as, objrt.Config{HeapStart: heapStart, HeapEnd: heapStart + 0x10000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// javaMap builds the Fig 16b microbenchmark object: a map of n
+// (Integer → char[5]) pairs.
+func javaMap(t *testing.T, rt *objrt.Runtime, n int) objrt.Obj {
+	t.Helper()
+	pairs := make([][2]objrt.Obj, n)
+	for i := range pairs {
+		k, err := rt.NewInt(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := rt.NewBytes([]byte(fmt.Sprintf("%05d", i)[:5]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = [2]objrt.Obj{k, v}
+	}
+	m, err := rt.NewDict(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSendTransfersGraph(t *testing.T) {
+	src := newRT(t, 0x10000000)
+	dst := newRT(t, 0x40000000)
+	root := javaMap(t, src, 100)
+	meter := simtime.NewMeter()
+	out, st, err := Send(root, dst, DefaultProfile(simtime.DefaultCostModel()), meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 201 { // dict + 100 ints + 100 byte arrays
+		t.Errorf("objects = %d, want 201", st.Objects)
+	}
+	if !dst.Heap().Contains(out.Addr) {
+		t.Error("received root not on destination heap")
+	}
+	k, val, err := out.DictEntry(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki, _ := k.Int()
+	vb, _ := val.Bytes()
+	if ki != 42 || string(vb) != "00042" {
+		t.Errorf("entry 42 = (%d, %q)", ki, vb)
+	}
+	if meter.Get(simtime.CatSerialize) == 0 || meter.Get(simtime.CatNetwork) == 0 {
+		t.Errorf("charges missing: %v", meter)
+	}
+}
+
+func TestNaosCostScalesWithObjects(t *testing.T) {
+	src := newRT(t, 0x10000000)
+	dst := newRT(t, 0x40000000)
+	prof := DefaultProfile(simtime.DefaultCostModel())
+	cost := func(n int) simtime.Duration {
+		m := simtime.NewMeter()
+		if _, _, err := Send(javaMap(t, src, n), dst, prof, m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Get(simtime.CatSerialize)
+	}
+	small, large := cost(50), cost(500)
+	if large < 8*small {
+		t.Errorf("naos per-object cost not linear: %v vs %v", small, large)
+	}
+}
+
+func TestNaosSlowerThanRMMAPTransform(t *testing.T) {
+	// The §5.7 shape: for the same map, RMMAP's producer-side work
+	// (CoW-marking the used pages) is cheaper than Naos's traversal +
+	// pointer rewriting, because RMMAP touches page tables, not objects.
+	cm := simtime.DefaultCostModel()
+	src := newRT(t, 0x10000000)
+	dst := newRT(t, 0x40000000)
+	root := javaMap(t, src, 5000)
+
+	naosMeter := simtime.NewMeter()
+	if _, _, err := Send(root, dst, DefaultProfile(cm), naosMeter); err != nil {
+		t.Fatal(err)
+	}
+
+	rmmapMeter := simtime.NewMeter()
+	src.AS().SetMeter(rmmapMeter)
+	start, _ := src.Heap().Bounds()
+	end := (src.Heap().Used() + memsim.PageSize) &^ uint64(memsim.PageSize-1)
+	if _, err := src.AS().MarkCoW(start, end); err != nil {
+		t.Fatal(err)
+	}
+	// Include the remote read of all pages at line rate (what the
+	// consumer pays), still cheaper than Naos's CPU-bound path.
+	pages := int(end-start) / memsim.PageSize
+	rmmapMeter.Charge(simtime.CatFault,
+		cm.DoorbellBase+simtime.Scale(cm.DoorbellPerPage, pages)+
+			simtime.Bytes(pages*memsim.PageSize, cm.RDMAPerByte))
+
+	if rmmapMeter.Total() >= naosMeter.Total() {
+		t.Errorf("rmmap (%v) not cheaper than naos (%v)", rmmapMeter.Total(), naosMeter.Total())
+	}
+}

@@ -1,0 +1,73 @@
+package objrt
+
+import (
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestAdaptivePrefetchDecisions(t *testing.T) {
+	rt := newRT(t)
+	cases := []struct {
+		name  string
+		build func() (Obj, error)
+		want  bool // prefetch worthwhile?
+	}{
+		{"ndarray (page-dense)", func() (Obj, error) {
+			return rt.NewNDArray([]int{100000}, make([]float64, 100000))
+		}, true},
+		{"big str", func() (Obj, error) {
+			return rt.NewStr(string(make([]byte, 1<<20)))
+		}, true},
+		{"list(int) (object-dense)", func() (Obj, error) {
+			return rt.NewIntList(make([]int64, 50000))
+		}, false},
+		{"list(str) of short strings", func() (Obj, error) {
+			ss := make([]string, 20000)
+			for i := range ss {
+				ss[i] = "short"
+			}
+			return rt.NewStrList(ss)
+		}, false},
+	}
+	for _, c := range cases {
+		root, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		meter := simtime.NewMeter()
+		plan, worth, err := PlanPrefetchAdaptive(root, meter)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if worth != c.want {
+			t.Errorf("%s: adaptive decided %v, want %v", c.name, worth, c.want)
+		}
+		if worth && (plan == nil || len(plan.Pages) == 0) {
+			t.Errorf("%s: worthwhile but empty plan", c.name)
+		}
+		if !worth && plan != nil {
+			t.Errorf("%s: not worthwhile but returned a plan", c.name)
+		}
+		if meter.Get(simtime.CatRegister) == 0 {
+			t.Errorf("%s: sampling walk uncharged", c.name)
+		}
+	}
+}
+
+func TestAdaptiveSamplingCostBounded(t *testing.T) {
+	// Declining must cost at most the sample walk, even on huge graphs.
+	rt := newRT(t)
+	root, err := rt.NewIntList(make([]int64, 200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := simtime.NewMeter()
+	if _, worth, err := PlanPrefetchAdaptive(root, meter); err != nil || worth {
+		t.Fatalf("worth=%v err=%v", worth, err)
+	}
+	maxCharge := simtime.Scale(simtime.DefaultCostModel().TraversePerObject, adaptiveSample)
+	if got := meter.Get(simtime.CatRegister); got > maxCharge {
+		t.Errorf("sampling charged %v, cap %v", got, maxCharge)
+	}
+}

@@ -1,0 +1,77 @@
+package objrt
+
+import (
+	"fmt"
+
+	"rmmap/internal/simtime"
+)
+
+// Mutation API with the §4.3 copy-on-assignment rule: storing a reference
+// to a *remote* object inside a *local* container would leave a dangling
+// pointer once the remote heap is unmapped, so the runtime transparently
+// deep-copies the remote object onto the local heap first — "when
+// assigning a remote object locally, we will make a copy of it onto the
+// local heap".
+
+// localized returns v as a safe reference for storage inside rt's heap:
+// v itself when already local, otherwise a local deep copy.
+func (rt *Runtime) localized(v Obj, meter *simtime.Meter) (Obj, error) {
+	if rt.heap.Contains(v.Addr) {
+		return v, nil
+	}
+	return rt.CopyToLocal(v, meter)
+}
+
+// SetListItem stores v at list[i], applying copy-on-assignment. The list
+// itself must live on this runtime's heap (remote objects are read-only
+// to consumers by the CoW model).
+func (rt *Runtime) SetListItem(list Obj, i int, v Obj, meter *simtime.Meter) error {
+	if !rt.heap.Contains(list.Addr) {
+		return fmt.Errorf("%w: cannot mutate remote list at %#x", ErrNotLocal, list.Addr)
+	}
+	h, err := list.expect(TList, TTuple)
+	if err != nil {
+		return err
+	}
+	if i < 0 || uint64(i) >= h.n {
+		return fmt.Errorf("objrt: index %d out of range %d", i, h.n)
+	}
+	local, err := rt.localized(v, meter)
+	if err != nil {
+		return err
+	}
+	return rt.as.WriteUint64(list.Addr+HeaderSize+uint64(i)*PtrSize, local.Addr)
+}
+
+// DictSet overwrites the value of an existing key (or appends semantics
+// are not supported — our dicts are fixed-shape), applying
+// copy-on-assignment.
+func (rt *Runtime) DictSet(dict Obj, key string, v Obj, meter *simtime.Meter) error {
+	if !rt.heap.Contains(dict.Addr) {
+		return fmt.Errorf("%w: cannot mutate remote dict at %#x", ErrNotLocal, dict.Addr)
+	}
+	h, err := dict.expect(TDict)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < h.n; i++ {
+		base := dict.Addr + HeaderSize + i*2*PtrSize
+		kAddr, err := rt.as.ReadUint64(base)
+		if err != nil {
+			return err
+		}
+		k, err := (Obj{rt: rt, Addr: kAddr}).Str()
+		if err != nil {
+			return err
+		}
+		if k != key {
+			continue
+		}
+		local, err := rt.localized(v, meter)
+		if err != nil {
+			return err
+		}
+		return rt.as.WriteUint64(base+PtrSize, local.Addr)
+	}
+	return fmt.Errorf("objrt: no key %q", key)
+}

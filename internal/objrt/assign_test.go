@@ -1,0 +1,133 @@
+package objrt
+
+import (
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestSetListItemLocal(t *testing.T) {
+	rt := newRT(t)
+	lst, _ := rt.NewIntList([]int64{1, 2, 3})
+	repl := mustInt(t, rt, 99)
+	if err := rt.SetListItem(lst, 1, repl, simtime.NewMeter()); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := lst.Index(1)
+	if v, _ := e.Int(); v != 99 {
+		t.Errorf("list[1] = %d", v)
+	}
+	if err := rt.SetListItem(lst, 5, repl, simtime.NewMeter()); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func TestCopyOnAssignRemoteSubObject(t *testing.T) {
+	// The §4.3 corner case, end to end: a remote sub-object assigned
+	// into a local list must survive the remote heap's release.
+	p := newTwoPods(t)
+	remoteStr, err := p.prodRT.NewStr("remote-sub-object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, mp := p.transfer(t, remoteStr)
+	ref := p.consRT.AdoptRemote(view, mp)
+
+	// Build a 1-slot local list holding a placeholder, then assign the
+	// remote object into it.
+	placeholder, err := p.consRT.NewInt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := p.consRT.NewList([]Obj{placeholder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := simtime.NewMeter()
+	if err := p.consRT.SetListItem(lst, 0, view, meter); err != nil {
+		t.Fatal(err)
+	}
+	// The stored reference must be a LOCAL copy...
+	stored, err := lst.Index(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.consRT.Heap().Contains(stored.Addr) {
+		t.Fatal("assignment stored a raw remote pointer")
+	}
+	if meter.Get(simtime.CatCompute) == 0 {
+		t.Error("copy-on-assign charged nothing")
+	}
+	// ...so releasing the remote root leaves it readable.
+	if err := ref.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := stored.Str(); err != nil || s != "remote-sub-object" {
+		t.Errorf("after release: %q, %v", s, err)
+	}
+}
+
+func TestAssignRejectsRemoteContainerMutation(t *testing.T) {
+	p := newTwoPods(t)
+	lst, err := p.prodRT.NewIntList([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, mp := p.transfer(t, lst)
+	defer mp.Unmap()
+	v, err := p.consRT.NewInt(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.consRT.SetListItem(view, 0, v, simtime.NewMeter()); err == nil {
+		t.Error("mutating a remote list accepted")
+	}
+}
+
+func TestDictSetCopyOnAssign(t *testing.T) {
+	p := newTwoPods(t)
+	remoteVal, err := p.prodRT.NewStr("payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, mp := p.transfer(t, remoteVal)
+	ref := p.consRT.AdoptRemote(view, mp)
+
+	k, _ := p.consRT.NewStr("slot")
+	ph, _ := p.consRT.NewInt(0)
+	d, err := p.consRT.NewDict([][2]Obj{{k, ph}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.consRT.DictSet(d, "slot", view, simtime.NewMeter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.consRT.DictSet(d, "missing", view, simtime.NewMeter()); err == nil {
+		t.Error("missing key accepted")
+	}
+	_ = ref.Release()
+	got, ok, err := d.DictGet("slot")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if s, _ := got.Str(); s != "payload" {
+		t.Errorf("dict value = %q after remote release", s)
+	}
+}
+
+func TestLocalAssignNoCopy(t *testing.T) {
+	rt := newRT(t)
+	lst, _ := rt.NewIntList([]int64{1})
+	v := mustInt(t, rt, 7)
+	meter := simtime.NewMeter()
+	if err := rt.SetListItem(lst, 0, v, meter); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := lst.Index(0)
+	if stored.Addr != v.Addr {
+		t.Error("local assignment copied needlessly")
+	}
+	if meter.Total() != 0 {
+		t.Errorf("local assignment charged %v", meter.Total())
+	}
+}

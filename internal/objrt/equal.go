@@ -1,0 +1,172 @@
+package objrt
+
+import "fmt"
+
+// Equal deep-compares two objects, possibly living on different runtimes
+// (or one local, one remotely mapped): same types, same values, same
+// structure. Reference identity (sharing) is not compared — two lists
+// [s, s] and [s1, s2] with equal strings are equal.
+func Equal(a, b Obj) (bool, error) {
+	ha, err := a.header()
+	if err != nil {
+		return false, err
+	}
+	hb, err := b.header()
+	if err != nil {
+		return false, err
+	}
+	if ha.tag != hb.tag || ha.n != hb.n {
+		return false, nil
+	}
+	switch ha.tag {
+	case TInt:
+		va, err := a.Int()
+		if err != nil {
+			return false, err
+		}
+		vb, err := b.Int()
+		if err != nil {
+			return false, err
+		}
+		return va == vb, nil
+	case TFloat:
+		va, err := a.Float()
+		if err != nil {
+			return false, err
+		}
+		vb, err := b.Float()
+		if err != nil {
+			return false, err
+		}
+		return va == vb, nil
+	case TStr:
+		va, err := a.Str()
+		if err != nil {
+			return false, err
+		}
+		vb, err := b.Str()
+		if err != nil {
+			return false, err
+		}
+		return va == vb, nil
+	case TBytes, TImage:
+		return equalPayload(a, b, ha)
+	case TNDArray:
+		sa, err := a.Shape()
+		if err != nil {
+			return false, err
+		}
+		sb, err := b.Shape()
+		if err != nil {
+			return false, err
+		}
+		if len(sa) != len(sb) {
+			return false, nil
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false, nil
+			}
+		}
+		da, err := a.Data()
+		if err != nil {
+			return false, err
+		}
+		db, err := b.Data()
+		if err != nil {
+			return false, err
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				return false, nil
+			}
+		}
+		return true, nil
+	case TTree:
+		for i := 0; i < int(ha.n); i++ {
+			na, err := a.Node(i)
+			if err != nil {
+				return false, err
+			}
+			nb, err := b.Node(i)
+			if err != nil {
+				return false, err
+			}
+			if na != nb {
+				return false, nil
+			}
+		}
+		return true, nil
+	case TList, TTuple, TForest:
+		for i := 0; i < int(ha.n); i++ {
+			ea, err := a.Index(i)
+			if err != nil {
+				return false, err
+			}
+			eb, err := b.Index(i)
+			if err != nil {
+				return false, err
+			}
+			ok, err := Equal(ea, eb)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	case TDict, TDataFrame:
+		for i := 0; i < int(ha.n); i++ {
+			ka, va, err := dictEntryAny(a, ha.tag, i)
+			if err != nil {
+				return false, err
+			}
+			kb, vb, err := dictEntryAny(b, hb.tag, i)
+			if err != nil {
+				return false, err
+			}
+			if ok, err := Equal(ka, kb); err != nil || !ok {
+				return ok, err
+			}
+			if ok, err := Equal(va, vb); err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: cannot compare tag %v", ErrWrongType, ha.tag)
+	}
+}
+
+// dictEntryAny reads entry i of a dict or dataframe (both store key/value
+// pointer pairs).
+func dictEntryAny(o Obj, tag Tag, i int) (Obj, Obj, error) {
+	if tag == TDict {
+		return o.DictEntry(i)
+	}
+	base := o.Addr + HeaderSize + uint64(i)*2*PtrSize
+	k, err := o.rt.as.ReadUint64(base)
+	if err != nil {
+		return Obj{}, Obj{}, err
+	}
+	v, err := o.rt.as.ReadUint64(base + PtrSize)
+	if err != nil {
+		return Obj{}, Obj{}, err
+	}
+	return Obj{rt: o.rt, Addr: k}, Obj{rt: o.rt, Addr: v}, nil
+}
+
+func equalPayload(a, b Obj, h header) (bool, error) {
+	pa := make([]byte, h.n)
+	if err := a.rt.as.Read(a.Addr+HeaderSize, pa); err != nil {
+		return false, err
+	}
+	pb := make([]byte, h.n)
+	if err := b.rt.as.Read(b.Addr+HeaderSize, pb); err != nil {
+		return false, err
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

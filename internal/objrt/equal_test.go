@@ -1,0 +1,113 @@
+package objrt
+
+import (
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestEqualScalars(t *testing.T) {
+	rt := newRT(t)
+	a := mustInt(t, rt, 7)
+	b := mustInt(t, rt, 7)
+	c := mustInt(t, rt, 8)
+	if ok, _ := Equal(a, b); !ok {
+		t.Error("equal ints unequal")
+	}
+	if ok, _ := Equal(a, c); ok {
+		t.Error("different ints equal")
+	}
+	f1, _ := rt.NewFloat(1.5)
+	f2, _ := rt.NewFloat(1.5)
+	if ok, _ := Equal(f1, f2); !ok {
+		t.Error("equal floats unequal")
+	}
+	if ok, _ := Equal(a, f1); ok {
+		t.Error("int equals float")
+	}
+}
+
+func TestEqualContainers(t *testing.T) {
+	rt := newRT(t)
+	build := func(v int64) Obj {
+		inner, _ := rt.NewIntList([]int64{1, v})
+		k, _ := rt.NewStr("k")
+		d, _ := rt.NewDict([][2]Obj{{k, inner}})
+		return d
+	}
+	if ok, _ := Equal(build(2), build(2)); !ok {
+		t.Error("equal dicts unequal")
+	}
+	if ok, _ := Equal(build(2), build(3)); ok {
+		t.Error("different dicts equal")
+	}
+}
+
+func TestEqualSharingInsensitive(t *testing.T) {
+	rt := newRT(t)
+	s, _ := rt.NewStr("x")
+	shared, _ := rt.NewList([]Obj{s, s})
+	s1, _ := rt.NewStr("x")
+	s2, _ := rt.NewStr("x")
+	unshared, _ := rt.NewList([]Obj{s1, s2})
+	if ok, _ := Equal(shared, unshared); !ok {
+		t.Error("structurally equal lists differ on sharing")
+	}
+}
+
+func TestEqualNDArrayAndTree(t *testing.T) {
+	rt := newRT(t)
+	a, _ := rt.NewNDArray([]int{2, 2}, []float64{1, 2, 3, 4})
+	b, _ := rt.NewNDArray([]int{2, 2}, []float64{1, 2, 3, 4})
+	c, _ := rt.NewNDArray([]int{4}, []float64{1, 2, 3, 4})
+	if ok, _ := Equal(a, b); !ok {
+		t.Error("equal arrays unequal")
+	}
+	if ok, _ := Equal(a, c); ok {
+		t.Error("different shapes equal")
+	}
+	t1, _ := rt.NewTree([]TreeNode{{Feature: -1, Value: 1}})
+	t2, _ := rt.NewTree([]TreeNode{{Feature: -1, Value: 1}})
+	t3, _ := rt.NewTree([]TreeNode{{Feature: -1, Value: 2}})
+	if ok, _ := Equal(t1, t2); !ok {
+		t.Error("equal trees unequal")
+	}
+	if ok, _ := Equal(t1, t3); ok {
+		t.Error("different trees equal")
+	}
+}
+
+func TestEqualAcrossRuntimes(t *testing.T) {
+	// The deep invariant: a pickled copy equals its original, across
+	// heaps.
+	prod := newRT(t)
+	cons := newRT(t)
+	df, err := prod.NewDataFrame(
+		[]string{"v"},
+		[]Obj{mustNDArray(t, prod, []float64{9, 8, 7})},
+		3,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := Pickle(df, simtime.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unpickle(cons, data, simtime.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := Equal(df, back); err != nil || !ok {
+		t.Errorf("pickle roundtrip not Equal: %v %v", ok, err)
+	}
+}
+
+func mustNDArray(t *testing.T, rt *Runtime, data []float64) Obj {
+	t.Helper()
+	o, err := rt.NewNDArray([]int{len(data)}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}

@@ -1,0 +1,151 @@
+package objrt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heap is a first-fit allocator over a fixed virtual range of the
+// container's address space (positioned by the platform's VM plan via
+// set_segment). Allocation metadata lives runtime-side, like CPython's
+// allocator state; object contents live in simulated memory.
+type Heap struct {
+	start, end uint64
+	brk        uint64
+	free       []span            // sorted by addr, coalesced
+	allocs     map[uint64]uint64 // addr → size
+	liveBytes  uint64
+}
+
+type span struct{ addr, size uint64 }
+
+const allocAlign = 16
+
+// NewHeap returns a heap managing [start, end).
+func NewHeap(start, end uint64) *Heap {
+	if end <= start {
+		panic(fmt.Sprintf("objrt: bad heap range [%#x,%#x)", start, end))
+	}
+	return &Heap{start: start, end: end, brk: start, allocs: make(map[uint64]uint64)}
+}
+
+// Bounds returns the managed range.
+func (h *Heap) Bounds() (start, end uint64) { return h.start, h.end }
+
+// Contains reports whether addr lies on this heap.
+func (h *Heap) Contains(addr uint64) bool { return addr >= h.start && addr < h.end }
+
+// Used returns the top of the bump region — [start, Used()) covers every
+// byte ever allocated, which is what the producer registers.
+func (h *Heap) Used() uint64 { return h.brk }
+
+// LiveBytes returns currently allocated bytes.
+func (h *Heap) LiveBytes() uint64 { return h.liveBytes }
+
+// Alloc reserves size bytes, 16-aligned, first-fit from the free list and
+// then from the bump region.
+func (h *Heap) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = allocAlign
+	}
+	size = (size + allocAlign - 1) &^ (allocAlign - 1)
+	for i, s := range h.free {
+		if s.size >= size {
+			addr := s.addr
+			if s.size == size {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{s.addr + size, s.size - size}
+			}
+			h.allocs[addr] = size
+			h.liveBytes += size
+			return addr, nil
+		}
+	}
+	if h.brk+size > h.end {
+		return 0, fmt.Errorf("%w: need %d bytes, %d left", ErrHeapFull, size, h.end-h.brk)
+	}
+	addr := h.brk
+	h.brk += size
+	h.allocs[addr] = size
+	h.liveBytes += size
+	return addr, nil
+}
+
+// Free releases an allocation, coalescing adjacent free spans.
+func (h *Heap) Free(addr uint64) error {
+	size, ok := h.allocs[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrNotLocal, addr)
+	}
+	delete(h.allocs, addr)
+	h.liveBytes -= size
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].addr >= addr })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = span{addr, size}
+	// Coalesce with right then left neighbour.
+	if i+1 < len(h.free) && h.free[i].addr+h.free[i].size == h.free[i+1].addr {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].addr+h.free[i-1].size == h.free[i].addr {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// FreeBatch releases many allocations at once in O(n log n), rebuilding
+// the free list with full coalescing — what the GC sweep uses; per-object
+// Free would cost O(n) list insertion each.
+func (h *Heap) FreeBatch(addrs []uint64) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	spans := make([]span, 0, len(addrs)+len(h.free))
+	for _, addr := range addrs {
+		size, ok := h.allocs[addr]
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrNotLocal, addr)
+		}
+		delete(h.allocs, addr)
+		h.liveBytes -= size
+		spans = append(spans, span{addr, size})
+	}
+	spans = append(spans, h.free...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].addr < spans[j].addr })
+	merged := spans[:1]
+	for _, s := range spans[1:] {
+		last := &merged[len(merged)-1]
+		if last.addr+last.size == s.addr {
+			last.size += s.size
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	// If the trailing span touches the bump pointer, give it back.
+	if last := merged[len(merged)-1]; last.addr+last.size == h.brk {
+		h.brk = last.addr
+		merged = merged[:len(merged)-1]
+	}
+	h.free = append([]span(nil), merged...)
+	return nil
+}
+
+// SizeOf returns the allocation size at addr, if allocated.
+func (h *Heap) SizeOf(addr uint64) (uint64, bool) {
+	s, ok := h.allocs[addr]
+	return s, ok
+}
+
+// Allocations returns the number of live allocations.
+func (h *Heap) Allocations() int { return len(h.allocs) }
+
+// EachAlloc calls fn for every live allocation (iteration order is
+// unspecified).
+func (h *Heap) EachAlloc(fn func(addr, size uint64)) {
+	for a, s := range h.allocs {
+		fn(a, s)
+	}
+}

@@ -1,0 +1,130 @@
+package objrt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapAllocAligned(t *testing.T) {
+	h := NewHeap(0x1000, 0x100000)
+	a, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%allocAlign != 0 || b%allocAlign != 0 {
+		t.Errorf("unaligned: %#x %#x", a, b)
+	}
+	if b-a != 16 {
+		t.Errorf("10-byte alloc rounded to %d", b-a)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h := NewHeap(0x1000, 0x1000+64)
+	if _, err := h.Alloc(48); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(32); !errors.Is(err, ErrHeapFull) {
+		t.Errorf("err = %v, want ErrHeapFull", err)
+	}
+}
+
+func TestHeapFreeAndReuse(t *testing.T) {
+	h := NewHeap(0x1000, 0x100000)
+	a, _ := h.Alloc(64)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.Alloc(64)
+	if c != a {
+		t.Errorf("freed block not reused: %#x vs %#x", c, a)
+	}
+}
+
+func TestHeapFreeUnknown(t *testing.T) {
+	h := NewHeap(0x1000, 0x100000)
+	if err := h.Free(0x2000); !errors.Is(err, ErrNotLocal) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHeapCoalesce(t *testing.T) {
+	h := NewHeap(0x1000, 0x100000)
+	a, _ := h.Alloc(32)
+	b, _ := h.Alloc(32)
+	c, _ := h.Alloc(32)
+	_, _ = h.Alloc(32) // guard against bump-region merge
+	_ = h.Free(a)
+	_ = h.Free(c)
+	_ = h.Free(b) // should merge all three into one 96-byte span
+	d, err := h.Alloc(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Errorf("coalesced span not reused: got %#x, want %#x", d, a)
+	}
+}
+
+func TestHeapLiveBytes(t *testing.T) {
+	h := NewHeap(0x1000, 0x100000)
+	a, _ := h.Alloc(100) // rounds to 112
+	if h.LiveBytes() != 112 {
+		t.Errorf("live = %d", h.LiveBytes())
+	}
+	_ = h.Free(a)
+	if h.LiveBytes() != 0 {
+		t.Errorf("live after free = %d", h.LiveBytes())
+	}
+}
+
+// Property: arbitrary alloc/free interleavings never produce overlapping
+// allocations and accounting stays consistent.
+func TestHeapNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := NewHeap(0x10000, 0x10000+1<<20)
+		var live []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := uint64(op%512) + 1
+				a, err := h.Alloc(size)
+				if err != nil {
+					continue
+				}
+				live = append(live, a)
+			} else {
+				i := int(op) % len(live)
+				if h.Free(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			// Check pairwise disjointness via the allocator's own map.
+			total := uint64(0)
+			ok := true
+			h.EachAlloc(func(addr, size uint64) {
+				total += size
+				h.EachAlloc(func(a2, s2 uint64) {
+					if addr != a2 && addr < a2+s2 && a2 < addr+size {
+						ok = false
+					}
+				})
+			})
+			if !ok || total != h.LiveBytes() {
+				return false
+			}
+		}
+		return h.Allocations() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package objrt is the high-level-language runtime of the reproduction: a
+// managed object heap living *inside* a simulated address space, with
+// 8-byte virtual-address pointers between objects. It plays the role the
+// paper's extended CPython/JVM plays (§4.3): it provides pickle-style
+// (de)serialization for the baselines, reachability traversal for
+// semantic-aware prefetching (§4.4), a hybrid GC for remote heaps, and
+// CDS-style shared type metadata for the statically-typed ("Java") mode.
+//
+// Because objects are real pointer graphs in simulated memory, a consumer
+// that rmaps the producer's heap can dereference the producer's pointers
+// directly — which is exactly the paper's claim, and it only works because
+// the platform's address plan keeps heaps disjoint.
+package objrt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag identifies an object's type.
+type Tag uint16
+
+// Object types. The set mirrors the Python types of Fig 11a plus the tree
+// models used by the ML workflows.
+const (
+	TInvalid Tag = iota
+	TInt
+	TFloat
+	TStr
+	TBytes
+	TList
+	TTuple
+	TDict
+	TNDArray
+	TDataFrame
+	TImage
+	TTree
+	TForest
+	numTags
+)
+
+var tagNames = [...]string{
+	TInvalid:   "invalid",
+	TInt:       "int",
+	TFloat:     "float",
+	TStr:       "str",
+	TBytes:     "bytes",
+	TList:      "list",
+	TTuple:     "tuple",
+	TDict:      "dict",
+	TNDArray:   "ndarray",
+	TDataFrame: "dataframe",
+	TImage:     "image",
+	TTree:      "tree",
+	TForest:    "forest",
+}
+
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint16(t))
+}
+
+// Object header layout (16 bytes, little endian):
+//
+//	[0:2]  magic 0x524D ("RM")
+//	[2:4]  tag
+//	[4:8]  aux (ndim for ndarray, klass ID in Java mode, width<<16|height
+//	       for images, row count for dataframes)
+//	[8:16] n (element count or payload byte length, per type)
+//
+// The payload starts at addr+HeaderSize.
+const (
+	HeaderSize  = 16
+	headerMagic = uint16(0x524D)
+)
+
+// PtrSize is the size of an in-heap pointer.
+const PtrSize = 8
+
+// Errors.
+var (
+	ErrBadObject  = errors.New("objrt: bad object header")
+	ErrWrongType  = errors.New("objrt: wrong object type")
+	ErrHeapFull   = errors.New("objrt: heap exhausted")
+	ErrNotLocal   = errors.New("objrt: address not on local heap")
+	ErrKlass      = errors.New("objrt: type metadata (klass) mismatch")
+	ErrNoIterator = errors.New("objrt: type is not traversable (no iterator)")
+)
+
+type header struct {
+	tag Tag
+	aux uint32
+	n   uint64
+}
+
+func encodeHeader(h header) [HeaderSize]byte {
+	var b [HeaderSize]byte
+	b[0] = byte(headerMagic & 0xff)
+	b[1] = byte(headerMagic >> 8)
+	b[2] = byte(h.tag)
+	b[3] = byte(h.tag >> 8)
+	b[4] = byte(h.aux)
+	b[5] = byte(h.aux >> 8)
+	b[6] = byte(h.aux >> 16)
+	b[7] = byte(h.aux >> 24)
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(h.n >> (8 * i))
+	}
+	return b
+}
+
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < HeaderSize {
+		return header{}, ErrBadObject
+	}
+	magic := uint16(b[0]) | uint16(b[1])<<8
+	if magic != headerMagic {
+		return header{}, fmt.Errorf("%w: magic %#x", ErrBadObject, magic)
+	}
+	h := header{
+		tag: Tag(uint16(b[2]) | uint16(b[3])<<8),
+		aux: uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+	}
+	for i := 0; i < 8; i++ {
+		h.n |= uint64(b[8+i]) << (8 * i)
+	}
+	if h.tag == TInvalid || h.tag >= numTags {
+		return header{}, fmt.Errorf("%w: tag %d", ErrBadObject, h.tag)
+	}
+	return h, nil
+}
+
+// payloadSize returns the payload byte length for a decoded header.
+func payloadSize(h header) uint64 {
+	switch h.tag {
+	case TInt, TFloat:
+		return 8
+	case TStr, TBytes, TImage:
+		return h.n
+	case TList, TTuple, TForest:
+		return h.n * PtrSize
+	case TDict, TDataFrame:
+		return h.n * 2 * PtrSize
+	case TNDArray:
+		return uint64(h.aux)*8 + h.n*8 // shape dims then float64 data
+	case TTree:
+		return h.n * treeNodeSize
+	default:
+		return 0
+	}
+}
+
+// TreeNode is one node of a decision tree, stored inline (40 bytes):
+// feature i64, threshold f64, left i64, right i64, value f64. Leaves have
+// Feature == -1.
+type TreeNode struct {
+	Feature     int64
+	Threshold   float64
+	Left, Right int64
+	Value       float64
+}
+
+const treeNodeSize = 40
+
+// objectSize returns header+payload size.
+func objectSize(h header) uint64 { return HeaderSize + payloadSize(h) }

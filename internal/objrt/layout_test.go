@@ -1,0 +1,76 @@
+package objrt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundtripProperty(t *testing.T) {
+	f := func(tag uint8, aux uint32, n uint32) bool {
+		h := header{tag: Tag(tag%uint8(numTags-1)) + 1, aux: aux, n: uint64(n)}
+		enc := encodeHeader(h)
+		dec, err := decodeHeader(enc[:])
+		if err != nil {
+			return false
+		}
+		return dec == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHeaderRejects(t *testing.T) {
+	if _, err := decodeHeader(nil); err == nil {
+		t.Error("nil header accepted")
+	}
+	if _, err := decodeHeader(make([]byte, HeaderSize)); err == nil {
+		t.Error("zero magic accepted")
+	}
+	bad := encodeHeader(header{tag: TInt})
+	bad[2], bad[3] = 0xff, 0xff // absurd tag
+	if _, err := decodeHeader(bad[:]); err == nil {
+		t.Error("bad tag accepted")
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	cases := []struct {
+		h    header
+		want uint64
+	}{
+		{header{tag: TInt}, 8},
+		{header{tag: TFloat}, 8},
+		{header{tag: TStr, n: 13}, 13},
+		{header{tag: TBytes, n: 0}, 0},
+		{header{tag: TList, n: 4}, 32},
+		{header{tag: TDict, n: 3}, 48},
+		{header{tag: TNDArray, aux: 2, n: 10}, 96},
+		{header{tag: TDataFrame, n: 5}, 80},
+		{header{tag: TImage, n: 100}, 100},
+		{header{tag: TTree, n: 3}, 120},
+		{header{tag: TForest, n: 7}, 56},
+	}
+	for _, c := range cases {
+		if got := payloadSize(c.h); got != c.want {
+			t.Errorf("payloadSize(%v) = %d, want %d", c.h.tag, got, c.want)
+		}
+		if got := objectSize(c.h); got != c.want+HeaderSize {
+			t.Errorf("objectSize(%v) = %d", c.h.tag, got)
+		}
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for tag := TInt; tag < numTags; tag++ {
+		s := tag.String()
+		if s == "" || seen[s] {
+			t.Errorf("tag %d has bad/duplicate name %q", tag, s)
+		}
+		seen[s] = true
+	}
+	if Tag(200).String() == "" {
+		t.Error("unknown tag has empty name")
+	}
+}

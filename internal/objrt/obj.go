@@ -1,0 +1,365 @@
+package objrt
+
+import (
+	"fmt"
+	"math"
+)
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Obj is a typed view of an object at a virtual address, read through the
+// owning runtime's address space. Reading an Obj whose address lies inside
+// a remotely mapped range transparently faults pages in — that is the
+// (de)serialization-free access path.
+type Obj struct {
+	rt   *Runtime
+	Addr uint64
+}
+
+// Nil reports whether the view is empty.
+func (o Obj) Nil() bool { return o.rt == nil }
+
+// Runtime returns the runtime the view reads through.
+func (o Obj) Runtime() *Runtime { return o.rt }
+
+func (o Obj) header() (header, error) {
+	var b [HeaderSize]byte
+	if err := o.rt.as.Read(o.Addr, b[:]); err != nil {
+		return header{}, err
+	}
+	return decodeHeader(b[:])
+}
+
+// Tag returns the object's type tag.
+func (o Obj) Tag() (Tag, error) {
+	h, err := o.header()
+	if err != nil {
+		return TInvalid, err
+	}
+	return h.tag, nil
+}
+
+// Size returns header+payload bytes.
+func (o Obj) Size() (uint64, error) {
+	h, err := o.header()
+	if err != nil {
+		return 0, err
+	}
+	return objectSize(h), nil
+}
+
+func (o Obj) expect(tags ...Tag) (header, error) {
+	h, err := o.header()
+	if err != nil {
+		return header{}, err
+	}
+	for _, t := range tags {
+		if h.tag == t {
+			return h, nil
+		}
+	}
+	return header{}, fmt.Errorf("%w: have %v, want %v", ErrWrongType, h.tag, tags)
+}
+
+// Int reads a boxed integer.
+func (o Obj) Int() (int64, error) {
+	if _, err := o.expect(TInt); err != nil {
+		return 0, err
+	}
+	v, err := o.rt.as.ReadUint64(o.Addr + HeaderSize)
+	return int64(v), err
+}
+
+// Float reads a boxed float64.
+func (o Obj) Float() (float64, error) {
+	if _, err := o.expect(TFloat); err != nil {
+		return 0, err
+	}
+	v, err := o.rt.as.ReadUint64(o.Addr + HeaderSize)
+	return f64frombits(v), err
+}
+
+// Str reads a string object.
+func (o Obj) Str() (string, error) {
+	h, err := o.expect(TStr)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, h.n)
+	if err := o.rt.as.Read(o.Addr+HeaderSize, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Bytes reads a bytes object.
+func (o Obj) Bytes() ([]byte, error) {
+	h, err := o.expect(TBytes)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, h.n)
+	return buf, o.rt.as.Read(o.Addr+HeaderSize, buf)
+}
+
+// Len returns the element count of a container, the byte length of a
+// string/bytes/image, or the node count of a tree.
+func (o Obj) Len() (int, error) {
+	h, err := o.header()
+	if err != nil {
+		return 0, err
+	}
+	return int(h.n), nil
+}
+
+// Index returns element i of a list, tuple or forest.
+func (o Obj) Index(i int) (Obj, error) {
+	h, err := o.expect(TList, TTuple, TForest)
+	if err != nil {
+		return Obj{}, err
+	}
+	if i < 0 || uint64(i) >= h.n {
+		return Obj{}, fmt.Errorf("objrt: index %d out of range %d", i, h.n)
+	}
+	addr, err := o.rt.as.ReadUint64(o.Addr + HeaderSize + uint64(i)*PtrSize)
+	if err != nil {
+		return Obj{}, err
+	}
+	return Obj{rt: o.rt, Addr: addr}, nil
+}
+
+// DictEntry returns the i'th (key, value) pair of a dict.
+func (o Obj) DictEntry(i int) (Obj, Obj, error) {
+	h, err := o.expect(TDict)
+	if err != nil {
+		return Obj{}, Obj{}, err
+	}
+	if i < 0 || uint64(i) >= h.n {
+		return Obj{}, Obj{}, fmt.Errorf("objrt: dict index %d out of range %d", i, h.n)
+	}
+	base := o.Addr + HeaderSize + uint64(i)*2*PtrSize
+	k, err := o.rt.as.ReadUint64(base)
+	if err != nil {
+		return Obj{}, Obj{}, err
+	}
+	v, err := o.rt.as.ReadUint64(base + PtrSize)
+	if err != nil {
+		return Obj{}, Obj{}, err
+	}
+	return Obj{rt: o.rt, Addr: k}, Obj{rt: o.rt, Addr: v}, nil
+}
+
+// DictGet looks a string key up by linear scan (our dicts are small or
+// cold-path; the workloads never hot-loop lookups).
+func (o Obj) DictGet(key string) (Obj, bool, error) {
+	n, err := o.Len()
+	if err != nil {
+		return Obj{}, false, err
+	}
+	for i := 0; i < n; i++ {
+		k, v, err := o.DictEntry(i)
+		if err != nil {
+			return Obj{}, false, err
+		}
+		s, err := k.Str()
+		if err != nil {
+			return Obj{}, false, err
+		}
+		if s == key {
+			return v, true, nil
+		}
+	}
+	return Obj{}, false, nil
+}
+
+// Shape reads an ndarray's shape.
+func (o Obj) Shape() ([]int, error) {
+	h, err := o.expect(TNDArray)
+	if err != nil {
+		return nil, err
+	}
+	ndim := int(h.aux & 0xffff)
+	shape := make([]int, ndim)
+	for i := 0; i < ndim; i++ {
+		v, err := o.rt.as.ReadUint64(o.Addr + HeaderSize + uint64(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		shape[i] = int(v)
+	}
+	return shape, nil
+}
+
+// Data reads an ndarray's full buffer.
+func (o Obj) Data() ([]float64, error) {
+	h, err := o.expect(TNDArray)
+	if err != nil {
+		return nil, err
+	}
+	ndim := uint64(h.aux & 0xffff)
+	buf := make([]byte, h.n*8)
+	if err := o.rt.as.Read(o.Addr+HeaderSize+ndim*8, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, h.n)
+	for i := range out {
+		out[i] = f64frombits(getU64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+// At reads one element of a flat ndarray index.
+func (o Obj) At(i int) (float64, error) {
+	h, err := o.expect(TNDArray)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || uint64(i) >= h.n {
+		return 0, fmt.Errorf("objrt: ndarray index %d out of range %d", i, h.n)
+	}
+	ndim := uint64(h.aux & 0xffff)
+	v, err := o.rt.as.ReadUint64(o.Addr + HeaderSize + ndim*8 + uint64(i)*8)
+	return f64frombits(v), err
+}
+
+// Columns reads a dataframe's column names and objects.
+func (o Obj) Columns() (names []string, cols []Obj, err error) {
+	h, err := o.expect(TDataFrame)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := uint64(0); i < h.n; i++ {
+		base := o.Addr + HeaderSize + i*2*PtrSize
+		nameAddr, err := o.rt.as.ReadUint64(base)
+		if err != nil {
+			return nil, nil, err
+		}
+		colAddr, err := o.rt.as.ReadUint64(base + PtrSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		name, err := (Obj{rt: o.rt, Addr: nameAddr}).Str()
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		cols = append(cols, Obj{rt: o.rt, Addr: colAddr})
+	}
+	return names, cols, nil
+}
+
+// Column returns a dataframe column by name.
+func (o Obj) Column(name string) (Obj, error) {
+	names, cols, err := o.Columns()
+	if err != nil {
+		return Obj{}, err
+	}
+	for i, n := range names {
+		if n == name {
+			return cols[i], nil
+		}
+	}
+	return Obj{}, fmt.Errorf("objrt: no column %q", name)
+}
+
+// Rows returns a dataframe's row count.
+func (o Obj) Rows() (int, error) {
+	h, err := o.expect(TDataFrame)
+	if err != nil {
+		return 0, err
+	}
+	return int(h.aux), nil
+}
+
+// ImageDims returns an image's width and height.
+func (o Obj) ImageDims() (w, h int, err error) {
+	hd, err := o.expect(TImage)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(hd.aux >> 16), int(hd.aux & 0xffff), nil
+}
+
+// Pixels reads an image's raw bytes.
+func (o Obj) Pixels() ([]byte, error) {
+	h, err := o.expect(TImage)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, h.n)
+	return buf, o.rt.as.Read(o.Addr+HeaderSize, buf)
+}
+
+// Node reads tree node i.
+func (o Obj) Node(i int) (TreeNode, error) {
+	h, err := o.expect(TTree)
+	if err != nil {
+		return TreeNode{}, err
+	}
+	if i < 0 || uint64(i) >= h.n {
+		return TreeNode{}, fmt.Errorf("objrt: node %d out of range %d", i, h.n)
+	}
+	buf := make([]byte, treeNodeSize)
+	if err := o.rt.as.Read(o.Addr+HeaderSize+uint64(i)*treeNodeSize, buf); err != nil {
+		return TreeNode{}, err
+	}
+	return TreeNode{
+		Feature:   int64(getU64(buf)),
+		Threshold: f64frombits(getU64(buf[8:])),
+		Left:      int64(getU64(buf[16:])),
+		Right:     int64(getU64(buf[24:])),
+		Value:     f64frombits(getU64(buf[32:])),
+	}, nil
+}
+
+// PredictTree evaluates a decision tree on a feature vector.
+func (o Obj) PredictTree(features []float64) (float64, error) {
+	i := 0
+	for {
+		nd, err := o.Node(i)
+		if err != nil {
+			return 0, err
+		}
+		if nd.Feature < 0 {
+			return nd.Value, nil
+		}
+		f := 0.0
+		if int(nd.Feature) < len(features) {
+			f = features[nd.Feature]
+		}
+		if f <= nd.Threshold {
+			i = int(nd.Left)
+		} else {
+			i = int(nd.Right)
+		}
+	}
+}
+
+// PredictForest averages all trees' predictions.
+func (o Obj) PredictForest(features []float64) (float64, error) {
+	n, err := o.Len()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("objrt: empty forest")
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		tree, err := o.Index(i)
+		if err != nil {
+			return 0, err
+		}
+		v, err := tree.PredictTree(features)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(n), nil
+}
+
+// View rebinds the object to another runtime — how a consumer reads a
+// producer's object through its own (rmapped) address space.
+func (o Obj) View(rt *Runtime) Obj { return Obj{rt: rt, Addr: o.Addr} }

@@ -1,0 +1,198 @@
+package objrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmmap/internal/simtime"
+)
+
+// pickleRoundtrip serializes on one runtime and reconstructs on a fresh one.
+func pickleRoundtrip(t *testing.T, build func(rt *Runtime) Obj) (Obj, PickleStats, *simtime.Meter, *simtime.Meter) {
+	t.Helper()
+	prod := newRT(t)
+	root := build(prod)
+	serMeter := simtime.NewMeter()
+	data, st, err := Pickle(root, serMeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := newRT(t)
+	deMeter := simtime.NewMeter()
+	out, err := Unpickle(cons, data, deMeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st, serMeter, deMeter
+}
+
+func TestPickleInt(t *testing.T) {
+	out, st, ser, de := pickleRoundtrip(t, func(rt *Runtime) Obj {
+		o, _ := rt.NewInt(42)
+		return o
+	})
+	if v, err := out.Int(); err != nil || v != 42 {
+		t.Errorf("got %d, %v", v, err)
+	}
+	if st.Objects != 1 {
+		t.Errorf("objects = %d", st.Objects)
+	}
+	if ser.Get(simtime.CatSerialize) == 0 || de.Get(simtime.CatDeserialize) == 0 {
+		t.Error("charges missing")
+	}
+}
+
+func TestPickleNestedDict(t *testing.T) {
+	out, _, _, _ := pickleRoundtrip(t, func(rt *Runtime) Obj {
+		inner, _ := rt.NewIntList([]int64{7, 8})
+		k, _ := rt.NewStr("nums")
+		d, _ := rt.NewDict([][2]Obj{{k, inner}})
+		return d
+	})
+	v, ok, err := out.DictGet("nums")
+	if err != nil || !ok {
+		t.Fatalf("DictGet: %v %v", ok, err)
+	}
+	e, _ := v.Index(1)
+	if got, _ := e.Int(); got != 8 {
+		t.Errorf("nums[1] = %d", got)
+	}
+}
+
+func TestPickleSharedReferenceOnce(t *testing.T) {
+	// list [s, s] with a shared string must emit the string once (memo)
+	// and reconstruct sharing.
+	out, st, _, _ := pickleRoundtrip(t, func(rt *Runtime) Obj {
+		s, _ := rt.NewStr("shared")
+		l, _ := rt.NewList([]Obj{s, s})
+		return l
+	})
+	if st.Objects != 2 {
+		t.Errorf("objects = %d, want 2 (memoized)", st.Objects)
+	}
+	a, _ := out.Index(0)
+	b, _ := out.Index(1)
+	if a.Addr != b.Addr {
+		t.Error("shared reference not preserved")
+	}
+}
+
+func TestPickleDataFrame(t *testing.T) {
+	out, st, _, _ := pickleRoundtrip(t, func(rt *Runtime) Obj {
+		col1, _ := rt.NewNDArray([]int{4}, []float64{1, 2, 3, 4})
+		col2, _ := rt.NewStrList([]string{"w", "x", "y", "z"})
+		df, _ := rt.NewDataFrame([]string{"v", "s"}, []Obj{col1, col2}, 4)
+		return df
+	})
+	// df + 2 names + ndarray + list + 4 strs = 9 objects
+	if st.Objects != 9 {
+		t.Errorf("objects = %d, want 9", st.Objects)
+	}
+	col, err := out.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := col.At(3); v != 4 {
+		t.Errorf("v[3] = %v", v)
+	}
+}
+
+func TestPickleForest(t *testing.T) {
+	out, _, _, _ := pickleRoundtrip(t, func(rt *Runtime) Obj {
+		tr, _ := rt.NewTree([]TreeNode{{Feature: -1, Value: 3.5}})
+		f, _ := rt.NewForest([]Obj{tr})
+		return f
+	})
+	if v, err := out.PredictForest([]float64{0}); err != nil || v != 3.5 {
+		t.Errorf("forest predict = %v, %v", v, err)
+	}
+}
+
+func TestPickleObjectCountDrivesCost(t *testing.T) {
+	// The paper's central observation: list(int) of n elements costs ~n
+	// per-object charges, while an ndarray of n elements costs ~1.
+	rt := newRT(t)
+	n := 2000
+	vals := make([]int64, n)
+	fvals := make([]float64, n)
+	lst, err := rt.NewIntList(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := rt.NewNDArray([]int{n}, fvals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLst, mArr := simtime.NewMeter(), simtime.NewMeter()
+	_, stLst, err := Pickle(lst, mLst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stArr, err := Pickle(arr, mArr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stLst.Objects != n+1 {
+		t.Errorf("list objects = %d, want %d", stLst.Objects, n+1)
+	}
+	if stArr.Objects != 1 {
+		t.Errorf("ndarray objects = %d, want 1", stArr.Objects)
+	}
+	if mLst.Get(simtime.CatSerialize) <= mArr.Get(simtime.CatSerialize) {
+		t.Error("boxed list should serialize slower than flat array")
+	}
+}
+
+func TestUnpickleRejectsGarbage(t *testing.T) {
+	rt := newRT(t)
+	cases := [][]byte{
+		nil,
+		[]byte("XXXXX"),
+		[]byte("RMPK1\x01\x00\x00\x00\x00\x00\x00\x00"), // count=1, no record
+		[]byte("RMPK1\x00\x00\x00\x00\x00\x00\x00\x00"), // empty stream
+		append([]byte("RMPK1"), make([]byte, 8+14)...),  // zero tag record
+	}
+	for i, data := range cases {
+		if _, err := Unpickle(rt, data, simtime.NewMeter()); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// Property: pickle/unpickle roundtrips arbitrary int lists exactly.
+func TestPickleRoundtripProperty(t *testing.T) {
+	prod := newRT(t)
+	cons := newRT(t)
+	f := func(vals []int64) bool {
+		root, err := prod.NewIntList(vals)
+		if err != nil {
+			return false
+		}
+		data, _, err := Pickle(root, simtime.NewMeter())
+		if err != nil {
+			return false
+		}
+		out, err := Unpickle(cons, data, simtime.NewMeter())
+		if err != nil {
+			return false
+		}
+		n, err := out.Len()
+		if err != nil || n != len(vals) {
+			return false
+		}
+		for i, want := range vals {
+			e, err := out.Index(i)
+			if err != nil {
+				return false
+			}
+			v, err := e.Int()
+			if err != nil || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+package objrt
+
+import (
+	"testing"
+
+	"rmmap/internal/kernel"
+	"rmmap/internal/memsim"
+	"rmmap/internal/rdma"
+	"rmmap/internal/simtime"
+)
+
+// These tests exercise the paper's core claim end to end: a consumer on a
+// different machine dereferences the producer's object pointers directly
+// through rmap — no serialization, no deserialization — and sees correct
+// data, provided the heaps come from disjoint address ranges.
+
+type twoPods struct {
+	fabric   *rdma.SimFabric
+	prodMach *memsim.Machine
+	consMach *memsim.Machine
+	prodK    *kernel.Kernel
+	consK    *kernel.Kernel
+	prodRT   *Runtime
+	consRT   *Runtime // consumer's own runtime (its heap is elsewhere)
+	prodAS   *memsim.AddressSpace
+	consAS   *memsim.AddressSpace
+}
+
+const (
+	prodHeapStart = uint64(0x100000000)
+	prodHeapEnd   = uint64(0x108000000)
+	consHeapStart = uint64(0x200000000)
+	consHeapEnd   = uint64(0x208000000)
+)
+
+func newTwoPods(t *testing.T) *twoPods {
+	t.Helper()
+	cm := simtime.DefaultCostModel()
+	p := &twoPods{fabric: rdma.NewSimFabric(cm)}
+	p.prodMach = memsim.NewMachine(0)
+	p.consMach = memsim.NewMachine(1)
+	p.fabric.Attach(p.prodMach)
+	p.fabric.Attach(p.consMach)
+	p.prodK = kernel.New(p.prodMach, rdma.NewNIC(0, p.fabric), cm)
+	p.consK = kernel.New(p.consMach, rdma.NewNIC(1, p.fabric), cm)
+	p.prodK.ServeRPC(p.fabric)
+	p.consK.ServeRPC(p.fabric)
+
+	p.prodAS = memsim.NewAddressSpace(p.prodMach, cm)
+	p.prodAS.SetMeter(simtime.NewMeter())
+	p.consAS = memsim.NewAddressSpace(p.consMach, cm)
+	p.consAS.SetMeter(simtime.NewMeter())
+
+	var err error
+	p.prodRT, err = NewRuntime(p.prodAS, Config{HeapStart: prodHeapStart, HeapEnd: prodHeapEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.consRT, err = NewRuntime(p.consAS, Config{HeapStart: consHeapStart, HeapEnd: consHeapEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// transfer registers the producer heap and rmaps it at the consumer,
+// returning the consumer-side view of root and the mapping.
+func (p *twoPods) transfer(t *testing.T, root Obj) (Obj, *kernel.Mapping) {
+	t.Helper()
+	start, _ := p.prodRT.Heap().Bounds()
+	end := (p.prodRT.Heap().Used() + memsim.PageSize - 1) &^ (memsim.PageSize - 1)
+	if end == start {
+		end = start + memsim.PageSize
+	}
+	meta, err := p.prodK.RegisterMem(p.prodAS, 1, 77, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := p.consK.Rmap(p.consAS, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root.View(p.consRT), mp
+}
+
+func TestRemoteReadDataFrameNoDeserialization(t *testing.T) {
+	p := newTwoPods(t)
+	col1, _ := p.prodRT.NewNDArray([]int{4}, []float64{10, 20, 30, 40})
+	col2, _ := p.prodRT.NewStrList([]string{"AAPL", "MSFT", "GOOG", "AMZN"})
+	df, err := p.prodRT.NewDataFrame([]string{"price", "symbol"}, []Obj{col1, col2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	view, mp := p.transfer(t, df)
+	defer mp.Unmap()
+
+	price, err := view.Column("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := price.At(2); v != 30 {
+		t.Errorf("price[2] = %v", v)
+	}
+	sym, _ := view.Column("symbol")
+	e, _ := sym.Index(0)
+	if s, _ := e.Str(); s != "AAPL" {
+		t.Errorf("symbol[0] = %q", s)
+	}
+	// The consumer did fault remote pages but never deserialized.
+	m := p.consAS.Meter()
+	if m.Get(simtime.CatDeserialize) != 0 {
+		t.Error("deserialization charged on the rmap path")
+	}
+	if m.Get(simtime.CatFault) == 0 {
+		t.Error("no remote faults charged")
+	}
+	if p.consAS.Faults() == 0 {
+		t.Error("no page faults recorded")
+	}
+}
+
+func TestRemoteReadWithPrefetchNoFaults(t *testing.T) {
+	p := newTwoPods(t)
+	lst, err := p.prodRT.NewIntList([]int64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanPrefetch(lst, 0, p.prodAS.Meter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, mp := p.transfer(t, lst)
+	defer mp.Unmap()
+	if err := mp.Prefetch(plan.Pages); err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	n, _ := view.Len()
+	for i := 0; i < n; i++ {
+		e, err := view.Index(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := e.Int()
+		sum += v
+	}
+	if sum != 36 {
+		t.Errorf("sum = %d", sum)
+	}
+	if p.consAS.Faults() != 0 {
+		t.Errorf("faults = %d after precise prefetch", p.consAS.Faults())
+	}
+}
+
+func TestRemoteGCProxyUnmapsHeap(t *testing.T) {
+	p := newTwoPods(t)
+	s, _ := p.prodRT.NewStr("state")
+	view, mp := p.transfer(t, s)
+	ref := p.consRT.AdoptRemote(view, mp)
+	if v, _ := ref.Root.Str(); v != "state" {
+		t.Errorf("root = %q", v)
+	}
+	if err := ref.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// After release, the consumer can no longer read the remote range.
+	if _, err := ref.Root.Str(); err == nil {
+		t.Error("read succeeded after remote root release")
+	}
+	if p.consMach.LiveFrames() != 0 {
+		t.Errorf("consumer frames leaked: %d", p.consMach.LiveFrames())
+	}
+}
+
+func TestCascadingTransferCopies(t *testing.T) {
+	// A→B→C: B copies A's state to its local heap before serving it to C
+	// (§4.4 cascading state transfer).
+	p := newTwoPods(t)
+	src, _ := p.prodRT.NewIntList([]int64{5, 6})
+	view, mp := p.transfer(t, src)
+	defer mp.Unmap()
+
+	local, err := p.consRT.CopyToLocal(view, p.consAS.Meter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.consRT.Heap().Contains(local.Addr) {
+		t.Error("cascade copy not on consumer heap")
+	}
+	// The copy must survive unmapping the producer.
+	_ = mp.Unmap()
+	e, err := local.Index(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Int(); v != 6 {
+		t.Errorf("copy[1] = %d", v)
+	}
+}
+
+func TestAddressConflictWithoutPlan(t *testing.T) {
+	// Negative control: if producer and consumer heaps share a range (no
+	// address plan), rmap must fail with a conflict — the problem §4.2's
+	// planning solves.
+	cm := simtime.DefaultCostModel()
+	fabric := rdma.NewSimFabric(cm)
+	m0, m1 := memsim.NewMachine(0), memsim.NewMachine(1)
+	fabric.Attach(m0)
+	fabric.Attach(m1)
+	k0 := kernel.New(m0, rdma.NewNIC(0, fabric), cm)
+	k1 := kernel.New(m1, rdma.NewNIC(1, fabric), cm)
+	k0.ServeRPC(fabric)
+
+	as0 := memsim.NewAddressSpace(m0, cm)
+	as0.SetMeter(simtime.NewMeter())
+	as1 := memsim.NewAddressSpace(m1, cm)
+	as1.SetMeter(simtime.NewMeter())
+	rt0, _ := NewRuntime(as0, Config{HeapStart: 0x10000000, HeapEnd: 0x10100000})
+	if _, err := NewRuntime(as1, Config{HeapStart: 0x10000000, HeapEnd: 0x10100000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt0.NewStr("x"); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := k0.RegisterMem(as0, 1, 1, 0x10000000, 0x10100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k1.Rmap(as1, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End); err == nil {
+		t.Fatal("rmap succeeded despite overlapping heaps")
+	}
+}
+
+func TestJavaCrossMachineTypeCheck(t *testing.T) {
+	// Java mode with a shared CDS archive: consumer validates the
+	// producer's klass IDs through the mapping (§4.3 type safety).
+	cm := simtime.DefaultCostModel()
+	fabric := rdma.NewSimFabric(cm)
+	m0, m1 := memsim.NewMachine(0), memsim.NewMachine(1)
+	fabric.Attach(m0)
+	fabric.Attach(m1)
+	k0 := kernel.New(m0, rdma.NewNIC(0, fabric), cm)
+	k1 := kernel.New(m1, rdma.NewNIC(1, fabric), cm)
+	k0.ServeRPC(fabric)
+
+	shared := DefaultCDS()
+	as0 := memsim.NewAddressSpace(m0, cm)
+	as0.SetMeter(simtime.NewMeter())
+	as1 := memsim.NewAddressSpace(m1, cm)
+	as1.SetMeter(simtime.NewMeter())
+	prod, _ := NewRuntime(as0, Config{HeapStart: prodHeapStart, HeapEnd: prodHeapEnd, Lang: LangJava, CDS: shared})
+	cons, _ := NewRuntime(as1, Config{HeapStart: consHeapStart, HeapEnd: consHeapEnd, Lang: LangJava, CDS: shared})
+
+	s, err := prod.NewStr("jvm-string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := k0.RegisterMem(as0, 2, 2, prodHeapStart, prodHeapStart+memsim.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := k1.Rmap(as1, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Unmap()
+
+	view, err := cons.Load(s.Addr)
+	if err != nil {
+		t.Fatalf("same-archive cross-machine load: %v", err)
+	}
+	if got, _ := view.Str(); got != "jvm-string" {
+		t.Errorf("got %q", got)
+	}
+
+	// A consumer on a mismatched archive rejects the object.
+	bad, _ := NewRuntime(as1, Config{
+		HeapStart: consHeapEnd + 0x1000000, HeapEnd: consHeapEnd + 0x2000000,
+		Lang: LangJava, CDS: shared.WithVersion("other", 500),
+	})
+	if _, err := bad.Load(s.Addr); err == nil {
+		t.Error("mismatched archive accepted remote object")
+	}
+}

@@ -1,0 +1,281 @@
+package objrt
+
+import (
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+func TestWalkCountsAndDedup(t *testing.T) {
+	rt := newRT(t)
+	s, _ := rt.NewStr("shared")
+	l, _ := rt.NewList([]Obj{s, s})
+	st, err := Walk(l, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 2 {
+		t.Errorf("objects = %d, want 2", st.Objects)
+	}
+	if !st.Complete {
+		t.Error("walk incomplete")
+	}
+}
+
+func TestWalkNDArrayIsOneObject(t *testing.T) {
+	rt := newRT(t)
+	arr, _ := rt.NewNDArray([]int{10000}, make([]float64, 10000))
+	st, err := Walk(arr, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 {
+		t.Errorf("ndarray walk = %d objects, want 1 (internal iterator)", st.Objects)
+	}
+	if st.Bytes < 80000 {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestWalkThreshold(t *testing.T) {
+	rt := newRT(t)
+	lst, _ := rt.NewIntList(make([]int64, 100))
+	st, err := Walk(lst, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete {
+		t.Error("walk should be incomplete at threshold")
+	}
+	if st.Objects != 10 {
+		t.Errorf("objects = %d, want 10", st.Objects)
+	}
+}
+
+func TestWalkUntraversableType(t *testing.T) {
+	// §4.4: third-party types without __iter__ stop traversal; the plan
+	// falls back to demand faulting for that subtree.
+	rt := newRT(t)
+	arr, _ := rt.NewNDArray([]int{100}, make([]float64, 100))
+	lst, _ := rt.NewList([]Obj{arr})
+	rt.SetTraversable(TNDArray, false)
+	st, err := Walk(lst, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete {
+		t.Error("walk should report incomplete")
+	}
+	if st.Objects != 1 { // only the list itself
+		t.Errorf("objects = %d, want 1", st.Objects)
+	}
+	rt.SetTraversable(TNDArray, true)
+	st, _ = Walk(lst, 0, nil)
+	if !st.Complete || st.Objects != 2 {
+		t.Errorf("after re-enable: %+v", st)
+	}
+}
+
+func TestPlanPrefetchPagesCoverObjects(t *testing.T) {
+	rt := newRT(t)
+	lst, _ := rt.NewIntList(make([]int64, 5000))
+	meter := simtime.NewMeter()
+	plan, err := PlanPrefetch(lst, 0, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 ints × 24B + list ≈ 120 KB → ≥ 29 pages.
+	if len(plan.Pages) < 29 {
+		t.Errorf("pages = %d", len(plan.Pages))
+	}
+	// Pages must be sorted and unique.
+	for i := 1; i < len(plan.Pages); i++ {
+		if plan.Pages[i] <= plan.Pages[i-1] {
+			t.Fatal("pages not sorted/unique")
+		}
+	}
+	// Traversal charge is per object.
+	want := simtime.Scale(simtime.DefaultCostModel().TraversePerObject, plan.Objects)
+	if meter.Get(simtime.CatRegister) != want {
+		t.Errorf("traverse charge = %v, want %v", meter.Get(simtime.CatRegister), want)
+	}
+	if plan.Objects != 5001 {
+		t.Errorf("objects = %d", plan.Objects)
+	}
+}
+
+func TestPlanPrefetchNDArrayCheap(t *testing.T) {
+	rt := newRT(t)
+	arr, _ := rt.NewNDArray([]int{100000}, make([]float64, 100000))
+	meter := simtime.NewMeter()
+	plan, err := PlanPrefetch(arr, 0, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Objects != 1 {
+		t.Errorf("objects = %d", plan.Objects)
+	}
+	if len(plan.Pages) < 195 {
+		t.Errorf("pages = %d, want ~196 for 800KB", len(plan.Pages))
+	}
+}
+
+func TestGCMarkSweep(t *testing.T) {
+	rt := newRT(t)
+	keep, _ := rt.NewIntList([]int64{1, 2, 3})
+	if _, err := rt.NewStr("garbage-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.NewIntList([]int64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	rt.AddRoot(keep)
+	before := rt.Heap().Allocations()
+	st, err := rt.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keep = 1 list + 3 ints marked; garbage = 1 str + 1 list + 2 ints.
+	if st.Marked != 4 {
+		t.Errorf("marked = %d, want 4", st.Marked)
+	}
+	if st.Swept != 4 {
+		t.Errorf("swept = %d, want 4 (before=%d)", st.Swept, before)
+	}
+	// Survivors still readable.
+	e, err := keep.Index(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Int(); v != 3 {
+		t.Errorf("survivor corrupted: %d", v)
+	}
+	// A second GC sweeps nothing.
+	st2, _ := rt.GC()
+	if st2.Swept != 0 {
+		t.Errorf("second GC swept %d", st2.Swept)
+	}
+}
+
+func TestGCSkipsRemotePointers(t *testing.T) {
+	rt := newRT(t)
+	// Build a list that points at an address outside the local heap
+	// (simulating a remote sub-object reference).
+	remoteAddr := testHeapEnd + 0x1000
+	fake := Obj{rt: rt, Addr: remoteAddr}
+	lst, err := rt.NewList([]Obj{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddRoot(lst)
+	st, err := rt.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemoteSkipped != 1 {
+		t.Errorf("remoteSkipped = %d, want 1", st.RemoteSkipped)
+	}
+	if st.Marked != 1 {
+		t.Errorf("marked = %d", st.Marked)
+	}
+}
+
+func TestGCRootRemoval(t *testing.T) {
+	rt := newRT(t)
+	o, _ := rt.NewStr("ephemeral")
+	rt.AddRoot(o)
+	if st, _ := rt.GC(); st.Swept != 0 {
+		t.Error("rooted object swept")
+	}
+	rt.RemoveRoot(o)
+	if st, _ := rt.GC(); st.Swept != 1 {
+		t.Error("unrooted object survived")
+	}
+}
+
+type fakeMapping struct{ unmapped int }
+
+func (f *fakeMapping) Unmap() error { f.unmapped++; return nil }
+
+func TestRemoteRefLifecycle(t *testing.T) {
+	rt := newRT(t)
+	fm := &fakeMapping{}
+	root := Obj{rt: rt, Addr: testHeapEnd + 0x100}
+	ref := rt.AdoptRemote(root, fm)
+	if len(rt.RemoteRefs()) != 1 {
+		t.Fatal("proxy not registered")
+	}
+	if err := ref.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if fm.unmapped != 1 {
+		t.Error("mapping not unmapped on release")
+	}
+	if err := ref.Release(); err != nil || fm.unmapped != 1 {
+		t.Error("double release not idempotent")
+	}
+	if len(rt.RemoteRefs()) != 0 {
+		t.Error("proxy not removed")
+	}
+}
+
+func TestReleaseAllRemote(t *testing.T) {
+	rt := newRT(t)
+	f1, f2 := &fakeMapping{}, &fakeMapping{}
+	rt.AdoptRemote(Obj{rt: rt, Addr: 1}, f1)
+	rt.AdoptRemote(Obj{rt: rt, Addr: 2}, f2)
+	if err := rt.ReleaseAllRemote(); err != nil {
+		t.Fatal(err)
+	}
+	if f1.unmapped != 1 || f2.unmapped != 1 {
+		t.Error("not all mappings released")
+	}
+}
+
+func TestCopyToLocal(t *testing.T) {
+	// Build a graph on a "producer" runtime sharing the same address
+	// space but a different heap range, then deep-copy it to "local".
+	m := memsim.NewMachine(0)
+	as := memsim.NewAddressSpace(m, simtime.DefaultCostModel())
+	as.SetMeter(simtime.NewMeter())
+	prod, err := NewRuntime(as, Config{HeapStart: 0x10000000, HeapEnd: 0x14000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewRuntime(as, Config{HeapStart: 0x20000000, HeapEnd: 0x24000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := prod.NewStr("deep")
+	inner, _ := prod.NewList([]Obj{s, s})
+	k, _ := prod.NewStr("key")
+	src, _ := prod.NewDict([][2]Obj{{k, inner}})
+
+	meter := simtime.NewMeter()
+	dst, err := local.CopyToLocal(src, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Heap().Contains(dst.Addr) {
+		t.Error("copy not on local heap")
+	}
+	v, ok, err := dst.DictGet("key")
+	if err != nil || !ok {
+		t.Fatalf("copied dict broken: %v %v", ok, err)
+	}
+	a, _ := v.Index(0)
+	b, _ := v.Index(1)
+	if a.Addr != b.Addr {
+		t.Error("sharing lost in copy")
+	}
+	if !local.Heap().Contains(a.Addr) {
+		t.Error("copied child not local")
+	}
+	if s2, _ := a.Str(); s2 != "deep" {
+		t.Errorf("copied str = %q", s2)
+	}
+	if meter.Get(simtime.CatCompute) == 0 {
+		t.Error("copy charged nothing")
+	}
+}

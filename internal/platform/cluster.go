@@ -1,0 +1,172 @@
+package platform
+
+import (
+	"fmt"
+
+	"rmmap/internal/kernel"
+	"rmmap/internal/memsim"
+	"rmmap/internal/objrt"
+	"rmmap/internal/rdma"
+	"rmmap/internal/sim"
+	"rmmap/internal/simtime"
+)
+
+// Cluster is the physical substrate: machines with RMMAP kernels on a
+// shared RDMA fabric, plus the discrete-event simulator that provides the
+// cluster's virtual clock.
+type Cluster struct {
+	CM       *simtime.CostModel
+	Fabric   *rdma.SimFabric
+	Machines []*memsim.Machine
+	Kernels  []*kernel.Kernel
+	Sim      *sim.Simulator
+}
+
+// NewCluster builds n machines, each with an RMMAP kernel serving RPC.
+func NewCluster(n int, cm *simtime.CostModel) *Cluster {
+	c := &Cluster{CM: cm, Fabric: rdma.NewSimFabric(cm), Sim: sim.New()}
+	for i := 0; i < n; i++ {
+		m := memsim.NewMachine(memsim.MachineID(i))
+		c.Fabric.Attach(m)
+		k := kernel.New(m, rdma.NewNIC(m.ID(), c.Fabric), cm)
+		k.Clock = c.Sim.Now
+		k.ServeRPC(c.Fabric)
+		c.Machines = append(c.Machines, m)
+		c.Kernels = append(c.Kernels, k)
+	}
+	return c
+}
+
+// NewClusterTCP builds a cluster whose machines talk over real loopback
+// TCP sockets instead of the in-process fabric: every remote page fault
+// and rmap RPC of a workflow run crosses an actual network boundary.
+// Virtual-time accounting is identical; only the byte transport is real.
+// Close the returned closer to stop the servers.
+func NewClusterTCP(n int, cm *simtime.CostModel) (*Cluster, func(), error) {
+	c := &Cluster{CM: cm, Sim: sim.New()}
+	fabric := rdma.NewTCPFabric(cm)
+	var servers []*rdma.TCPServer
+	var nics []*rdma.TCPNIC
+	cleanup := func() {
+		for _, nic := range nics {
+			nic.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := memsim.NewMachine(memsim.MachineID(i))
+		srv, err := fabric.Serve(m, "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		nic := rdma.NewTCPNIC(m, fabric)
+		nics = append(nics, nic)
+		k := kernel.New(m, nic, cm)
+		k.Clock = c.Sim.Now
+		k.ServeTCP(srv)
+		c.Machines = append(c.Machines, m)
+		c.Kernels = append(c.Kernels, k)
+	}
+	return c, cleanup, nil
+}
+
+// LiveBytes sums live memory across machines (Fig 16a accounting).
+func (c *Cluster) LiveBytes() int {
+	n := 0
+	for _, m := range c.Machines {
+		n += m.LiveBytes()
+	}
+	return n
+}
+
+// PeakBytes sums peak memory across machines.
+func (c *Cluster) PeakBytes() int {
+	n := 0
+	for _, m := range c.Machines {
+		n += m.PeakBytes()
+	}
+	return n
+}
+
+// ResetPeaks resets per-machine peak accounting.
+func (c *Cluster) ResetPeaks() {
+	for _, m := range c.Machines {
+		m.ResetPeak()
+	}
+}
+
+// Pod is one schedulable execution slot pinned to a machine. It caches
+// warm containers per slot ID: a reused container skips cold start and —
+// because the plan is static — is guaranteed a collision-free address
+// range (§4.2 "Static vs. Dynamic").
+type Pod struct {
+	ID       int
+	Machine  *memsim.Machine
+	Kernel   *kernel.Kernel
+	cache    map[SlotID]*Container
+	busy     bool
+	used     bool
+	lastBusy simtime.Time
+}
+
+// Container is a warm function container: an address space laid out per
+// the plan plus a language runtime on its heap segment.
+type Container struct {
+	Slot   SlotID
+	Layout Layout
+	AS     *memsim.AddressSpace
+	RT     *objrt.Runtime
+	Pod    *Pod
+	spec   *FunctionSpec
+}
+
+// newContainer builds a container for slot on pod, realizing the plan:
+// text/data placed by the "link script", heap/stack pinned via
+// set_segment.
+func newContainer(pod *Pod, spec *FunctionSpec, slot SlotID, layout Layout, cds *objrt.CDS, cm *simtime.CostModel) (*Container, error) {
+	as := memsim.NewAddressSpace(pod.Machine, cm)
+	if err := as.MapAnon(layout.TextStart, layout.TextEnd, memsim.SegText, false); err != nil {
+		return nil, err
+	}
+	if err := as.MapAnon(layout.DataStart, layout.DataEnd, memsim.SegData, true); err != nil {
+		return nil, err
+	}
+	if err := pod.Kernel.SetSegment(as, memsim.SegHeap, layout.HeapStart, layout.HeapEnd); err != nil {
+		return nil, err
+	}
+	if err := pod.Kernel.SetSegment(as, memsim.SegStack, layout.StackStart, layout.StackEnd); err != nil {
+		return nil, err
+	}
+	rt, err := objrt.NewRuntime(as, objrt.Config{
+		HeapStart: layout.HeapStart, HeapEnd: layout.HeapEnd,
+		Lang: spec.Lang, CDS: cds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Container{Slot: slot, Layout: layout, AS: as, RT: rt, Pod: pod, spec: spec}, nil
+}
+
+// HeapUsedEnd returns the page-aligned end of the heap's used region —
+// what the producer registers in heap-scope mode.
+func (c *Container) HeapUsedEnd() uint64 {
+	used := c.RT.Heap().Used()
+	aligned := (used + memsim.PageSize - 1) &^ uint64(memsim.PageSize-1)
+	if aligned == c.Layout.HeapStart {
+		aligned += memsim.PageSize
+	}
+	if aligned > c.Layout.HeapEnd {
+		aligned = c.Layout.HeapEnd
+	}
+	return aligned
+}
+
+// Close releases the container's address space (its registered shadow
+// pages survive in the kernel).
+func (c *Container) Close() { c.AS.Release() }
+
+func (p *Pod) String() string { return fmt.Sprintf("pod%d@m%d", p.ID, p.Machine.ID()) }

@@ -1,0 +1,1010 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"rmmap/internal/kernel"
+	"rmmap/internal/memsim"
+	"rmmap/internal/objrt"
+	"rmmap/internal/simtime"
+	"rmmap/internal/transport"
+)
+
+// ClusterConfig sizes the physical substrate for a run.
+type ClusterConfig struct {
+	Machines int
+	Pods     int
+}
+
+// DefaultClusterConfig mirrors the paper's 10-machine testbed with 8
+// execution slots per machine.
+func DefaultClusterConfig() ClusterConfig { return ClusterConfig{Machines: 10, Pods: 80} }
+
+// Engine executes workflows on a cluster under one transfer mode. It plays
+// the coordinator's role: invoking functions when their inputs are ready,
+// carrying state metadata between pods, and reclaiming registered memory.
+type Engine struct {
+	Cluster *Cluster
+	Plan    *Plan
+	wf      *Workflow
+	mode    Mode
+	opts    Options
+
+	msg   *transport.Messaging
+	store transport.Store
+	cds   *objrt.CDS
+
+	pods      []*Pod
+	activated int // high-water mark of pods ever used
+	queue     []*invocation
+
+	nextReg  uint64
+	regs     map[regRef]*registration
+	requests int
+
+	// textFrames shares the resident library (text) frames between
+	// containers of the same function type on the same machine — the
+	// page cache's role for read-only mappings. Without sharing, every
+	// warm container would hold a private copy of its libraries.
+	textFrames map[textKey][]memsim.PFN
+
+	// MaxRegLifetime drives the pods' lease scanner; 0 disables it.
+	MaxRegLifetime simtime.Duration
+	scannersLive   bool
+
+	autoscalerLive bool
+	scaleDowns     int
+}
+
+type regRef struct {
+	id  kernel.FuncID
+	key kernel.Key
+}
+
+type registration struct {
+	machine int
+	// refs counts payloads (original + forwarded) that reference this
+	// registration; deregister_mem fires when it reaches zero.
+	refs int
+	// allowed mirrors the kernel-side ACL so forwarding can extend it.
+	allowed []kernel.FuncID
+}
+
+type nodeKey struct {
+	fn   string
+	inst int
+}
+
+func (n nodeKey) String() string { return fmt.Sprintf("%s#%d", n.fn, n.inst) }
+
+// statePayload is what travels (conceptually, via the coordinator) from a
+// finished producer to its consumers.
+type statePayload struct {
+	from     nodeKey
+	mode     Mode // actual mechanism (may be messaging fallback)
+	pickled  []byte
+	storeKey string
+	meta     kernel.VMMeta
+	rootAddr uint64
+	prefetch []memsim.VPN
+
+	// consumers counts instances that have yet to finish with this
+	// state; at zero the coordinator reclaims it (deregister_mem for
+	// rmmap, buffer frames for messaging/storage).
+	consumers int
+	// bufPFNs are the serialized-buffer frames the state occupies while
+	// in flight (§5.6: messaging and storage "need additional memory to
+	// store the message buffers"; RMMAP does not).
+	bufPFNs    []memsim.PFN
+	bufMachine *memsim.Machine
+}
+
+// allocBuffer reserves page frames for n bytes of serialized state.
+func (p *statePayload) allocBuffer(m *memsim.Machine, n int) {
+	pages := (n + memsim.PageSize - 1) / memsim.PageSize
+	p.bufMachine = m
+	for i := 0; i < pages; i++ {
+		p.bufPFNs = append(p.bufPFNs, m.AllocFrame())
+	}
+}
+
+func (p *statePayload) freeBuffer() {
+	for _, pfn := range p.bufPFNs {
+		p.bufMachine.Unref(pfn)
+	}
+	p.bufPFNs = nil
+}
+
+type invocation struct {
+	req  *request
+	node nodeKey
+}
+
+// request tracks one workflow execution.
+type request struct {
+	id        int
+	start     simtime.Time
+	pending   map[nodeKey]int
+	inputs    map[nodeKey][]*statePayload
+	meters    map[nodeKey]*simtime.Meter
+	remaining int
+	result    any
+	err       error
+	done      func(*request)
+	spans     []Span
+}
+
+// RunResult reports one request's outcome.
+type RunResult struct {
+	Latency simtime.Duration
+	// Meter aggregates all function meters (the workflow's total work;
+	// latency can be lower due to parallelism).
+	Meter *simtime.Meter
+	// PerFunction aggregates meters by function type.
+	PerFunction map[string]*simtime.Meter
+	// Output is whatever sink handlers reported.
+	Output any
+	Err    error
+	// Trace holds per-invocation spans when Options.Trace is set.
+	Trace []Span
+}
+
+// NewEngine builds an engine for one workflow and transfer mode on a fresh
+// cluster.
+func NewEngine(wf *Workflow, mode Mode, opts Options, cfg ClusterConfig) (*Engine, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Machines <= 0 || cfg.Pods <= 0 {
+		return nil, fmt.Errorf("platform: bad cluster config %+v", cfg)
+	}
+	cm := simtime.DefaultCostModel()
+	return NewEngineOn(NewCluster(cfg.Machines, cm), wf, mode, opts, cfg.Pods)
+}
+
+// NewEngineOn builds an engine on an existing cluster (so experiments can
+// tweak the cost model first).
+func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods int) (*Engine, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	var plan *Plan
+	var err error
+	if opts.DisablePlan {
+		plan = degeneratePlan(wf)
+	} else {
+		plan, err = GeneratePlan(wf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cm := cluster.CM
+	e := &Engine{
+		Cluster:    cluster,
+		Plan:       plan,
+		wf:         wf,
+		mode:       mode,
+		opts:       opts,
+		msg:        transport.NewMessaging(cm),
+		cds:        objrt.DefaultCDS(),
+		regs:       make(map[regRef]*registration),
+		textFrames: make(map[textKey][]memsim.PFN),
+	}
+	e.msg.ZeroCost = opts.ZeroNetwork
+	switch mode {
+	case ModeStoragePocket:
+		e.store = transport.NewPocket(cm)
+	case ModeStorageDrTM:
+		e.store = transport.NewDrTM(cm)
+	}
+	if opts.ZeroNetwork && e.store != nil {
+		e.store = transport.NewZeroCostStore()
+	}
+	for i := 0; i < pods; i++ {
+		m := cluster.Machines[i%len(cluster.Machines)]
+		e.pods = append(e.pods, &Pod{
+			ID: i, Machine: m, Kernel: cluster.Kernels[int(m.ID())],
+			cache: make(map[SlotID]*Container),
+		})
+	}
+	return e, nil
+}
+
+// degeneratePlan gives every slot the same layout — the negative control
+// showing why static planning is required.
+func degeneratePlan(wf *Workflow) *Plan {
+	p := &Plan{Workflow: wf.Name, slots: make(map[SlotID]Layout)}
+	l := layoutFor(Range{PlanBase, PlanBase + DefaultMemBudget})
+	for _, f := range wf.Functions {
+		for i := 0; i < f.Instances; i++ {
+			id := SlotID{f.Name, i}
+			p.slots[id] = l
+			p.order = append(p.order, id)
+		}
+	}
+	return p
+}
+
+// Mode returns the engine's transfer mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// ActivatedPods reports how many pods have been used at least once.
+func (e *Engine) ActivatedPods() int { return e.activated }
+
+// BusyPods reports currently executing pods.
+func (e *Engine) BusyPods() int {
+	n := 0
+	for _, p := range e.pods {
+		if p.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueLen reports invocations waiting for a pod.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Submit enqueues one workflow request at the current virtual time; done
+// fires at completion. Use Run for the common single-request case.
+func (e *Engine) Submit(done func(RunResult)) {
+	e.requests++
+	req := &request{
+		id:      e.requests,
+		start:   e.Cluster.Sim.Now(),
+		pending: make(map[nodeKey]int),
+		inputs:  make(map[nodeKey][]*statePayload),
+		meters:  make(map[nodeKey]*simtime.Meter),
+	}
+	req.done = func(r *request) {
+		if done == nil {
+			return
+		}
+		done(e.collect(r))
+	}
+	for _, f := range e.wf.Functions {
+		deps := 0
+		for _, p := range e.wf.Producers(f.Name) {
+			deps += e.wf.Function(p).Instances
+		}
+		for i := 0; i < f.Instances; i++ {
+			req.pending[nodeKey{f.Name, i}] = deps
+			req.remaining++
+		}
+	}
+	for _, src := range e.wf.Sources() {
+		for i := 0; i < e.wf.Function(src).Instances; i++ {
+			e.queue = append(e.queue, &invocation{req: req, node: nodeKey{src, i}})
+		}
+	}
+	if e.MaxRegLifetime > 0 {
+		e.startLeaseScanners()
+	}
+	if e.opts.AutoscaleIdle > 0 {
+		e.startAutoscaler()
+	}
+	e.dispatch()
+}
+
+func (e *Engine) collect(r *request) RunResult {
+	res := RunResult{
+		Latency:     e.Cluster.Sim.Now().Sub(r.start),
+		Meter:       simtime.NewMeter(),
+		PerFunction: make(map[string]*simtime.Meter),
+		Output:      r.result,
+		Err:         r.err,
+		Trace:       r.spans,
+	}
+	for node, m := range r.meters {
+		res.Meter.AddAll(m)
+		agg := res.PerFunction[node.fn]
+		if agg == nil {
+			agg = simtime.NewMeter()
+			res.PerFunction[node.fn] = agg
+		}
+		agg.AddAll(m)
+	}
+	return res
+}
+
+// Run executes a single request to completion and returns its result.
+func (e *Engine) Run() (RunResult, error) {
+	var out RunResult
+	got := false
+	e.Submit(func(r RunResult) { out = r; got = true })
+	e.Cluster.Sim.Run()
+	if !got {
+		return out, fmt.Errorf("platform: request did not complete (deadlock?)")
+	}
+	return out, out.Err
+}
+
+func (e *Engine) startLeaseScanners() {
+	if e.scannersLive {
+		return
+	}
+	e.scannersLive = true
+	period := e.MaxRegLifetime
+	live := len(e.Cluster.Kernels)
+	for _, k := range e.Cluster.Kernels {
+		k := k
+		e.Cluster.Sim.Every(e.Cluster.Sim.Now().Add(period), period, func() bool {
+			k.ScanExpired(e.MaxRegLifetime)
+			// Stop once there is nothing left to watch, so the
+			// simulator's event queue can drain; Submit re-arms.
+			if k.Registrations() == 0 {
+				live--
+				if live == 0 {
+					e.scannersLive = false
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// startAutoscaler runs the scale-down loop: every half idle-window, pods
+// idle beyond the window lose their warm containers (and the memory those
+// held) — Knative's KPA scale-to-fewer behaviour. The loop stops once
+// every pod is cold so the event queue can drain; Submit re-arms it.
+func (e *Engine) startAutoscaler() {
+	if e.autoscalerLive {
+		return
+	}
+	e.autoscalerLive = true
+	period := e.opts.AutoscaleIdle / 2
+	if period <= 0 {
+		period = 1
+	}
+	s := e.Cluster.Sim
+	s.Every(s.Now().Add(period), period, func() bool {
+		warm := 0
+		for _, p := range e.pods {
+			if p.busy {
+				warm++
+				continue
+			}
+			if len(p.cache) == 0 {
+				continue
+			}
+			if s.Now().Sub(p.lastBusy) > e.opts.AutoscaleIdle {
+				for slot, c := range p.cache {
+					c.Close()
+					delete(p.cache, slot)
+				}
+				e.scaleDowns++
+			} else {
+				warm++
+			}
+		}
+		if warm == 0 && len(e.queue) == 0 {
+			e.autoscalerLive = false
+			return false
+		}
+		return true
+	})
+}
+
+// ScaleDowns reports how many pods the autoscaler has deactivated.
+func (e *Engine) ScaleDowns() int { return e.scaleDowns }
+
+// SharedTextBytes reports the memory held by the shared library (text)
+// frame cache — resident even when every container is scaled down, like
+// the OS page cache.
+func (e *Engine) SharedTextBytes() int {
+	n := 0
+	for _, pfns := range e.textFrames {
+		n += len(pfns) * memsim.PageSize
+	}
+	return n
+}
+
+// dispatch assigns queued invocations to free pods (cache-affinity first,
+// then lowest pod ID).
+func (e *Engine) dispatch() {
+	for len(e.queue) > 0 {
+		inv := e.queue[0]
+		slot := SlotID{inv.node.fn, inv.node.inst}
+		var pod *Pod
+		for _, p := range e.pods {
+			if p.busy {
+				continue
+			}
+			if _, warm := p.cache[slot]; warm {
+				pod = p
+				break
+			}
+			if pod == nil {
+				pod = p
+			}
+		}
+		if pod == nil {
+			return // all pods busy; completions re-dispatch
+		}
+		e.queue = e.queue[1:]
+		pod.busy = true
+		if !pod.everUsed() {
+			e.activated++
+			pod.markUsed()
+		}
+		e.execute(inv, pod)
+	}
+}
+
+func (p *Pod) everUsed() bool { return p.used }
+func (p *Pod) markUsed()      { p.used = true }
+
+// execute runs one invocation synchronously against a meter and schedules
+// its completion event after the metered duration.
+func (e *Engine) execute(inv *invocation, pod *Pod) {
+	meter := simtime.NewMeter()
+	req := inv.req
+	req.meters[inv.node] = meter
+
+	var out *statePayload
+	var err error
+	if req.err == nil {
+		out, err = e.invoke(inv, pod, meter, req.inputs[inv.node])
+	}
+	started := e.Cluster.Sim.Now()
+	d := meter.Total()
+	e.Cluster.Sim.After(d, func() {
+		pod.busy = false
+		pod.lastBusy = e.Cluster.Sim.Now()
+		if e.opts.Trace {
+			req.spans = append(req.spans, Span{
+				Node: inv.node.String(), Pod: pod.ID, Machine: int(pod.Machine.ID()),
+				Start: started, End: e.Cluster.Sim.Now(),
+				Breakdown: meter.Snapshot(),
+			})
+		}
+		if err != nil && req.err == nil {
+			req.err = fmt.Errorf("%v: %w", inv.node, err)
+		}
+		e.deliver(req, inv.node, out)
+		req.remaining--
+		if req.remaining == 0 {
+			req.done(req)
+		}
+		e.dispatch()
+	})
+}
+
+// invoke performs the whole function lifecycle on the pod: container
+// acquisition, input consumption, handler execution, output production,
+// and remote-heap release.
+func (e *Engine) invoke(inv *invocation, pod *Pod, meter *simtime.Meter, payloads []*statePayload) (*statePayload, error) {
+	req := inv.req
+	spec := e.wf.Function(inv.node.fn)
+	meter.Charge(simtime.CatPlatform, e.Cluster.CM.InvokeOverhead)
+
+	c, err := e.container(pod, spec, inv.node, meter)
+	if err != nil {
+		return nil, err
+	}
+	c.AS.SetMeter(meter)
+	defer c.AS.SetMeter(nil)
+
+	// Present inputs in declared (edge, instance) order, not completion
+	// order — handlers must see the same input sequence under every
+	// transfer mode and timing.
+	producerRank := map[string]int{}
+	for i, p := range e.wf.Producers(inv.node.fn) {
+		if _, ok := producerRank[p]; !ok {
+			producerRank[p] = i
+		}
+	}
+	sort.SliceStable(payloads, func(i, j int) bool {
+		ri, rj := producerRank[payloads[i].from.fn], producerRank[payloads[j].from.fn]
+		if ri != rj {
+			return ri < rj
+		}
+		return payloads[i].from.inst < payloads[j].from.inst
+	})
+
+	inputs := make([]objrt.Obj, 0, len(payloads))
+	for _, p := range payloads {
+		obj, err := e.consume(c, pod, meter, p)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, obj)
+	}
+
+	ctx := &Ctx{
+		RT: c.RT, Meter: meter, CM: e.Cluster.CM,
+		Inputs: inputs, Instance: inv.node.inst, Instances: spec.Instances,
+		RequestID: req.id,
+		Report:    func(v any) { req.result = v },
+	}
+	out, herr := spec.Handler(ctx)
+	if herr != nil {
+		_ = c.RT.ReleaseAllRemote()
+		return nil, herr
+	}
+
+	var payload *statePayload
+	consumers := e.consumerCount(inv.node.fn)
+	if consumers > 0 && !out.Nil() {
+		if fw := e.forwardable(payloads, out); fw != nil {
+			// Multi-hop remote map (§4.4's future-work design): B
+			// passes A's state to C by forwarding A's registration
+			// instead of copying — the registration stays alive until
+			// C finishes.
+			payload = e.forward(fw, out, inv.node, consumers)
+		} else {
+			out, err = e.localizeOutput(c, meter, out)
+			if err != nil {
+				_ = c.RT.ReleaseAllRemote()
+				return nil, err
+			}
+			payload, err = e.produce(c, pod, meter, req, inv.node, out, consumers)
+			if err != nil {
+				_ = c.RT.ReleaseAllRemote()
+				return nil, err
+			}
+		}
+	}
+	// Invocation epilogue: drop remote proxies (hybrid GC unmaps the
+	// remote heaps) and collect local invocation garbage. The output's
+	// bytes survive in kernel shadow pages even though the allocator
+	// reclaims its space: the registered range is CoW-protected.
+	if err := c.RT.ReleaseAllRemote(); err != nil {
+		return nil, err
+	}
+	if _, err := c.RT.GC(); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func (e *Engine) consumerCount(fn string) int {
+	n := 0
+	for _, cfn := range e.wf.Consumers(fn) {
+		n += e.wf.Function(cfn).Instances
+	}
+	return n
+}
+
+// forwardable returns the consumed rmmap payload whose mapped range
+// contains the whole output graph, if forwarding is enabled — meaning the
+// handler passed (a sub-object of) its input through unchanged.
+func (e *Engine) forwardable(payloads []*statePayload, out objrt.Obj) *statePayload {
+	if !e.opts.ForwardRemote {
+		return nil
+	}
+	for _, p := range payloads {
+		if !p.mode.IsRMMAP() {
+			continue
+		}
+		if out.Addr < p.meta.Start || out.Addr >= p.meta.End {
+			continue
+		}
+		contained := true
+		if _, err := objrt.Walk(out, 0, func(addr, size uint64) {
+			if addr < p.meta.Start || addr+size > p.meta.End {
+				contained = false
+			}
+		}); err != nil || !contained {
+			return nil
+		}
+		return p
+	}
+	return nil
+}
+
+// forward republishes an upstream registration to this node's consumers,
+// extending its ACL to the new consumer function types.
+func (e *Engine) forward(p *statePayload, out objrt.Obj, node nodeKey, consumers int) *statePayload {
+	if reg, ok := e.regs[regRef{p.meta.ID, p.meta.Key}]; ok {
+		reg.refs++
+		for _, cfn := range e.wf.Consumers(node.fn) {
+			reg.allowed = append(reg.allowed, typeID(cfn))
+		}
+		_ = e.Cluster.Kernels[reg.machine].SetACL(p.meta.ID, p.meta.Key, reg.allowed)
+	}
+	fw := &statePayload{
+		from: node, mode: p.mode, meta: p.meta,
+		rootAddr: out.Addr, consumers: consumers,
+	}
+	if out.Addr == p.rootAddr {
+		fw.prefetch = p.prefetch
+	}
+	return fw
+}
+
+// localizeOutput enforces the copy rule of §4.3/§4.4: if the handler's
+// output graph references remote (mapped) objects, deep-copy it onto the
+// local heap before registering/serializing.
+func (e *Engine) localizeOutput(c *Container, meter *simtime.Meter, out objrt.Obj) (objrt.Obj, error) {
+	local := true
+	_, err := objrt.Walk(out, 0, func(addr, size uint64) {
+		if !c.RT.Heap().Contains(addr) {
+			local = false
+		}
+	})
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	if local {
+		return out, nil
+	}
+	return c.RT.CopyToLocal(out, meter)
+}
+
+// container returns the pod's warm container for the slot, creating (and
+// optionally cold-start-charging) one as needed. A container whose heap is
+// nearly full is recycled — its registered state lives on in shadow pages.
+func (e *Engine) container(pod *Pod, spec *FunctionSpec, node nodeKey, meter *simtime.Meter) (*Container, error) {
+	slot := SlotID{node.fn, node.inst}
+	if c, ok := pod.cache[slot]; ok {
+		heapSize := c.Layout.HeapEnd - c.Layout.HeapStart
+		if c.RT.Heap().Used()-c.Layout.HeapStart < heapSize*3/5 {
+			return c, nil
+		}
+		c.Close()
+		delete(pod.cache, slot)
+	}
+	layout, ok := e.Plan.Slot(slot)
+	if !ok {
+		return nil, fmt.Errorf("platform: no plan slot for %v", slot)
+	}
+	var cds *objrt.CDS
+	if spec.Lang == objrt.LangJava {
+		cds = e.cds
+	}
+	c, err := newContainer(pod, spec, slot, layout, cds, e.Cluster.CM)
+	if err != nil {
+		return nil, err
+	}
+	// Every container has its libraries resident (shared frames, like
+	// the page cache); only the whole-space register scope also has to
+	// CoW-mark and ship their page-table entries.
+	e.installSharedText(c)
+	if e.opts.ColdStart {
+		meter.Charge(simtime.CatPlatform, e.Cluster.CM.ColdStart)
+	}
+	pod.cache[slot] = c
+	return c, nil
+}
+
+type textKey struct {
+	machine memsim.MachineID
+	fn      string
+}
+
+// installSharedText maps the function's resident library pages into the
+// container, sharing one frame set per (machine, function type) — the
+// whole-address-space register scope (§6) then CoW-marks and ships these
+// pages' table entries too.
+func (e *Engine) installSharedText(c *Container) {
+	key := textKey{c.Pod.Machine.ID(), c.Slot.Function}
+	pfns := e.textFrames[key]
+	if pfns == nil {
+		n := e.opts.textPages()
+		pfns = make([]memsim.PFN, 0, n)
+		for i := 0; i < n; i++ {
+			pfns = append(pfns, c.Pod.Machine.AllocFrame())
+		}
+		e.textFrames[key] = pfns
+	}
+	for i, pfn := range pfns {
+		addr := c.Layout.TextStart + uint64(i)*memsim.PageSize
+		if addr >= c.Layout.TextEnd {
+			break
+		}
+		c.Pod.Machine.Ref(pfn) // the container's reference
+		c.AS.InstallPTE(memsim.PageOf(addr), memsim.PTE{PFN: pfn, Flags: memsim.FlagPresent})
+	}
+}
+
+// consume materializes one input state inside the consumer container.
+func (e *Engine) consume(c *Container, pod *Pod, meter *simtime.Meter, p *statePayload) (objrt.Obj, error) {
+	switch p.mode {
+	case ModeMessaging:
+		env, data, err := transport.DecodeEvent(p.pickled)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		if env.Compressed {
+			if data, err = transport.Decompress(meter, data); err != nil {
+				return objrt.Obj{}, err
+			}
+		}
+		return e.unpickleWithBuffer(c, pod, meter, data)
+	case ModeStoragePocket, ModeStorageDrTM:
+		data, err := e.store.Get(meter, p.storeKey)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		return e.unpickleWithBuffer(c, pod, meter, data)
+	case ModeRMMAP, ModeRMMAPPrefetch:
+		mp, err := pod.Kernel.RmapAs(c.AS, p.meta.Machine, p.meta.ID, p.meta.Key,
+			p.meta.Start, p.meta.End, typeID(c.Slot.Function), e.opts.PagingMode)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		if len(p.prefetch) > 0 {
+			if err := mp.Prefetch(p.prefetch); err != nil {
+				return objrt.Obj{}, err
+			}
+		}
+		root, err := c.RT.Load(p.rootAddr)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		c.RT.AdoptRemote(root, mp)
+		return root, nil
+	default:
+		return objrt.Obj{}, fmt.Errorf("platform: unknown payload mode %v", p.mode)
+	}
+}
+
+// unpickleWithBuffer deserializes a received body, holding its receive
+// buffer in real frames for the duration (the consumer-side half of
+// §5.6's message-buffer memory).
+func (e *Engine) unpickleWithBuffer(c *Container, pod *Pod, meter *simtime.Meter, data []byte) (objrt.Obj, error) {
+	buf := &statePayload{}
+	buf.allocBuffer(pod.Machine, len(data))
+	defer buf.freeBuffer()
+	return objrt.Unpickle(c.RT, data, meter)
+}
+
+// produce publishes the handler output under the engine's transfer mode,
+// charging the producer meter, and returns the payload for consumers.
+func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *request, node nodeKey, out objrt.Obj, consumers int) (*statePayload, error) {
+	spec := e.wf.Function(node.fn)
+	mode := e.mode
+
+	// Fallback decisions (§3.2, §6): untrusted consumers and trivially
+	// small states use messaging even under RMMAP.
+	if mode.IsRMMAP() {
+		if e.anyConsumerUntrusted(node.fn) {
+			mode = ModeMessaging
+		} else if small, err := e.stateIsSmall(out); err != nil {
+			return nil, err
+		} else if small {
+			mode = ModeMessaging
+		}
+	}
+	// Cross-language edges cannot share object layouts (§6).
+	if mode.IsRMMAP() {
+		for _, cfn := range e.wf.Consumers(node.fn) {
+			if e.wf.Function(cfn).Lang != spec.Lang {
+				mode = ModeMessaging
+				break
+			}
+		}
+	}
+
+	fellBack := mode == ModeMessaging && e.mode != ModeMessaging
+
+	p := &statePayload{from: node, mode: mode, consumers: consumers}
+	switch mode {
+	case ModeMessaging:
+		data, _, err := objrt.Pickle(out, meter)
+		if err != nil {
+			return nil, err
+		}
+		if e.opts.Compress {
+			if data, err = transport.Compress(meter, data); err != nil {
+				return nil, err
+			}
+		}
+		// States travel as CloudEvents 1.0 structured events — the real
+		// Knative wire format, with base64 inflation on binary data.
+		event, err := transport.EncodeEvent(
+			fmt.Sprintf("r%d-%s", req.id, node), node.fn, "dev.rmmap.state", data, e.opts.Compress)
+		if err != nil {
+			return nil, err
+		}
+		if fellBack {
+			// Small-state fallback (§6): the few bytes piggyback on the
+			// coordinator completion event whose hop path InvokeOverhead
+			// already covers; only the marginal bytes cost anything.
+			if !e.opts.ZeroNetwork {
+				meter.Charge(simtime.CatNetwork,
+					simtime.Bytes(len(event), e.Cluster.CM.MessagePerByte))
+			}
+		} else {
+			e.msg.Charge(meter, len(event))
+		}
+		p.pickled = event
+		// The serialized body occupies real memory until every consumer
+		// has received it (§5.6's message buffers).
+		p.allocBuffer(pod.Machine, len(event))
+	case ModeStoragePocket, ModeStorageDrTM:
+		data, _, err := objrt.Pickle(out, meter)
+		if err != nil {
+			return nil, err
+		}
+		p.storeKey = fmt.Sprintf("r%d/%s", req.id, node)
+		if err := e.store.Put(meter, p.storeKey, data); err != nil {
+			return nil, err
+		}
+		// The stored copy occupies memory for the state's lifetime; we
+		// account it on the producer's machine (the cluster hosts the
+		// ephemeral store).
+		p.allocBuffer(pod.Machine, len(data))
+		// The key piggybacks on the coordinator completion event whose
+		// cost InvokeOverhead already covers.
+	case ModeRMMAP, ModeRMMAPPrefetch:
+		start, end := e.opts.registerRange(c)
+		e.nextReg++
+		id := kernel.FuncID(e.nextReg)
+		key := kernel.Key(scrambleKey(e.nextReg))
+		meta, err := pod.Kernel.RegisterMem(c.AS, id, key, start, end)
+		if err != nil {
+			return nil, err
+		}
+		// Connection-based permission control (§4.1): only this edge's
+		// consumer function types may map the registration.
+		var allowed []kernel.FuncID
+		for _, cfn := range e.wf.Consumers(node.fn) {
+			allowed = append(allowed, typeID(cfn))
+		}
+		if err := pod.Kernel.SetACL(id, key, allowed); err != nil {
+			return nil, err
+		}
+		p.meta = meta
+		p.rootAddr = out.Addr
+		if mode == ModeRMMAPPrefetch {
+			if e.opts.AdaptivePrefetch {
+				plan, worth, err := objrt.PlanPrefetchAdaptive(out, meter)
+				if err != nil {
+					return nil, err
+				}
+				if worth {
+					p.prefetch = plan.Pages
+				}
+			} else {
+				plan, err := objrt.PlanPrefetch(out, e.opts.PrefetchThreshold, meter)
+				if err != nil {
+					return nil, err
+				}
+				p.prefetch = plan.Pages
+			}
+		}
+		// Meta (addresses, key, prefetch list) piggybacks on the
+		// coordinator completion event, like the storage key above.
+		e.regs[regRef{id, key}] = &registration{
+			machine: int(meta.Machine), refs: 1, allowed: allowed,
+		}
+	}
+	return p, nil
+}
+
+func (e *Engine) anyConsumerUntrusted(fn string) bool {
+	for _, cfn := range e.wf.Consumers(fn) {
+		if e.wf.Function(cfn).Untrusted {
+			return true
+		}
+	}
+	return false
+}
+
+// stateIsSmall implements the small-object fallback: scalars, tiny blobs
+// and short flat containers serialize cheaper than register+rmap. The
+// runtime's type semantics make this check O(1) — no traversal.
+func (e *Engine) stateIsSmall(out objrt.Obj) (bool, error) {
+	tag, err := out.Tag()
+	if err != nil {
+		return false, err
+	}
+	thr := uint64(e.opts.smallThreshold())
+	switch tag {
+	case objrt.TInt, objrt.TFloat:
+		return true, nil
+	case objrt.TStr, objrt.TBytes:
+		size, err := out.Size()
+		if err != nil {
+			return false, err
+		}
+		return size <= thr, nil
+	case objrt.TList, objrt.TTuple, objrt.TDict:
+		// Bounded sample walk: small only if the whole graph fits the
+		// threshold (a 2-entry dict can hold megabytes).
+		st, err := objrt.Walk(out, 32, nil)
+		if err != nil {
+			return false, err
+		}
+		return st.Complete && st.Bytes <= thr, nil
+	default:
+		return false, nil
+	}
+}
+
+// deliver routes a completed node's payload to all its consumers and
+// reclaims registered memory whose consumers have all finished.
+func (e *Engine) deliver(req *request, node nodeKey, payload *statePayload) {
+	// Account consumption of this node's own inputs for reclamation.
+	for _, in := range req.inputs[node] {
+		e.releaseConsumer(in)
+	}
+	delete(req.inputs, node)
+
+	for _, cfn := range e.wf.Consumers(node.fn) {
+		for i := 0; i < e.wf.Function(cfn).Instances; i++ {
+			ck := nodeKey{cfn, i}
+			if payload != nil {
+				req.inputs[ck] = append(req.inputs[ck], payload)
+			}
+			req.pending[ck]--
+			if req.pending[ck] == 0 {
+				e.queue = append(e.queue, &invocation{req: req, node: ck})
+			}
+		}
+	}
+}
+
+// releaseConsumer decrements a state's consumer count; when the last
+// consumer finishes, the coordinator reclaims it — deregister_mem for
+// rmmap states (§4.2), buffer/storage release for serialized ones. Under
+// DropReclamation (coordinator-failure injection) rmmap registrations are
+// forgotten instead, leaving cleanup to the pods' lease scanners.
+func (e *Engine) releaseConsumer(p *statePayload) {
+	p.consumers--
+	if p.consumers > 0 {
+		return
+	}
+	p.freeBuffer()
+	if p.storeKey != "" {
+		e.store.Delete(p.storeKey)
+	}
+	if !p.mode.IsRMMAP() {
+		return
+	}
+	ref := regRef{p.meta.ID, p.meta.Key}
+	reg, ok := e.regs[ref]
+	if !ok {
+		return
+	}
+	reg.refs--
+	if reg.refs > 0 {
+		return // a forwarded payload still references the registration
+	}
+	delete(e.regs, ref)
+	if e.opts.DropReclamation {
+		return // coordinator "crashed": the lease scan must reclaim
+	}
+	_ = e.Cluster.Kernels[reg.machine].DeregisterMem(p.meta.ID, p.meta.Key)
+}
+
+// LiveRegistrations reports registrations the coordinator still tracks.
+func (e *Engine) LiveRegistrations() int { return len(e.regs) }
+
+// typeID derives a stable consumer identity from a function type name
+// (FNV-1a), used by the registration ACLs.
+func typeID(name string) kernel.FuncID {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1 // 0 is the anonymous consumer
+	}
+	return kernel.FuncID(h)
+}
+
+// scrambleKey derives a registration key from the sequence number
+// (SplitMix64 finalizer — deterministic, well distributed).
+func scrambleKey(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SortedFunctionNames returns the workflow's function names sorted (report
+// helper).
+func (e *Engine) SortedFunctionNames() []string {
+	names := make([]string, 0, len(e.wf.Functions))
+	for _, f := range e.wf.Functions {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

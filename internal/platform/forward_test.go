@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"testing"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/simtime"
+)
+
+// chainWorkflow builds A→B→C where B passes its input through unchanged —
+// the cascading-transfer case of §4.4.
+func chainWorkflow(n int) *Workflow {
+	return &Workflow{
+		Name: "chain",
+		Functions: []*FunctionSpec{
+			{Name: "A", Instances: 1, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				vals := make([]int64, n)
+				for i := range vals {
+					vals[i] = int64(i)
+				}
+				return ctx.RT.NewIntList(vals)
+			}},
+			{Name: "B", Instances: 1, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				return ctx.Inputs[0], nil // pure passthrough
+			}},
+			{Name: "C", Instances: 1, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				in := ctx.Inputs[0]
+				cnt, err := in.Len()
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				sum := int64(0)
+				for i := 0; i < cnt; i++ {
+					e, err := in.Index(i)
+					if err != nil {
+						return objrt.Obj{}, err
+					}
+					v, err := e.Int()
+					if err != nil {
+						return objrt.Obj{}, err
+					}
+					sum += v
+				}
+				ctx.Report(sum)
+				return objrt.Obj{}, nil
+			}},
+		},
+		Edges: []Edge{{"A", "B"}, {"B", "C"}},
+	}
+}
+
+func runChain(t *testing.T, opts Options) (RunResult, *Engine) {
+	t.Helper()
+	e, err := NewEngine(chainWorkflow(3000), ModeRMMAP, opts, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, e
+}
+
+func TestCascadeCopyDefault(t *testing.T) {
+	res, e := runChain(t, Options{})
+	want := int64(2999 * 3000 / 2)
+	if res.Output.(int64) != want {
+		t.Fatalf("sum = %v, want %d", res.Output, want)
+	}
+	// Copy-based cascade: B deep-copies A's state (compute-visible) and
+	// registers its own copy — two registrations existed overall, all
+	// reclaimed by the end.
+	if e.LiveRegistrations() != 0 {
+		t.Errorf("registrations leaked: %d", e.LiveRegistrations())
+	}
+	if res.PerFunction["B"].Get(simtime.CatRegister) == 0 {
+		t.Error("copy-based cascade: B should register its own copy")
+	}
+}
+
+func TestCascadeForwarding(t *testing.T) {
+	res, e := runChain(t, Options{ForwardRemote: true})
+	want := int64(2999 * 3000 / 2)
+	if res.Output.(int64) != want {
+		t.Fatalf("sum = %v, want %d", res.Output, want)
+	}
+	if e.LiveRegistrations() != 0 {
+		t.Errorf("registrations leaked: %d", e.LiveRegistrations())
+	}
+	// Forwarding: B neither copies nor re-registers.
+	if got := res.PerFunction["B"].Get(simtime.CatRegister); got != 0 {
+		t.Errorf("forwarding B registered: %v", got)
+	}
+	for i, k := range e.Cluster.Kernels {
+		if k.Registrations() != 0 {
+			t.Errorf("kernel %d holds registrations after forward reclaim", i)
+		}
+	}
+}
+
+func TestForwardingFasterThanCopy(t *testing.T) {
+	copyRes, _ := runChain(t, Options{})
+	fwdRes, _ := runChain(t, Options{ForwardRemote: true})
+	if fwdRes.Latency >= copyRes.Latency {
+		t.Errorf("forwarding (%v) not faster than copy cascade (%v)",
+			fwdRes.Latency, copyRes.Latency)
+	}
+	if fwdRes.Meter.Get(simtime.CatCompute) >= copyRes.Meter.Get(simtime.CatCompute) {
+		t.Errorf("forwarding compute (%v) not below copy compute (%v)",
+			fwdRes.Meter.Get(simtime.CatCompute), copyRes.Meter.Get(simtime.CatCompute))
+	}
+}
+
+func TestForwardSubObject(t *testing.T) {
+	// B extracts a sub-object of A's state and forwards just that.
+	wf := chainWorkflow(1000)
+	wf.Function("A").Handler = func(ctx *Ctx) (objrt.Obj, error) {
+		inner, err := ctx.RT.NewIntList([]int64{100, 200, 300})
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		k, err := ctx.RT.NewStr("payload")
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		return ctx.RT.NewDict([][2]objrt.Obj{{k, inner}})
+	}
+	wf.Function("B").Handler = func(ctx *Ctx) (objrt.Obj, error) {
+		v, ok, err := ctx.Inputs[0].DictGet("payload")
+		if err != nil || !ok {
+			return objrt.Obj{}, err
+		}
+		return v, nil
+	}
+	e, err := NewEngine(wf, ModeRMMAP, Options{ForwardRemote: true}, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.(int64) != 600 {
+		t.Errorf("sum = %v, want 600", res.Output)
+	}
+	if e.LiveRegistrations() != 0 {
+		t.Error("registrations leaked")
+	}
+}
+
+func TestForwardingDisabledForLocalOutputs(t *testing.T) {
+	// A fresh (local) output must not be mistaken for a forwardable one.
+	res, _ := runChain(t, Options{ForwardRemote: true})
+	_ = res
+	wf := pipelineWorkflow(500)
+	e, err := NewEngine(wf, ModeRMMAP, Options{ForwardRemote: true}, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output.(int64) != 500*501/2 {
+		t.Errorf("output = %v", out.Output)
+	}
+}

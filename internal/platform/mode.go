@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"rmmap/internal/kernel"
+	"rmmap/internal/simtime"
+)
+
+// Mode selects the state-transfer mechanism for a run — the comparison
+// axis of every figure in §5.
+type Mode int
+
+// Transfer modes.
+const (
+	// ModeMessaging pickles states into cloudevents (Knative default).
+	ModeMessaging Mode = iota
+	// ModeStoragePocket pickles into Pocket.
+	ModeStoragePocket
+	// ModeStorageDrTM pickles into the RDMA-optimized DrTM-KV.
+	ModeStorageDrTM
+	// ModeRMMAP transfers pointers via remote memory map, demand paging.
+	ModeRMMAP
+	// ModeRMMAPPrefetch adds semantic-aware prefetching.
+	ModeRMMAPPrefetch
+)
+
+var modeNames = [...]string{
+	ModeMessaging:     "messaging",
+	ModeStoragePocket: "storage(pocket)",
+	ModeStorageDrTM:   "storage(rdma)",
+	ModeRMMAP:         "rmmap",
+	ModeRMMAPPrefetch: "rmmap(prefetch)",
+}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "mode(?)"
+}
+
+// IsRMMAP reports whether the mode uses remote memory map.
+func (m Mode) IsRMMAP() bool { return m == ModeRMMAP || m == ModeRMMAPPrefetch }
+
+// AllModes lists every transfer mode in report order.
+func AllModes() []Mode {
+	return []Mode{ModeMessaging, ModeStoragePocket, ModeStorageDrTM, ModeRMMAP, ModeRMMAPPrefetch}
+}
+
+// RegisterScope selects what the producer registers (§6 "Map the heap vs.
+// Map the whole address space").
+type RegisterScope int
+
+const (
+	// ScopeWholeSpace registers text+data+heap — the paper's final
+	// choice, safe for objects that reference non-heap locations.
+	ScopeWholeSpace RegisterScope = iota
+	// ScopeHeapOnly registers just the used heap — cheaper to mark but
+	// unsafe in general (the abl-segment ablation).
+	ScopeHeapOnly
+)
+
+// Options tune a run; the zero value is the paper's default configuration.
+type Options struct {
+	// ZeroNetwork zeroes messaging/storage protocol costs (Fig 5).
+	ZeroNetwork bool
+	// PrefetchThreshold bounds prefetch traversal in objects
+	// (0 = unlimited, §4.4).
+	PrefetchThreshold int
+	// AdaptivePrefetch enables the sampling policy (§4.4 future work):
+	// producers decide per state whether traversal-based prefetching
+	// pays off, falling back to demand paging for object-dense graphs.
+	AdaptivePrefetch bool
+	// PagingMode switches remote paging to RPC (Fig 15 ablation).
+	PagingMode kernel.PagingMode
+	// Scope selects the register range.
+	Scope RegisterScope
+	// SmallStateFallback is the wire-size threshold (bytes) under which
+	// RMMAP modes fall back to messaging (§6); 0 = DefaultSmallState.
+	SmallStateFallback int
+	// ResidentTextPages models the library footprint CoW-marked in
+	// whole-space scope; 0 = DefaultTextPages.
+	ResidentTextPages int
+	// ColdStart disables pre-warming (functions pay container creation).
+	ColdStart bool
+	// DisablePlan skips address planning, giving every container the
+	// same default layout — the negative control where rmap collides.
+	DisablePlan bool
+	// Trace records per-invocation spans into RunResult.Trace.
+	Trace bool
+	// AutoscaleIdle enables Knative-style scale-down: a pod idle for
+	// longer than this window is deactivated (its warm containers and
+	// their memory released). Zero disables scale-down; pods then stay
+	// warm forever, like the paper's pre-warmed experiments.
+	AutoscaleIdle simtime.Duration
+	// Compress DEFLATEs messaging payloads before the cloudevent wrap —
+	// the §6 trade-off the abl-compress experiment quantifies.
+	Compress bool
+	// ForwardRemote enables the multi-hop remote-map design the paper
+	// sketches as future work (§4.4): when a handler passes its remote
+	// input through unchanged, the upstream registration is forwarded to
+	// the next consumer instead of deep-copied.
+	ForwardRemote bool
+	// DropReclamation injects a coordinator failure: finished states are
+	// never explicitly deregistered, so only the pods' lease scanners
+	// (§4.2) reclaim registered memory. Requires MaxRegLifetime on the
+	// engine for cleanup to happen.
+	DropReclamation bool
+}
+
+// DefaultSmallState is the messaging-fallback threshold: at or below this
+// estimated wire size, serializing is cheaper than register+rmap.
+const DefaultSmallState = 512
+
+// DefaultTextPages is the default resident library footprint (4 MB).
+const DefaultTextPages = 1024
+
+func (o Options) smallThreshold() int {
+	if o.SmallStateFallback > 0 {
+		return o.SmallStateFallback
+	}
+	return DefaultSmallState
+}
+
+func (o Options) textPages() int {
+	if o.ResidentTextPages > 0 {
+		return o.ResidentTextPages
+	}
+	return DefaultTextPages
+}
+
+// registerRange returns what the producer registers under the scope.
+func (o Options) registerRange(c *Container) (uint64, uint64) {
+	if o.Scope == ScopeHeapOnly {
+		return c.Layout.HeapStart, c.HeapUsedEnd()
+	}
+	// Whole space: text through used heap (stack excluded: it is dead at
+	// return time, and registering it would only add pages).
+	return c.Layout.TextStart, c.HeapUsedEnd()
+}

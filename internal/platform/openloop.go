@@ -1,0 +1,152 @@
+package platform
+
+import (
+	"sort"
+
+	"rmmap/internal/simtime"
+)
+
+// Open- and closed-loop load generation for the throughput/utilization
+// experiments (Fig 12).
+
+// PodSample is one utilization observation.
+type PodSample struct {
+	At   simtime.Time
+	Busy int
+}
+
+// LoadResult summarises a load run.
+type LoadResult struct {
+	Completed  int
+	Errors     int
+	Duration   simtime.Duration
+	Latencies  []simtime.Duration // sorted ascending
+	PodSamples []PodSample
+	// ThroughputTimeline is completed requests per one-second bucket.
+	ThroughputTimeline []int
+	// ActivatedPods is the high-water mark of pods ever used.
+	ActivatedPods int
+	TotalPods     int
+}
+
+// Throughput returns completed requests per second over the run.
+func (r LoadResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Duration.Seconds()
+}
+
+// Percentile returns the p-quantile latency (p in [0,1]).
+func (r LoadResult) Percentile(p float64) simtime.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.Latencies)-1))
+	return r.Latencies[i]
+}
+
+// AvgBusyPods averages the utilization samples.
+func (r LoadResult) AvgBusyPods() float64 {
+	if len(r.PodSamples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range r.PodSamples {
+		sum += s.Busy
+	}
+	return float64(sum) / float64(len(r.PodSamples))
+}
+
+// RunOpenLoop submits requests at a fixed rate (requests/second) for the
+// given virtual duration, sampling pod utilization every 100 ms, and runs
+// the simulation to drain.
+func (e *Engine) RunOpenLoop(rate float64, duration simtime.Duration) LoadResult {
+	res := LoadResult{TotalPods: len(e.pods)}
+	s := e.Cluster.Sim
+	interval := simtime.Duration(float64(simtime.Second) / rate)
+	if interval <= 0 {
+		interval = 1
+	}
+	n := int(float64(duration) / float64(interval))
+	buckets := int(duration/simtime.Second) + 1
+	res.ThroughputTimeline = make([]int, buckets)
+	for i := 0; i < n; i++ {
+		at := simtime.Time(simtime.Duration(i) * interval)
+		s.At(at, func() {
+			e.Submit(func(r RunResult) {
+				if r.Err != nil {
+					res.Errors++
+					return
+				}
+				res.Completed++
+				res.Latencies = append(res.Latencies, r.Latency)
+				b := int(s.Now() / simtime.Time(simtime.Second))
+				if b >= 0 && b < len(res.ThroughputTimeline) {
+					res.ThroughputTimeline[b]++
+				}
+			})
+		})
+	}
+	samples := int(duration / (100 * simtime.Millisecond))
+	for i := 0; i <= samples; i++ {
+		at := simtime.Time(simtime.Duration(i) * 100 * simtime.Millisecond)
+		s.At(at, func() {
+			res.PodSamples = append(res.PodSamples, PodSample{At: s.Now(), Busy: e.BusyPods()})
+		})
+	}
+	end := s.Run()
+	res.Duration = simtime.Duration(end)
+	if res.Duration < duration {
+		res.Duration = duration
+	}
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	res.ActivatedPods = e.ActivatedPods()
+	return res
+}
+
+// RunClosedLoop keeps `clients` requests in flight until the virtual
+// horizon, measuring saturated throughput (the Fig 12 upper row).
+func (e *Engine) RunClosedLoop(clients int, horizon simtime.Duration) LoadResult {
+	res := LoadResult{TotalPods: len(e.pods)}
+	s := e.Cluster.Sim
+	s.Horizon = simtime.Time(horizon)
+	buckets := int(horizon/simtime.Second) + 1
+	res.ThroughputTimeline = make([]int, buckets)
+	var submit func()
+	submit = func() {
+		e.Submit(func(r RunResult) {
+			if r.Err != nil {
+				res.Errors++
+			} else {
+				res.Completed++
+				res.Latencies = append(res.Latencies, r.Latency)
+				b := int(s.Now() / simtime.Time(simtime.Second))
+				if b >= 0 && b < len(res.ThroughputTimeline) {
+					res.ThroughputTimeline[b]++
+				}
+			}
+			if simtime.Duration(s.Now()) < horizon {
+				submit()
+			}
+		})
+	}
+	for i := 0; i < clients; i++ {
+		s.At(0, submit)
+	}
+	samples := int(horizon / (100 * simtime.Millisecond))
+	for i := 0; i <= samples; i++ {
+		at := simtime.Time(simtime.Duration(i) * 100 * simtime.Millisecond)
+		s.At(at, func() {
+			res.PodSamples = append(res.PodSamples, PodSample{At: s.Now(), Busy: e.BusyPods()})
+		})
+	}
+	end := s.Run()
+	res.Duration = simtime.Duration(end)
+	if res.Duration > horizon {
+		res.Duration = horizon
+	}
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	res.ActivatedPods = e.ActivatedPods()
+	return res
+}

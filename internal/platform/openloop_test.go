@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestLoadResultHelpers(t *testing.T) {
+	r := LoadResult{
+		Completed: 10,
+		Duration:  2 * simtime.Second,
+		Latencies: []simtime.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		PodSamples: []PodSample{
+			{At: 0, Busy: 2}, {At: 1, Busy: 4}, {At: 2, Busy: 6},
+		},
+	}
+	if got := r.Throughput(); got != 5 {
+		t.Errorf("throughput = %v", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := r.Percentile(1); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.AvgBusyPods(); got != 4 {
+		t.Errorf("avg busy = %v", got)
+	}
+	var empty LoadResult
+	if empty.Throughput() != 0 || empty.Percentile(0.5) != 0 || empty.AvgBusyPods() != 0 {
+		t.Error("empty result helpers not zero")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		ModeMessaging:     "messaging",
+		ModeStoragePocket: "storage(pocket)",
+		ModeStorageDrTM:   "storage(rdma)",
+		ModeRMMAP:         "rmmap",
+		ModeRMMAPPrefetch: "rmmap(prefetch)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if !ModeRMMAP.IsRMMAP() || !ModeRMMAPPrefetch.IsRMMAP() || ModeMessaging.IsRMMAP() {
+		t.Error("IsRMMAP wrong")
+	}
+	if len(AllModes()) != 5 {
+		t.Errorf("AllModes = %d", len(AllModes()))
+	}
+	if Mode(99).String() != "mode(?)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestOpenLoopThroughputMatchesRate(t *testing.T) {
+	e, err := NewEngine(pipelineWorkflow(100), ModeRMMAPPrefetch, Options{},
+		ClusterConfig{Machines: 3, Pods: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.RunOpenLoop(50, 2*simtime.Second)
+	if res.Errors != 0 {
+		t.Fatalf("errors: %d", res.Errors)
+	}
+	// The cluster easily sustains 50 req/s of a tiny pipeline; completed
+	// count should be close to offered load.
+	if res.Completed < 90 {
+		t.Errorf("completed %d of ~100 offered", res.Completed)
+	}
+	// Timeline buckets sum to completions.
+	sum := 0
+	for _, c := range res.ThroughputTimeline {
+		sum += c
+	}
+	if sum != res.Completed {
+		t.Errorf("timeline sums to %d, completed %d", sum, res.Completed)
+	}
+}
+
+func TestEngineIntrospection(t *testing.T) {
+	e, err := NewEngine(pipelineWorkflow(10), ModeRMMAP, Options{}, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Mode() != ModeRMMAP {
+		t.Error("Mode()")
+	}
+	names := e.SortedFunctionNames()
+	if len(names) != 3 || names[0] != "produce" {
+		t.Errorf("names = %v", names)
+	}
+	if e.BusyPods() != 0 || e.ActivatedPods() != 0 || e.QueueLen() != 0 {
+		t.Error("fresh engine not idle")
+	}
+}

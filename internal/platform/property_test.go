@@ -1,0 +1,124 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rmmap/internal/objrt"
+)
+
+// randomWorkflow builds a deterministic random layered DAG whose handlers
+// do integer arithmetic over boxed lists: layer 0 produces seeded values,
+// inner layers fold their inputs with instance-dependent mixing, the sink
+// reports a single checksum. Any divergence between transfer modes —
+// corrupted bytes, wrong pointer, missed input — changes the checksum.
+func randomWorkflow(rng *rand.Rand) *Workflow {
+	layers := 2 + rng.Intn(3) // 2..4 layers
+	w := &Workflow{Name: "random"}
+	var prev []string
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(3)
+		if l == layers-1 {
+			width = 1 // single sink
+		}
+		var names []string
+		for i := 0; i < width; i++ {
+			name := fmt.Sprintf("l%df%d", l, i)
+			names = append(names, name)
+			layer, inst := l, i
+			payload := 16 + rng.Intn(200)
+			last := l == layers-1
+			w.Functions = append(w.Functions, &FunctionSpec{
+				Name: name, Instances: 1 + rng.Intn(2),
+				Handler: func(ctx *Ctx) (objrt.Obj, error) {
+					acc := int64(layer*1000003 + inst*7919 + ctx.Instance)
+					for _, in := range ctx.Inputs {
+						n, err := in.Len()
+						if err != nil {
+							return objrt.Obj{}, err
+						}
+						for j := 0; j < n; j++ {
+							e, err := in.Index(j)
+							if err != nil {
+								return objrt.Obj{}, err
+							}
+							v, err := e.Int()
+							if err != nil {
+								return objrt.Obj{}, err
+							}
+							acc = acc*31 + v
+						}
+					}
+					if last {
+						ctx.Report(acc)
+						return objrt.Obj{}, nil
+					}
+					vals := make([]int64, payload)
+					for j := range vals {
+						vals[j] = acc + int64(j)
+					}
+					return ctx.RT.NewIntList(vals)
+				},
+			})
+		}
+		if l > 0 {
+			// Every node consumes a random non-empty subset of the
+			// previous layer (at least its first node).
+			for _, to := range names {
+				w.Edges = append(w.Edges, Edge{From: prev[0], To: to})
+				for _, from := range prev[1:] {
+					if rng.Intn(2) == 0 {
+						w.Edges = append(w.Edges, Edge{From: from, To: to})
+					}
+				}
+			}
+		}
+		prev = names
+	}
+	return w
+}
+
+// TestRandomDAGsAgreeAcrossModes is the repository's strongest end-to-end
+// property: for arbitrary workflow shapes, all five transfer mechanisms
+// (and the multi-hop forwarding option) must compute the identical
+// checksum — state transfer may differ in cost but never in meaning.
+func TestRandomDAGsAgreeAcrossModes(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			results := map[string]any{}
+			run := func(label string, mode Mode, opts Options) {
+				rng := rand.New(rand.NewSource(seed))
+				wf := randomWorkflow(rng)
+				e, err := NewEngine(wf, mode, opts, ClusterConfig{Machines: 4, Pods: 10})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if e.LiveRegistrations() != 0 {
+					t.Errorf("%s: leaked registrations", label)
+				}
+				results[label] = res.Output
+			}
+			for _, mode := range AllModes() {
+				run(mode.String(), mode, Options{})
+			}
+			run("rmmap+forward", ModeRMMAP, Options{ForwardRemote: true})
+			run("rmmap+adaptive", ModeRMMAPPrefetch, Options{AdaptivePrefetch: true})
+
+			want := results["messaging"]
+			if want == nil {
+				t.Fatal("no baseline result")
+			}
+			for label, got := range results {
+				if got != want {
+					t.Errorf("%s computed %v, messaging computed %v", label, got, want)
+				}
+			}
+		})
+	}
+}

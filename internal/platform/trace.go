@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"rmmap/internal/simtime"
+)
+
+// Span records one function invocation for tracing (Options.Trace).
+type Span struct {
+	Node    string
+	Pod     int
+	Machine int
+	Start   simtime.Time
+	End     simtime.Time
+	// Breakdown is the invocation's per-category work.
+	Breakdown map[string]simtime.Duration
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Overlaps reports whether two spans ran concurrently.
+func (s Span) Overlaps(o Span) bool { return s.Start < o.End && o.Start < s.End }
+
+// WriteTrace renders spans as a text timeline, sorted by start time.
+func WriteTrace(w io.Writer, spans []Span) {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tbreakdown")
+	for _, s := range sorted {
+		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%v\n",
+			s.Node, s.Pod, s.Machine,
+			simtime.Duration(s.Start), simtime.Duration(s.End), s.Duration(), s.Breakdown)
+	}
+	tw.Flush()
+}
+
+// MaxConcurrency returns the largest number of spans running at once.
+func MaxConcurrency(spans []Span) int {
+	type ev struct {
+		at    simtime.Time
+		delta int
+	}
+	var evs []ev
+	for _, s := range spans {
+		evs = append(evs, ev{s.Start, 1}, ev{s.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // end before start at the same instant
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rmmap/internal/objrt"
+)
+
+func fanWorkflow(width int) *Workflow {
+	return &Workflow{
+		Name: "fan",
+		Functions: []*FunctionSpec{
+			{Name: "src", Instances: 1, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				return ctx.RT.NewIntList(make([]int64, 200))
+			}},
+			{Name: "worker", Instances: width, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				ctx.ChargeCompute(1 << 20) // make spans long enough to overlap
+				return ctx.RT.NewInt(int64(ctx.Instance))
+			}},
+			{Name: "sink", Instances: 1, Handler: func(ctx *Ctx) (objrt.Obj, error) {
+				ctx.Report(len(ctx.Inputs))
+				return objrt.Obj{}, nil
+			}},
+		},
+		Edges: []Edge{{"src", "worker"}, {"worker", "sink"}},
+	}
+}
+
+func TestTraceRecordsAllInvocations(t *testing.T) {
+	e, err := NewEngine(fanWorkflow(6), ModeRMMAP, Options{Trace: true},
+		ClusterConfig{Machines: 4, Pods: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 8 { // 1 + 6 + 1
+		t.Fatalf("trace has %d spans, want 8", len(res.Trace))
+	}
+	for _, s := range res.Trace {
+		if s.End <= s.Start {
+			t.Errorf("span %s has non-positive duration", s.Node)
+		}
+		if len(s.Breakdown) == 0 {
+			t.Errorf("span %s has empty breakdown", s.Node)
+		}
+	}
+}
+
+func TestTraceShowsFanOutParallelism(t *testing.T) {
+	e, err := NewEngine(fanWorkflow(6), ModeMessaging, Options{Trace: true},
+		ClusterConfig{Machines: 4, Pods: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workers []Span
+	for _, s := range res.Trace {
+		if strings.HasPrefix(s.Node, "worker") {
+			workers = append(workers, s)
+		}
+	}
+	if got := MaxConcurrency(workers); got < 4 {
+		t.Errorf("worker concurrency = %d, want ≥4 with 8 pods", got)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	res := runPipeline(t, ModeMessaging, Options{})
+	if len(res.Trace) != 0 {
+		t.Errorf("trace recorded without Options.Trace: %d spans", len(res.Trace))
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	e, err := NewEngine(fanWorkflow(2), ModeMessaging, Options{Trace: true},
+		ClusterConfig{Machines: 2, Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTrace(&buf, res.Trace)
+	out := buf.String()
+	for _, want := range []string{"src#0", "worker#1", "sink#0", "pod"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	a := Span{Start: 0, End: 10}
+	b := Span{Start: 5, End: 15}
+	c := Span{Start: 10, End: 20}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping spans not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching spans should not overlap")
+	}
+	if a.Duration() != 10 {
+		t.Errorf("duration = %v", a.Duration())
+	}
+	if got := MaxConcurrency([]Span{a, b, c}); got != 2 {
+		t.Errorf("max concurrency = %d", got)
+	}
+	if got := MaxConcurrency(nil); got != 0 {
+		t.Errorf("empty concurrency = %d", got)
+	}
+}

@@ -1,0 +1,217 @@
+// Package platform is the Knative-like serverless layer of the
+// reproduction: workflow DAGs, the static virtual-memory plan (§4.2), a
+// coordinator that invokes functions and reclaims registered memory, pods
+// with container caching, a concurrency autoscaler, and the function
+// framework that wires RMMAP (or a baseline transport) into unmodified
+// function handlers.
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/simtime"
+)
+
+// Ctx is what a function handler sees: its runtime, its inputs (views of
+// upstream states — remote or local, the handler cannot tell), and the
+// meter to charge compute against.
+type Ctx struct {
+	RT    *objrt.Runtime
+	Meter *simtime.Meter
+	CM    *simtime.CostModel
+	// Inputs holds one state view per upstream producer instance, in
+	// (edge declaration, instance) order.
+	Inputs []objrt.Obj
+	// Instance and Instances identify this invocation within a fan-out
+	// (e.g. audit rule 37 of 200).
+	Instance  int
+	Instances int
+	// RequestID numbers the workflow request (1-based); handlers can use
+	// it to vary per-request work deterministically.
+	RequestID int
+	// Report lets sink functions expose a final value to the caller.
+	Report func(any)
+}
+
+// ChargeCompute is a convenience for handlers that stream over n bytes of
+// data at the calibrated compute bandwidth.
+func (c *Ctx) ChargeCompute(n int) {
+	c.Meter.Charge(simtime.CatCompute, simtime.Bytes(n, c.CM.ComputePerByte))
+}
+
+// ChargeComputeTime charges an explicit compute duration.
+func (c *Ctx) ChargeComputeTime(d simtime.Duration) {
+	c.Meter.Charge(simtime.CatCompute, d)
+}
+
+// Handler is a serverless function body. It returns the output state (a
+// Nil Obj for sinks).
+type Handler func(ctx *Ctx) (objrt.Obj, error)
+
+// FunctionSpec declares one function type of a workflow.
+type FunctionSpec struct {
+	Name string
+	// Instances is the fan-out width (the paper's "maximum concurrency"
+	// used by the planner; e.g. 200 RunAuditRules).
+	Instances int
+	// MemBudget is the per-instance address-space budget the planner
+	// partitions by (0 = DefaultMemBudget).
+	MemBudget uint64
+	// Lang selects the runtime mode.
+	Lang objrt.Lang
+	// Untrusted marks a function whose producers should not expose
+	// memory to it; edges into it fall back to messaging (§3.2).
+	Untrusted bool
+	Handler   Handler
+}
+
+// Edge declares a state transfer From → To (every From instance feeds
+// every To instance; handlers shard by Ctx.Instance).
+type Edge struct{ From, To string }
+
+// Workflow is a DAG of function specs.
+type Workflow struct {
+	Name      string
+	Functions []*FunctionSpec
+	Edges     []Edge
+}
+
+// Workflow validation errors.
+var (
+	ErrBadWorkflow = errors.New("platform: invalid workflow")
+	ErrCycle       = errors.New("platform: workflow has a cycle")
+)
+
+// Function returns a spec by name.
+func (w *Workflow) Function(name string) *FunctionSpec {
+	for _, f := range w.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Validate checks the DAG: unique names, positive widths, known edge
+// endpoints, acyclicity.
+func (w *Workflow) Validate() error {
+	if len(w.Functions) == 0 {
+		return fmt.Errorf("%w: no functions", ErrBadWorkflow)
+	}
+	seen := map[string]bool{}
+	for _, f := range w.Functions {
+		if f.Name == "" {
+			return fmt.Errorf("%w: empty function name", ErrBadWorkflow)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("%w: duplicate function %q", ErrBadWorkflow, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Instances <= 0 {
+			return fmt.Errorf("%w: %q has %d instances", ErrBadWorkflow, f.Name, f.Instances)
+		}
+		if f.Handler == nil {
+			return fmt.Errorf("%w: %q has no handler", ErrBadWorkflow, f.Name)
+		}
+	}
+	for _, e := range w.Edges {
+		if !seen[e.From] || !seen[e.To] {
+			return fmt.Errorf("%w: edge %s→%s references unknown function", ErrBadWorkflow, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: self edge on %q", ErrBadWorkflow, e.From)
+		}
+	}
+	_, err := w.TopoOrder()
+	return err
+}
+
+// TopoOrder returns function names in topological order.
+func (w *Workflow) TopoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	for _, f := range w.Functions {
+		indeg[f.Name] = 0
+	}
+	for _, e := range w.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	var queue []string
+	for _, f := range w.Functions { // declaration order for determinism
+		if indeg[f.Name] == 0 {
+			queue = append(queue, f.Name)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(w.Functions) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Producers returns the upstream function names of f in edge order.
+func (w *Workflow) Producers(f string) []string {
+	var out []string
+	for _, e := range w.Edges {
+		if e.To == f {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Consumers returns the downstream function names of f in edge order.
+func (w *Workflow) Consumers(f string) []string {
+	var out []string
+	for _, e := range w.Edges {
+		if e.From == f {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Sources returns functions with no producers.
+func (w *Workflow) Sources() []string {
+	var out []string
+	for _, f := range w.Functions {
+		if len(w.Producers(f.Name)) == 0 {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// Sinks returns functions with no consumers.
+func (w *Workflow) Sinks() []string {
+	var out []string
+	for _, f := range w.Functions {
+		if len(w.Consumers(f.Name)) == 0 {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// TotalInvocations returns the number of function instances per request.
+func (w *Workflow) TotalInvocations() int {
+	n := 0
+	for _, f := range w.Functions {
+		n += f.Instances
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+// Package rdma simulates the networking substrate RMMAP co-designs with:
+// one-sided RDMA READ of remote physical pages, doorbell-batched reads
+// (§4.4), and Fasst-style RPC over the same fabric. Two transports are
+// provided: SimFabric charges a virtual-time cost model calibrated to the
+// paper (used by all experiments), and TCPFabric moves the same bytes over
+// real sockets (used by the networked demo).
+//
+// The defining property of one-sided reads is preserved by construction:
+// SimFabric copies straight out of the remote machine's frame table without
+// involving any remote execution context, mirroring CPU/OS bypass.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// ConnectMode selects the QP-establishment path. The paper's kernel-space
+// QPs (KRCore) connect in ~10 µs; user-space verbs need ~10 ms. The
+// abl-conn ablation flips this.
+type ConnectMode int
+
+const (
+	// ConnectKernel is the KRCore fast path (default).
+	ConnectKernel ConnectMode = iota
+	// ConnectUser is the slow user-space verbs path.
+	ConnectUser
+)
+
+// PageRead names one page-sized read within a doorbell batch.
+type PageRead struct {
+	PFN memsim.PFN
+	Buf []byte // destination, at most one page
+}
+
+// Handler serves an RPC endpoint. It may charge the caller's meter to model
+// remote CPU time that sits on the caller's critical path.
+type Handler func(m *simtime.Meter, req []byte) ([]byte, error)
+
+// Transport is the per-machine NIC view the RMMAP kernel uses.
+type Transport interface {
+	// Owner is the machine this NIC belongs to.
+	Owner() memsim.MachineID
+	// Read performs a one-sided read of [off, off+len(buf)) within a
+	// remote physical frame.
+	Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, off int, buf []byte) error
+	// ReadPages performs a doorbell-batched read of several remote frames
+	// in one fabric roundtrip.
+	ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error
+	// Call performs an RPC to a named endpoint on the target machine.
+	Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error)
+}
+
+// Errors.
+var (
+	ErrNoMachine  = errors.New("rdma: unknown target machine")
+	ErrNoEndpoint = errors.New("rdma: unknown RPC endpoint")
+)
+
+// SimFabric is the cluster interconnect: a registry of machines and their
+// RPC endpoints. Create one per simulated cluster, then a NIC per machine.
+type SimFabric struct {
+	mu       sync.Mutex
+	cm       *simtime.CostModel
+	machines map[memsim.MachineID]*memsim.Machine
+	handlers map[memsim.MachineID]map[string]Handler
+
+	// Telemetry for the factor analysis and ablations.
+	reads      int
+	batchReads int
+	rpcs       int
+	bytesRead  int64
+}
+
+// NewSimFabric returns an empty fabric charging from cm.
+func NewSimFabric(cm *simtime.CostModel) *SimFabric {
+	return &SimFabric{
+		cm:       cm,
+		machines: make(map[memsim.MachineID]*memsim.Machine),
+		handlers: make(map[memsim.MachineID]map[string]Handler),
+	}
+}
+
+// Attach registers a machine on the fabric.
+func (f *SimFabric) Attach(m *memsim.Machine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.machines[m.ID()] = m
+}
+
+// HandleFunc registers an RPC endpoint served by machine id.
+func (f *SimFabric) HandleFunc(id memsim.MachineID, endpoint string, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.handlers[id] == nil {
+		f.handlers[id] = make(map[string]Handler)
+	}
+	f.handlers[id][endpoint] = h
+}
+
+// Stats reports cumulative fabric activity: one-sided reads, doorbell
+// batches, RPCs, and total bytes read.
+func (f *SimFabric) Stats() (reads, batches, rpcs int, bytesRead int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.batchReads, f.rpcs, f.bytesRead
+}
+
+// ResetStats zeroes the telemetry counters.
+func (f *SimFabric) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads, f.batchReads, f.rpcs, f.bytesRead = 0, 0, 0, 0
+}
+
+func (f *SimFabric) machine(id memsim.MachineID) (*memsim.Machine, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.machines[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoMachine, id)
+	}
+	return m, nil
+}
+
+// readBase is the fixed one-sided READ cost excluding line-rate bytes,
+// derived so that a full 4 KB page costs exactly RDMAPageRead.
+func readBase(cm *simtime.CostModel) simtime.Duration {
+	base := cm.RDMAPageRead - simtime.Bytes(memsim.PageSize, cm.RDMAPerByte)
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// NIC is one machine's fabric client. It caches connections: the first
+// operation to a previously uncontacted machine pays the QP-establishment
+// cost for its ConnectMode.
+type NIC struct {
+	owner  memsim.MachineID
+	fabric *SimFabric
+	Mode   ConnectMode
+	conns  map[memsim.MachineID]bool
+}
+
+// NewNIC returns a NIC for machine owner on fabric f.
+func NewNIC(owner memsim.MachineID, f *SimFabric) *NIC {
+	return &NIC{owner: owner, fabric: f, conns: make(map[memsim.MachineID]bool)}
+}
+
+// Owner implements Transport.
+func (n *NIC) Owner() memsim.MachineID { return n.owner }
+
+// Connections reports how many distinct peers this NIC has connected to.
+func (n *NIC) Connections() int { return len(n.conns) }
+
+func (n *NIC) connect(m *simtime.Meter, target memsim.MachineID) {
+	if target == n.owner || n.conns[target] {
+		return
+	}
+	n.conns[target] = true
+	cost := n.fabric.cm.RDMAConnectKernel
+	if n.Mode == ConnectUser {
+		cost = n.fabric.cm.RDMAConnectUser
+	}
+	m.Charge(simtime.CatMap, cost)
+}
+
+// Read implements Transport. Local reads skip the fabric (and its costs).
+func (n *NIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, off int, buf []byte) error {
+	mach, err := n.fabric.machine(target)
+	if err != nil {
+		return err
+	}
+	if target != n.owner {
+		n.connect(m, target)
+		cm := n.fabric.cm
+		m.Charge(simtime.CatFault, readBase(cm)+simtime.Bytes(len(buf), cm.RDMAPerByte))
+		n.fabric.mu.Lock()
+		n.fabric.reads++
+		n.fabric.bytesRead += int64(len(buf))
+		n.fabric.mu.Unlock()
+	}
+	mach.ReadFrame(pfn, off, buf)
+	return nil
+}
+
+// ReadPages implements Transport: one doorbell-batched roundtrip reading
+// many pages (§4.4). Cost: DoorbellBase + per-page NIC processing +
+// line-rate bytes — the reason batched prefetch beats per-fault reads.
+func (n *NIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	mach, err := n.fabric.machine(target)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Buf)
+	}
+	if target != n.owner {
+		n.connect(m, target)
+		cm := n.fabric.cm
+		m.Charge(simtime.CatFault,
+			cm.DoorbellBase+
+				simtime.Scale(cm.DoorbellPerPage, len(reqs))+
+				simtime.Bytes(total, cm.RDMAPerByte))
+		n.fabric.mu.Lock()
+		n.fabric.batchReads++
+		n.fabric.bytesRead += int64(total)
+		n.fabric.mu.Unlock()
+	}
+	for _, r := range reqs {
+		if len(r.Buf) > memsim.PageSize {
+			return fmt.Errorf("rdma: batch entry exceeds page size: %d", len(r.Buf))
+		}
+		mach.ReadFrame(r.PFN, 0, r.Buf)
+	}
+	return nil
+}
+
+// Call implements Transport: a Fasst-style RPC roundtrip on the fabric,
+// charged to the map category (rmap's auth/page-table RPC).
+func (n *NIC) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	return n.CallCat(m, simtime.CatMap, target, endpoint, req)
+}
+
+// CallCat is Call with an explicit charge category; the RPC-paging
+// ablation (Fig 15) routes page fetches through it under CatFault.
+func (n *NIC) CallCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	n.fabric.mu.Lock()
+	h := n.fabric.handlers[target][endpoint]
+	n.fabric.rpcs++
+	n.fabric.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: machine %d %q", ErrNoEndpoint, target, endpoint)
+	}
+	if target != n.owner {
+		n.connect(m, target)
+	}
+	cm := n.fabric.cm
+	m.Charge(cat, cm.RPCBase+simtime.Bytes(len(req), cm.RPCPerByte))
+	resp, err := h(m, req)
+	if err != nil {
+		return nil, err
+	}
+	m.Charge(cat, simtime.Bytes(len(resp), cm.RPCPerByte))
+	return resp, nil
+}

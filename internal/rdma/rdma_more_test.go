@@ -1,0 +1,143 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+func TestCallCatChargesChosenCategory(t *testing.T) {
+	f, _, nics := newCluster(t, 2)
+	f.HandleFunc(1, "page", func(m *simtime.Meter, req []byte) ([]byte, error) {
+		return make([]byte, memsim.PageSize), nil
+	})
+	m := simtime.NewMeter()
+	if _, err := nics[0].CallCat(m, simtime.CatFault, 1, "page", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(simtime.CatFault) == 0 {
+		t.Error("CallCat did not charge the fault category")
+	}
+	// Connect cost still lands in map.
+	if m.Get(simtime.CatMap) == 0 {
+		t.Error("connect charge missing")
+	}
+}
+
+func TestRPCHandlerErrorPropagates(t *testing.T) {
+	f, _, nics := newCluster(t, 2)
+	boom := errors.New("remote kaboom")
+	f.HandleFunc(1, "explode", func(m *simtime.Meter, req []byte) ([]byte, error) {
+		return nil, boom
+	})
+	if _, err := nics[0].Call(simtime.NewMeter(), 1, "explode", nil); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBatchEntryTooLarge(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	err := nics[0].ReadPages(simtime.NewMeter(), 1,
+		[]PageRead{{PFN: pfn, Buf: make([]byte, memsim.PageSize+1)}})
+	if err == nil {
+		t.Error("oversized batch entry accepted")
+	}
+}
+
+func TestConnectModePerPeer(t *testing.T) {
+	_, machines, nics := newCluster(t, 3)
+	p1 := machines[1].AllocFrame()
+	p2 := machines[2].AllocFrame()
+	m := simtime.NewMeter()
+	_ = nics[0].Read(m, 1, p1, 0, make([]byte, 1))
+	_ = nics[0].Read(m, 2, p2, 0, make([]byte, 1))
+	if nics[0].Connections() != 2 {
+		t.Errorf("connections = %d, want 2", nics[0].Connections())
+	}
+	want := simtime.Scale(simtime.DefaultCostModel().RDMAConnectKernel, 2)
+	if got := m.Get(simtime.CatMap); got != want {
+		t.Errorf("connect charges = %v, want %v", got, want)
+	}
+}
+
+// Property: a one-sided read of any (offset, length) within a page returns
+// exactly the bytes the remote frame holds.
+func TestOneSidedReadProperty(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	content := make([]byte, memsim.PageSize)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	machines[1].WriteFrame(pfn, 0, content)
+	f := func(off, n uint16) bool {
+		o := int(off) % memsim.PageSize
+		l := int(n) % (memsim.PageSize - o)
+		if l == 0 {
+			return true
+		}
+		buf := make([]byte, l)
+		if nics[0].Read(simtime.NewMeter(), 1, pfn, o, buf) != nil {
+			return false
+		}
+		for i := range buf {
+			if buf[i] != content[o+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadChargesScaleWithBytes(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	cost := func(n int) simtime.Duration {
+		m := simtime.NewMeter()
+		nic := NewNIC(0, nics[0].fabric)
+		if err := nic.Read(m, 1, pfn, 0, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+		return m.Get(simtime.CatFault)
+	}
+	if cost(4096) <= cost(64) {
+		t.Error("full-page read not more expensive than 64B read")
+	}
+}
+
+func TestFabricManyMachines(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	f := NewSimFabric(cm)
+	const n = 16
+	var machines []*memsim.Machine
+	for i := 0; i < n; i++ {
+		m := memsim.NewMachine(memsim.MachineID(i))
+		f.Attach(m)
+		machines = append(machines, m)
+		id := i
+		f.HandleFunc(m.ID(), "who", func(meter *simtime.Meter, req []byte) ([]byte, error) {
+			return []byte(fmt.Sprintf("m%d", id)), nil
+		})
+	}
+	nic := NewNIC(0, f)
+	for i := 1; i < n; i++ {
+		resp, err := nic.Call(simtime.NewMeter(), memsim.MachineID(i), "who", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != fmt.Sprintf("m%d", i) {
+			t.Errorf("machine %d answered %q", i, resp)
+		}
+	}
+	if nic.Connections() != n-1 {
+		t.Errorf("connections = %d", nic.Connections())
+	}
+}

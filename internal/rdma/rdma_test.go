@@ -1,0 +1,298 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+func newCluster(t *testing.T, n int) (*SimFabric, []*memsim.Machine, []*NIC) {
+	t.Helper()
+	cm := simtime.DefaultCostModel()
+	f := NewSimFabric(cm)
+	machines := make([]*memsim.Machine, n)
+	nics := make([]*NIC, n)
+	for i := 0; i < n; i++ {
+		machines[i] = memsim.NewMachine(memsim.MachineID(i))
+		f.Attach(machines[i])
+		nics[i] = NewNIC(memsim.MachineID(i), f)
+	}
+	return f, machines, nics
+}
+
+func TestOneSidedRead(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	machines[1].WriteFrame(pfn, 100, []byte("remote bytes"))
+
+	m := simtime.NewMeter()
+	buf := make([]byte, 12)
+	if err := nics[0].Read(m, 1, pfn, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "remote bytes" {
+		t.Errorf("got %q", buf)
+	}
+	if m.Get(simtime.CatFault) == 0 {
+		t.Error("remote read charged nothing")
+	}
+}
+
+func TestLocalReadIsFree(t *testing.T) {
+	_, machines, nics := newCluster(t, 1)
+	pfn := machines[0].AllocFrame()
+	machines[0].WriteFrame(pfn, 0, []byte("local"))
+	m := simtime.NewMeter()
+	buf := make([]byte, 5)
+	if err := nics[0].Read(m, 0, pfn, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 0 {
+		t.Errorf("local read charged %v", m.Total())
+	}
+}
+
+func TestFullPageReadCostMatchesPaper(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	m := simtime.NewMeter()
+	buf := make([]byte, memsim.PageSize)
+	if err := nics[0].Read(m, 1, pfn, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	cm := simtime.DefaultCostModel()
+	want := cm.RDMAConnectKernel // first contact
+	got := m.Get(simtime.CatMap)
+	if got != want {
+		t.Errorf("connect charge = %v, want %v", got, want)
+	}
+	if got := m.Get(simtime.CatFault); got != cm.RDMAPageRead {
+		t.Errorf("page read = %v, want %v (paper: 2us RDMA part of 3.7us)", got, cm.RDMAPageRead)
+	}
+}
+
+func TestConnectionCachedAcrossOps(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	m := simtime.NewMeter()
+	buf := make([]byte, 8)
+	for i := 0; i < 5; i++ {
+		if err := nics[0].Read(m, 1, pfn, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nics[0].Connections() != 1 {
+		t.Errorf("connections = %d, want 1", nics[0].Connections())
+	}
+	if got, want := m.Get(simtime.CatMap), simtime.DefaultCostModel().RDMAConnectKernel; got != want {
+		t.Errorf("connect charged %v, want once (%v)", got, want)
+	}
+}
+
+func TestUserSpaceConnectSlower(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	nics[0].Mode = ConnectUser
+	m := simtime.NewMeter()
+	if err := nics[0].Read(m, 1, pfn, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(simtime.CatMap); got != simtime.DefaultCostModel().RDMAConnectUser {
+		t.Errorf("user connect = %v", got)
+	}
+}
+
+func TestDoorbellBatchCheaperThanSingles(t *testing.T) {
+	_, machines, nics := newCluster(t, 2)
+	const pages = 64
+	reqs := make([]PageRead, pages)
+	for i := range reqs {
+		pfn := machines[1].AllocFrame()
+		machines[1].WriteFrame(pfn, 0, []byte{byte(i)})
+		reqs[i] = PageRead{PFN: pfn, Buf: make([]byte, memsim.PageSize)}
+	}
+
+	batched := simtime.NewMeter()
+	if err := nics[0].ReadPages(batched, 1, reqs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if r.Buf[0] != byte(i) {
+			t.Fatalf("batch data wrong at %d", i)
+		}
+	}
+
+	single := simtime.NewMeter()
+	nic2 := NewNIC(0, nics[0].fabric)
+	for _, r := range reqs {
+		if err := nic2.Read(single, 1, r.PFN, 0, r.Buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.Get(simtime.CatFault) >= single.Get(simtime.CatFault) {
+		t.Errorf("doorbell batch (%v) not cheaper than %d singles (%v)",
+			batched.Get(simtime.CatFault), pages, single.Get(simtime.CatFault))
+	}
+}
+
+func TestReadPagesEmpty(t *testing.T) {
+	_, _, nics := newCluster(t, 2)
+	if err := nics[0].ReadPages(simtime.NewMeter(), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPC(t *testing.T) {
+	f, _, nics := newCluster(t, 2)
+	f.HandleFunc(1, "echo", func(m *simtime.Meter, req []byte) ([]byte, error) {
+		return append([]byte("re:"), req...), nil
+	})
+	m := simtime.NewMeter()
+	resp, err := nics[0].Call(m, 1, "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:ping" {
+		t.Errorf("resp = %q", resp)
+	}
+	if m.Get(simtime.CatMap) < simtime.DefaultCostModel().RPCBase {
+		t.Error("RPC charged less than base cost")
+	}
+}
+
+func TestRPCUnknownEndpoint(t *testing.T) {
+	_, _, nics := newCluster(t, 2)
+	_, err := nics[0].Call(simtime.NewMeter(), 1, "nope", nil)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	_, _, nics := newCluster(t, 1)
+	err := nics[0].Read(simtime.NewMeter(), 99, 0, 0, make([]byte, 1))
+	if !errors.Is(err, ErrNoMachine) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFabricStats(t *testing.T) {
+	f, machines, nics := newCluster(t, 2)
+	pfn := machines[1].AllocFrame()
+	m := simtime.NewMeter()
+	_ = nics[0].Read(m, 1, pfn, 0, make([]byte, 100))
+	_ = nics[0].ReadPages(m, 1, []PageRead{{PFN: pfn, Buf: make([]byte, 50)}})
+	reads, batches, rpcs, bytesRead := f.Stats()
+	if reads != 1 || batches != 1 || rpcs != 0 || bytesRead != 150 {
+		t.Errorf("stats = %d %d %d %d", reads, batches, rpcs, bytesRead)
+	}
+	f.ResetStats()
+	if r, b, p, by := f.Stats(); r+b+p != 0 || by != 0 {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+// --- TCP fabric ---
+
+func TestTCPReadAndBatch(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	f := NewTCPFabric(cm)
+	remote := memsim.NewMachine(1)
+	srv, err := f.Serve(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := memsim.NewMachine(0)
+	nic := NewTCPNIC(local, f)
+	defer nic.Close()
+
+	pfn := remote.AllocFrame()
+	remote.WriteFrame(pfn, 8, []byte("over the wire"))
+
+	m := simtime.NewMeter()
+	buf := make([]byte, 13)
+	if err := nic.Read(m, 1, pfn, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "over the wire" {
+		t.Errorf("got %q", buf)
+	}
+	if m.Get(simtime.CatFault) == 0 {
+		t.Error("TCP read charged nothing")
+	}
+
+	// Batch of two pages.
+	p2 := remote.AllocFrame()
+	remote.WriteFrame(p2, 0, []byte("page-two"))
+	reqs := []PageRead{
+		{PFN: pfn, Buf: make([]byte, 32)},
+		{PFN: p2, Buf: make([]byte, 8)},
+	}
+	if err := nic.ReadPages(m, 1, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(reqs[0].Buf, []byte("over the wire")) {
+		t.Errorf("batch page 0 = %q", reqs[0].Buf)
+	}
+	if string(reqs[1].Buf) != "page-two" {
+		t.Errorf("batch page 1 = %q", reqs[1].Buf)
+	}
+}
+
+func TestTCPRPC(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	f := NewTCPFabric(cm)
+	remote := memsim.NewMachine(1)
+	srv, err := f.Serve(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.HandleFunc("double", func(m *simtime.Meter, req []byte) ([]byte, error) {
+		return append(req, req...), nil
+	})
+
+	local := memsim.NewMachine(0)
+	nic := NewTCPNIC(local, f)
+	defer nic.Close()
+
+	resp, err := nic.Call(simtime.NewMeter(), 1, "double", []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "abab" {
+		t.Errorf("resp = %q", resp)
+	}
+	// Error propagation.
+	if _, err := nic.Call(simtime.NewMeter(), 1, "missing", nil); err == nil {
+		t.Error("expected remote endpoint error")
+	}
+}
+
+func TestTCPLocalFastPath(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	f := NewTCPFabric(cm)
+	local := memsim.NewMachine(0)
+	nic := NewTCPNIC(local, f)
+	pfn := local.AllocFrame()
+	local.WriteFrame(pfn, 0, []byte("local"))
+	m := simtime.NewMeter()
+	buf := make([]byte, 5)
+	if err := nic.Read(m, 0, pfn, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "local" || m.Total() != 0 {
+		t.Errorf("local fast path: %q, charge %v", buf, m.Total())
+	}
+}
+
+// Transport conformance: both NIC types satisfy the interface.
+var (
+	_ Transport = (*NIC)(nil)
+	_ Transport = (*TCPNIC)(nil)
+)

@@ -1,0 +1,385 @@
+package rdma
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// TCPFabric moves the same bytes as SimFabric over real TCP sockets. It
+// exists to demonstrate that the RMMAP protocol state machine (register →
+// fetch page table → fault → read remote frame) runs unmodified across a
+// real network boundary; cmd/rmmap-net uses it. Virtual-time charges are
+// applied identically so meters remain meaningful.
+//
+// Wire protocol (all little-endian, each message length-prefixed u32):
+//
+//	request:  op u8 | body
+//	  op=1 (read):  pfn u64, off u32, n u32
+//	  op=2 (batch): count u32, then count × (pfn u64, n u32)
+//	  op=3 (rpc):   epLen u16, endpoint, payload
+//	response: status u8 (0 ok, 1 error) | payload-or-error-text
+type TCPFabric struct {
+	cm *simtime.CostModel
+
+	mu    sync.Mutex
+	addrs map[memsim.MachineID]string
+}
+
+const (
+	opRead  = 1
+	opBatch = 2
+	opRPC   = 3
+)
+
+// NewTCPFabric returns a fabric whose charges come from cm.
+func NewTCPFabric(cm *simtime.CostModel) *TCPFabric {
+	return &TCPFabric{cm: cm, addrs: make(map[memsim.MachineID]string)}
+}
+
+// TCPServer serves one machine's frames and RPC endpoints.
+type TCPServer struct {
+	machine *memsim.Machine
+	ln      net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Serve starts a server for machine m on addr (use "127.0.0.1:0" to pick a
+// free port) and registers its address on the fabric.
+func (f *TCPFabric) Serve(m *memsim.Machine, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{machine: m, ln: ln, handlers: make(map[string]Handler)}
+	f.mu.Lock()
+	f.addrs[m.ID()] = ln.Addr().String()
+	f.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// HandleFunc registers an RPC endpoint on the server.
+func (s *TCPServer) HandleFunc(endpoint string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[endpoint] = h
+}
+
+// Addr returns the listening address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for its goroutines.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := readMsg(r)
+		if err != nil {
+			return
+		}
+		resp, herr := s.dispatch(req)
+		if herr != nil {
+			resp = append([]byte{1}, []byte(herr.Error())...)
+		} else {
+			resp = append([]byte{0}, resp...)
+		}
+		if err := writeMsg(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *TCPServer) dispatch(req []byte) ([]byte, error) {
+	if len(req) < 1 {
+		return nil, fmt.Errorf("rdma/tcp: empty request")
+	}
+	body := req[1:]
+	switch req[0] {
+	case opRead:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("rdma/tcp: bad read request")
+		}
+		pfn := memsim.PFN(binary.LittleEndian.Uint64(body))
+		off := int(binary.LittleEndian.Uint32(body[8:]))
+		n := int(binary.LittleEndian.Uint32(body[12:]))
+		if off < 0 || n < 0 || off+n > memsim.PageSize {
+			return nil, fmt.Errorf("rdma/tcp: read out of page bounds")
+		}
+		buf := make([]byte, n)
+		s.machine.ReadFrame(pfn, off, buf)
+		return buf, nil
+	case opBatch:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("rdma/tcp: bad batch request")
+		}
+		count := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if len(body) != count*12 {
+			return nil, fmt.Errorf("rdma/tcp: bad batch body")
+		}
+		var out []byte
+		for i := 0; i < count; i++ {
+			pfn := memsim.PFN(binary.LittleEndian.Uint64(body[i*12:]))
+			n := int(binary.LittleEndian.Uint32(body[i*12+8:]))
+			if n < 0 || n > memsim.PageSize {
+				return nil, fmt.Errorf("rdma/tcp: batch entry too large")
+			}
+			buf := make([]byte, n)
+			s.machine.ReadFrame(pfn, 0, buf)
+			out = append(out, buf...)
+		}
+		return out, nil
+	case opRPC:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("rdma/tcp: bad rpc request")
+		}
+		epLen := int(binary.LittleEndian.Uint16(body))
+		if len(body) < 2+epLen {
+			return nil, fmt.Errorf("rdma/tcp: bad rpc endpoint")
+		}
+		ep := string(body[2 : 2+epLen])
+		s.mu.Lock()
+		h := s.handlers[ep]
+		s.mu.Unlock()
+		if h == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, ep)
+		}
+		// RPC handlers on the TCP path charge a throwaway meter: the
+		// remote side's virtual time is not on this wall-clock path.
+		return h(simtime.NewMeter(), body[2+epLen:])
+	default:
+		return nil, fmt.Errorf("rdma/tcp: unknown op %d", req[0])
+	}
+}
+
+func readMsg(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("rdma/tcp: message too large: %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeMsg(w io.Writer, msg []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// TCPNIC is a machine's client on a TCPFabric.
+type TCPNIC struct {
+	owner  memsim.MachineID
+	fabric *TCPFabric
+	local  *memsim.Machine // fast path for same-machine reads
+
+	mu    sync.Mutex
+	conns map[memsim.MachineID]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewTCPNIC returns a NIC for machine local on fabric f.
+func NewTCPNIC(local *memsim.Machine, f *TCPFabric) *TCPNIC {
+	return &TCPNIC{owner: local.ID(), fabric: f, local: local, conns: make(map[memsim.MachineID]*tcpConn)}
+}
+
+// Owner implements Transport.
+func (n *TCPNIC) Owner() memsim.MachineID { return n.owner }
+
+// Close drops all cached connections.
+func (n *TCPNIC) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.conns {
+		c.conn.Close()
+	}
+	n.conns = make(map[memsim.MachineID]*tcpConn)
+}
+
+func (n *TCPNIC) conn(target memsim.MachineID) (*tcpConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.conns[target]; ok {
+		return c, nil
+	}
+	n.fabric.mu.Lock()
+	addr, ok := n.fabric.addrs[target]
+	n.fabric.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoMachine, target)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+	n.conns[target] = c
+	return c, nil
+}
+
+func (c *tcpConn) roundtrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readMsg(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, fmt.Errorf("rdma/tcp: empty response")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("rdma/tcp: remote error: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+// Read implements Transport over TCP.
+func (n *TCPNIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, off int, buf []byte) error {
+	if target == n.owner {
+		n.local.ReadFrame(pfn, off, buf)
+		return nil
+	}
+	c, err := n.conn(target)
+	if err != nil {
+		return err
+	}
+	req := make([]byte, 17)
+	req[0] = opRead
+	binary.LittleEndian.PutUint64(req[1:], uint64(pfn))
+	binary.LittleEndian.PutUint32(req[9:], uint32(off))
+	binary.LittleEndian.PutUint32(req[13:], uint32(len(buf)))
+	resp, err := c.roundtrip(req)
+	if err != nil {
+		return err
+	}
+	if len(resp) != len(buf) {
+		return fmt.Errorf("rdma/tcp: short read: %d != %d", len(resp), len(buf))
+	}
+	copy(buf, resp)
+	m.Charge(simtime.CatFault, readBase(n.fabric.cm)+simtime.Bytes(len(buf), n.fabric.cm.RDMAPerByte))
+	return nil
+}
+
+// ReadPages implements Transport over TCP with one roundtrip.
+func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if target == n.owner {
+		for _, r := range reqs {
+			n.local.ReadFrame(r.PFN, 0, r.Buf)
+		}
+		return nil
+	}
+	c, err := n.conn(target)
+	if err != nil {
+		return err
+	}
+	req := make([]byte, 5+12*len(reqs))
+	req[0] = opBatch
+	binary.LittleEndian.PutUint32(req[1:], uint32(len(reqs)))
+	total := 0
+	for i, r := range reqs {
+		binary.LittleEndian.PutUint64(req[5+i*12:], uint64(r.PFN))
+		binary.LittleEndian.PutUint32(req[5+i*12+8:], uint32(len(r.Buf)))
+		total += len(r.Buf)
+	}
+	resp, err := c.roundtrip(req)
+	if err != nil {
+		return err
+	}
+	if len(resp) != total {
+		return fmt.Errorf("rdma/tcp: short batch read: %d != %d", len(resp), total)
+	}
+	for _, r := range reqs {
+		copy(r.Buf, resp[:len(r.Buf)])
+		resp = resp[len(r.Buf):]
+	}
+	cm := n.fabric.cm
+	m.Charge(simtime.CatFault,
+		cm.DoorbellBase+simtime.Scale(cm.DoorbellPerPage, len(reqs))+simtime.Bytes(total, cm.RDMAPerByte))
+	return nil
+}
+
+// Call implements Transport over TCP.
+func (n *TCPNIC) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	c, err := n.conn(target)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 3+len(endpoint)+len(req))
+	msg[0] = opRPC
+	binary.LittleEndian.PutUint16(msg[1:], uint16(len(endpoint)))
+	copy(msg[3:], endpoint)
+	copy(msg[3+len(endpoint):], req)
+	resp, err := c.roundtrip(msg)
+	if err != nil {
+		return nil, err
+	}
+	cm := n.fabric.cm
+	m.Charge(simtime.CatMap, cm.RPCBase+simtime.Bytes(len(req)+len(resp), cm.RPCPerByte))
+	return resp, nil
+}

@@ -1,0 +1,97 @@
+// Package rfork implements a MITOSIS-style remote fork (OSDI'23, cited as
+// the paper's closest prior work): a child container on another machine
+// starts as a copy-on-write clone of the parent's entire address space,
+// fetched on demand over RDMA. Like RMMAP, fork eliminates
+// (de)serialization — the child sees the parent's objects at their
+// original addresses "for free".
+//
+// The limitation the paper calls out (§7) falls out of the construction:
+// a child has exactly ONE parent. A consumer that must read states from
+// several producers cannot be forked from all of them — their address
+// spaces occupy the same ranges (every instance of a function type is
+// built from the same image), so cloning a second parent collides. RMMAP's
+// per-instance address planning is precisely what removes that collision.
+// TestForkCannotMergeTwoParents and the abl-fork experiment demonstrate
+// both halves.
+package rfork
+
+import (
+	"fmt"
+
+	"rmmap/internal/kernel"
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// ForkMeta identifies a prepared (registered) parent image.
+type ForkMeta struct {
+	kernel.VMMeta
+	// VMAs records the parent's mapped regions so the child can rebuild
+	// the same address-space structure.
+	VMAs []RegionMeta
+}
+
+// RegionMeta is one parent VMA.
+type RegionMeta struct {
+	Start, End uint64
+	Kind       memsim.VMAKind
+	Writable   bool
+}
+
+// Prepare snapshots the parent for forking: it registers the parent's
+// whole mapped span with the RMMAP kernel (CoW + shadow copies — the same
+// machinery MITOSIS builds specially) and records the VMA structure.
+func Prepare(k *kernel.Kernel, as *memsim.AddressSpace, id kernel.FuncID, key kernel.Key) (ForkMeta, error) {
+	vmas := as.VMAs()
+	if len(vmas) == 0 {
+		return ForkMeta{}, fmt.Errorf("rfork: parent has no mappings")
+	}
+	lo, hi := vmas[0].Start, vmas[0].End
+	meta := ForkMeta{}
+	for _, v := range vmas {
+		if v.Start < lo {
+			lo = v.Start
+		}
+		if v.End > hi {
+			hi = v.End
+		}
+		meta.VMAs = append(meta.VMAs, RegionMeta{Start: v.Start, End: v.End, Kind: v.Kind, Writable: v.Writable})
+	}
+	vm, err := k.RegisterMem(as, id, key, lo, hi)
+	if err != nil {
+		return ForkMeta{}, err
+	}
+	meta.VMMeta = vm
+	return meta, nil
+}
+
+// Child is a forked container: an address space whose contents lazily
+// materialize from the parent.
+type Child struct {
+	AS      *memsim.AddressSpace
+	mapping *kernel.Mapping
+}
+
+// Fork clones the parent image into a fresh address space on the child
+// kernel's machine. The child's pages are private CoW copies faulted from
+// the parent — it may read and write freely without affecting the parent.
+func Fork(k *kernel.Kernel, cm *simtime.CostModel, meta ForkMeta) (*Child, error) {
+	as := memsim.NewAddressSpace(k.Machine(), cm)
+	as.SetMeter(simtime.NewMeter())
+	return ForkInto(k, as, meta)
+}
+
+// ForkInto clones the parent image into an existing address space — which
+// is where the single-parent limitation bites: if as already holds a
+// previous parent's ranges (every same-image container occupies the same
+// addresses), the clone fails with a VMA conflict.
+func ForkInto(k *kernel.Kernel, as *memsim.AddressSpace, meta ForkMeta) (*Child, error) {
+	mp, err := k.Rmap(as, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End)
+	if err != nil {
+		return nil, fmt.Errorf("rfork: cannot clone parent %d: %w", meta.ID, err)
+	}
+	return &Child{AS: as, mapping: mp}, nil
+}
+
+// Release tears the child's clone down.
+func (c *Child) Release() error { return c.mapping.Unmap() }

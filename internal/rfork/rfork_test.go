@@ -1,0 +1,166 @@
+package rfork
+
+import (
+	"errors"
+	"testing"
+
+	"rmmap/internal/kernel"
+	"rmmap/internal/memsim"
+	"rmmap/internal/objrt"
+	"rmmap/internal/rdma"
+	"rmmap/internal/simtime"
+)
+
+type rig struct {
+	cm      *simtime.CostModel
+	fabric  *rdma.SimFabric
+	kernels []*kernel.Kernel
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{cm: simtime.DefaultCostModel()}
+	r.fabric = rdma.NewSimFabric(r.cm)
+	for i := 0; i < n; i++ {
+		m := memsim.NewMachine(memsim.MachineID(i))
+		r.fabric.Attach(m)
+		k := kernel.New(m, rdma.NewNIC(m.ID(), r.fabric), r.cm)
+		k.ServeRPC(r.fabric)
+		r.kernels = append(r.kernels, k)
+	}
+	return r
+}
+
+// parent builds a producer container at the standard image layout: heap at
+// a fixed base, like every instance built from the same container image.
+func parent(t *testing.T, r *rig, machine int, id kernel.FuncID, val string) (ForkMeta, objrt.Obj) {
+	t.Helper()
+	as := memsim.NewAddressSpace(r.kernels[machine].Machine(), r.cm)
+	as.SetMeter(simtime.NewMeter())
+	rt, err := objrt.NewRuntime(as, objrt.Config{HeapStart: 0x4000_0000, HeapEnd: 0x4100_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := rt.NewStr(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := Prepare(r.kernels[machine], as, id, kernel.Key(id)*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta, obj
+}
+
+func TestForkSeesParentState(t *testing.T) {
+	r := newRig(t, 2)
+	meta, obj := parent(t, r, 0, 1, "forked-state")
+	child, err := Fork(r.kernels[1], r.cm, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Release()
+	// The child reads the parent's object at the parent's address — the
+	// (de)serialization-free property fork shares with rmap.
+	childRT, err := objrt.NewRuntime(child.AS, objrt.Config{HeapStart: 0x9000_0000, HeapEnd: 0x9100_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.View(childRT).Str()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "forked-state" {
+		t.Errorf("child read %q", got)
+	}
+}
+
+func TestForkChildWritesArePrivate(t *testing.T) {
+	r := newRig(t, 2)
+	meta, obj := parent(t, r, 0, 2, "original")
+	child, err := Fork(r.kernels[1], r.cm, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Release()
+	if err := child.AS.Write(obj.Addr+objrt.HeaderSize, []byte("MUTATED!")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := obj.Str(); got != "original" {
+		t.Errorf("parent corrupted: %q", got)
+	}
+}
+
+func TestForkCannotMergeTwoParents(t *testing.T) {
+	// The §7 limitation: two producers of the same image occupy the same
+	// address ranges, so a consumer cannot be forked from both — while
+	// rmap with planned (disjoint) heaps merges them fine.
+	r := newRig(t, 3)
+	metaA, _ := parent(t, r, 0, 10, "from-A")
+	metaB, _ := parent(t, r, 1, 11, "from-B")
+
+	consumer := memsim.NewAddressSpace(r.kernels[2].Machine(), r.cm)
+	consumer.SetMeter(simtime.NewMeter())
+	if _, err := ForkInto(r.kernels[2], consumer, metaA); err != nil {
+		t.Fatalf("first fork: %v", err)
+	}
+	_, err := ForkInto(r.kernels[2], consumer, metaB)
+	if !errors.Is(err, memsim.ErrVMAOverlap) {
+		t.Fatalf("second fork err = %v, want VMA overlap", err)
+	}
+}
+
+func TestRmapMergesWherForkCannot(t *testing.T) {
+	// Counterpart: with RMMAP-style planned heaps the same consumer maps
+	// both producers.
+	r := newRig(t, 3)
+	mk := func(machine int, id kernel.FuncID, heapStart uint64, val string) (kernel.VMMeta, objrt.Obj) {
+		as := memsim.NewAddressSpace(r.kernels[machine].Machine(), r.cm)
+		as.SetMeter(simtime.NewMeter())
+		rt, err := objrt.NewRuntime(as, objrt.Config{HeapStart: heapStart, HeapEnd: heapStart + 0x100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := rt.NewStr(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := r.kernels[machine].RegisterMem(as, id, kernel.Key(id), heapStart, heapStart+0x100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meta, obj
+	}
+	metaA, objA := mk(0, 20, 0x4000_0000, "from-A")
+	metaB, objB := mk(1, 21, 0x5000_0000, "from-B")
+
+	cons := memsim.NewAddressSpace(r.kernels[2].Machine(), r.cm)
+	cons.SetMeter(simtime.NewMeter())
+	consRT, err := objrt.NewRuntime(cons, objrt.Config{HeapStart: 0x9000_0000, HeapEnd: 0x9100_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpA, err := r.kernels[2].Rmap(cons, metaA.Machine, metaA.ID, metaA.Key, metaA.Start, metaA.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mpA.Unmap()
+	mpB, err := r.kernels[2].Rmap(cons, metaB.Machine, metaB.ID, metaB.Key, metaB.Start, metaB.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mpB.Unmap()
+	a, _ := objA.View(consRT).Str()
+	b, _ := objB.View(consRT).Str()
+	if a != "from-A" || b != "from-B" {
+		t.Errorf("merged reads: %q %q", a, b)
+	}
+}
+
+func TestPrepareEmptyParent(t *testing.T) {
+	r := newRig(t, 1)
+	as := memsim.NewAddressSpace(r.kernels[0].Machine(), r.cm)
+	if _, err := Prepare(r.kernels[0], as, 1, 1); err == nil {
+		t.Error("empty parent accepted")
+	}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rmmap/internal/simtime"
+)
+
+func TestRunOrdersByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Errorf("end time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at simtime.Time
+	s.At(100, func() {
+		s.After(50, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 150 {
+		t.Errorf("After fired at %d, want 150", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10, func() {
+		s.After(-5, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Error("negative After never ran")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := simtime.Time(1); i <= 10; i++ {
+		s.At(i, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	s := New()
+	s.Horizon = 100
+	ran := 0
+	s.At(50, func() { ran++ })
+	s.At(150, func() { ran++ })
+	end := s.Run()
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1 (horizon)", ran)
+	}
+	if end != 100 {
+		t.Errorf("end = %d, want horizon 100", end)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var fires []simtime.Time
+	s.Every(10, 5, func() bool {
+		fires = append(fires, s.Now())
+		return len(fires) < 4
+	})
+	s.Run()
+	want := []simtime.Time{10, 15, 20, 25}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero period")
+		}
+	}()
+	New().Every(0, 0, func() bool { return true })
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			s.After(1, rec)
+		}
+	}
+	s.At(0, rec)
+	end := s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if end != 99 {
+		t.Errorf("end = %d, want 99", end)
+	}
+}
+
+// Property: for any set of event times, the simulator visits them in
+// non-decreasing order and ends at the max.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		var visited []simtime.Time
+		for _, tt := range times {
+			at := simtime.Time(tt)
+			s.At(at, func() { visited = append(visited, s.Now()) })
+		}
+		s.Run()
+		if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] }) {
+			return false
+		}
+		return len(visited) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: two identical runs with randomized (but identically seeded)
+// schedules produce identical traces.
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var out []int
+		for i := 0; i < 500; i++ {
+			i := i
+			s.At(simtime.Time(rng.Intn(100)), func() { out = append(out, i) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package simtime
+
+// CostModel holds every calibrated unit cost used by the simulation. The
+// values of DefaultCostModel come from constants the paper reports directly
+// (see DESIGN.md §2); experiments may override individual fields for
+// ablations (e.g. zeroing network costs reproduces Fig 5's emulation).
+//
+// All per-byte costs are expressed in nanoseconds per byte as float64 so
+// that bandwidths read naturally (0.625 ns/B == 1.6 GB/s).
+type CostModel struct {
+	// --- RDMA / remote paging (§4.1) ---
+
+	// RDMAPageRead is the full cost of reading one 4 KB remote page with a
+	// one-sided RDMA READ, excluding the page-fault trap (3.7 µs total in
+	// the paper includes the fault; we split it so prefetch, which avoids
+	// faults, is modeled correctly).
+	RDMAPageRead Duration
+	// PageFault is the cost of trapping into the kernel fault handler.
+	PageFault Duration
+	// RDMAConnectKernel is kernel-space QP establishment (KRCore).
+	RDMAConnectKernel Duration
+	// RDMAConnectUser is user-space QP establishment (the slow path the
+	// paper contrasts against; used only by the abl-conn ablation).
+	RDMAConnectUser Duration
+	// RDMAPerByte is the line-rate cost: 100 Gbps = 0.08 ns/B.
+	RDMAPerByte float64
+	// DoorbellBase is the fixed roundtrip cost of one doorbell-batched
+	// request regardless of how many pages it names.
+	DoorbellBase Duration
+	// DoorbellPerPage is the marginal NIC processing cost per page within
+	// a batch.
+	DoorbellPerPage Duration
+	// RPCBase is one Fasst-style RPC roundtrip on the RDMA fabric (used
+	// for rmap auth/page-table fetch and for the RPC-paging ablation).
+	RPCBase Duration
+	// RPCPerByte is the per-byte cost of RPC payloads.
+	RPCPerByte float64
+
+	// --- (De)serialization (§2.4, §5.2) ---
+
+	// SerializePerObject is the per-sub-object transform cost
+	// (3.2 MB dataframe = 401,839 objects = 10 ms → ~25 ns/object).
+	SerializePerObject Duration
+	// SerializePerByte is the serialization memory-copy cost
+	// (4 MB copy = 2.5 ms → 0.625 ns/B; single threaded, cache-missy).
+	SerializePerByte float64
+	// DeserializePerObject is per-object reconstruction cost
+	// (12 ms for the same dataframe → ~30 ns/object).
+	DeserializePerObject Duration
+	// DeserializePerByte is the deserialization copy cost.
+	DeserializePerByte float64
+
+	// --- RMMAP register/map (§4.1, §5.2) ---
+
+	// CoWMarkPerPage is the cost of marking one PTE copy-on-write during
+	// register_mem (full-address-space registration is 1–5 ms).
+	CoWMarkPerPage Duration
+	// TraversePerObject is the producer-side prefetch-traversal cost per
+	// object visited (§4.4: why prefetch can lose on list(int)).
+	TraversePerObject Duration
+	// VMACreate is consumer-side VMA creation during rmap.
+	VMACreate Duration
+
+	// --- Messaging (§2.2) ---
+
+	// MessageHops is the number of Knative components a cloudevent
+	// traverses between producer and consumer (gateway, broker, filter…).
+	MessageHops int
+	// MessageHopLatency is the per-component processing latency.
+	MessageHopLatency Duration
+	// MessagePerByte is the per-byte cost of pushing payload through the
+	// component path (HTTP + copies), ~100 MB/s effective.
+	MessagePerByte float64
+	// MessageMaxPayload is the messaging payload limit; larger states are
+	// chunked (and in practice pushed to storage).
+	MessageMaxPayload int
+
+	// --- Shared storage (§5.1) ---
+
+	// PocketOp is the fixed protocol cost of one Pocket put or get.
+	PocketOp Duration
+	// PocketPerByte is Pocket's per-byte cost.
+	PocketPerByte float64
+	// DrTMOp and DrTMPerByte describe the RDMA-optimized store; the paper
+	// reports DrTM-KV is 64.6× faster than Pocket.
+	DrTMOp      Duration
+	DrTMPerByte float64
+
+	// --- Platform (§2.3 source #1) ---
+
+	// InvokeOverhead is coordinator invocation + scheduling per function.
+	InvokeOverhead Duration
+	// ColdStart is container cold-start cost when no cached container
+	// exists (pre-warmed experiments never pay it).
+	ColdStart Duration
+
+	// --- Memory (local) ---
+
+	// MemcpyPerByte is a plain local copy at DRAM-ish single-thread
+	// bandwidth, used for copy-on-local-assignment and CoW copies.
+	MemcpyPerByte float64
+	// ComputePerByte is the default charge for workload compute that
+	// streams over data (e.g. word counting) — calibrated so function
+	// execution times sit in the ranges Fig 3 reports.
+	ComputePerByte float64
+}
+
+// DefaultCostModel returns the calibration described in DESIGN.md §2.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		RDMAPageRead:      2 * Microsecond, // +1.7µs fault = 3.7µs/page faulted
+		PageFault:         1700 * Nanosecond,
+		RDMAConnectKernel: 10 * Microsecond,
+		RDMAConnectUser:   10 * Millisecond,
+		RDMAPerByte:       0.08, // 100 Gbps
+		DoorbellBase:      2 * Microsecond,
+		DoorbellPerPage:   150 * Nanosecond,
+		RPCBase:           10 * Microsecond,
+		RPCPerByte:        0.08,
+
+		SerializePerObject:   25 * Nanosecond,
+		SerializePerByte:     0.625,
+		DeserializePerObject: 30 * Nanosecond,
+		DeserializePerByte:   0.625,
+
+		CoWMarkPerPage:    40 * Nanosecond,
+		TraversePerObject: 60 * Nanosecond,
+		VMACreate:         1 * Microsecond,
+
+		MessageHops:       5,
+		MessageHopLatency: 150 * Microsecond,
+		MessagePerByte:    10.0, // ~100 MB/s through the component path
+		MessageMaxPayload: 256 << 10,
+
+		PocketOp:      500 * Microsecond,
+		PocketPerByte: 12.9,
+		DrTMOp:        7740 * Nanosecond, // 64.6x faster than Pocket
+		DrTMPerByte:   0.2,
+
+		InvokeOverhead: 1 * Millisecond,
+		ColdStart:      500 * Millisecond,
+
+		MemcpyPerByte:  0.2, // 5 GB/s single-thread copy
+		ComputePerByte: 1.5,
+	}
+}
+
+// Clone returns a deep copy so experiments can tweak fields independently.
+func (c *CostModel) Clone() *CostModel {
+	cp := *c
+	return &cp
+}
+
+// Bytes converts a byte count and a per-byte rate into a Duration.
+func Bytes(n int, perByte float64) Duration {
+	if n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) * perByte)
+}
+
+// Scale multiplies a duration by an integer count, guarding overflow-free
+// small cases (counts and unit costs in this code base stay far below the
+// int64 range).
+func Scale(d Duration, n int) Duration {
+	if n <= 0 {
+		return 0
+	}
+	return d * Duration(n)
+}

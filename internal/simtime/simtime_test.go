@@ -1,0 +1,234 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1.00us"},
+		{3700 * Nanosecond, "3.70us"},
+		{Millisecond, "1.000ms"},
+		{2500 * Microsecond, "2.500ms"},
+		{Second, "1.0000s"},
+		{-Microsecond, "-1.00us"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d", d)
+	}
+}
+
+func TestMeterChargeAndTotal(t *testing.T) {
+	m := NewMeter()
+	m.Charge(CatCompute, 100)
+	m.Charge(CatSerialize, 200)
+	m.Charge(CatSerialize, 50)
+	if got := m.Get(CatSerialize); got != 250 {
+		t.Errorf("Get(serialize) = %d, want 250", got)
+	}
+	if got := m.Total(); got != 350 {
+		t.Errorf("Total = %d, want 350", got)
+	}
+	if got := m.TransferTotal(); got != 250 {
+		t.Errorf("TransferTotal = %d, want 250", got)
+	}
+}
+
+func TestMeterSerTotal(t *testing.T) {
+	m := NewMeter()
+	m.Charge(CatSerialize, 10)
+	m.Charge(CatDeserialize, 20)
+	m.Charge(CatNetwork, 30)
+	if got := m.SerTotal(); got != 30 {
+		t.Errorf("SerTotal = %d, want 30", got)
+	}
+}
+
+func TestMeterNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative charge")
+		}
+	}()
+	NewMeter().Charge(CatCompute, -1)
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(CatCompute, 10) // must not panic
+}
+
+func TestMeterAddAllAndReset(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Charge(CatFault, 5)
+	b.Charge(CatFault, 7)
+	b.Charge(CatMap, 3)
+	a.AddAll(b)
+	if a.Get(CatFault) != 12 || a.Get(CatMap) != 3 {
+		t.Errorf("AddAll: got fault=%d map=%d", a.Get(CatFault), a.Get(CatMap))
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Errorf("Reset: total = %d", a.Total())
+	}
+}
+
+func TestMeterSnapshotOmitsZero(t *testing.T) {
+	m := NewMeter()
+	m.Charge(CatStorage, 42)
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap["storage"] != 42 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+func TestCategoriesNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		name := c.String()
+		if seen[name] {
+			t.Errorf("duplicate category name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != int(numCategories) {
+		t.Errorf("got %d category names, want %d", len(seen), numCategories)
+	}
+}
+
+func TestDefaultCostModelSanity(t *testing.T) {
+	cm := DefaultCostModel()
+	// Full remote page (fault + read) must match the paper's 3.7µs.
+	if got := cm.PageFault + cm.RDMAPageRead; got != 3700*Nanosecond {
+		t.Errorf("fault+read = %v, want 3.7us", got)
+	}
+	if cm.RDMAConnectUser <= cm.RDMAConnectKernel {
+		t.Error("user-space connect should be slower than kernel-space")
+	}
+	// DrTM should be roughly 64.6x faster than Pocket on both axes.
+	ratioOp := float64(cm.PocketOp) / float64(cm.DrTMOp)
+	if ratioOp < 50 || ratioOp > 80 {
+		t.Errorf("Pocket/DrTM op ratio = %.1f, want ~64.6", ratioOp)
+	}
+	if cm.MessageMaxPayload != 256<<10 {
+		t.Errorf("message limit = %d, want 256KiB", cm.MessageMaxPayload)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := DefaultCostModel()
+	b := a.Clone()
+	b.RPCBase = 0
+	if a.RPCBase == 0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestBytesHelper(t *testing.T) {
+	if got := Bytes(4096, 0.625); got != 2560 {
+		t.Errorf("Bytes(4096, .625) = %d, want 2560", got)
+	}
+	if got := Bytes(-5, 1.0); got != 0 {
+		t.Errorf("Bytes(-5) = %d, want 0", got)
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	if got := Scale(10, 3); got != 30 {
+		t.Errorf("Scale = %d", got)
+	}
+	if got := Scale(10, -1); got != 0 {
+		t.Errorf("Scale negative = %d", got)
+	}
+}
+
+// Property: a meter's total always equals the sum of its per-category gets,
+// for arbitrary charge sequences.
+func TestMeterTotalInvariant(t *testing.T) {
+	f := func(charges []uint16) bool {
+		m := NewMeter()
+		for i, c := range charges {
+			m.Charge(Category(i%int(numCategories)), Duration(c))
+		}
+		var sum Duration
+		for _, cat := range Categories() {
+			sum += m.Get(cat)
+		}
+		return sum == m.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TransferTotal + compute + platform == Total.
+func TestTransferPartitionInvariant(t *testing.T) {
+	f := func(charges []uint16) bool {
+		m := NewMeter()
+		for i, c := range charges {
+			m.Charge(Category(i%int(numCategories)), Duration(c))
+		}
+		return m.TransferTotal()+m.Get(CatCompute)+m.Get(CatPlatform) == m.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	m := NewMeter()
+	if got := m.String(); got != "total=0ns" {
+		t.Errorf("empty meter = %q", got)
+	}
+	m.Charge(CatFault, 2*Microsecond)
+	m.Charge(CatCompute, Millisecond)
+	s := m.String()
+	for _, want := range []string{"total=1.002ms", "compute=1.000ms", "fault=2.00us"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("meter string %q missing %q", s, want)
+		}
+	}
+	// Largest category first.
+	if strings.Index(s, "compute") > strings.Index(s, "fault") {
+		t.Errorf("categories not sorted by magnitude: %q", s)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Seconds() != 0.0015 {
+		t.Errorf("Seconds = %v", d.Seconds())
+	}
+	if d.Millis() != 1.5 {
+		t.Errorf("Millis = %v", d.Millis())
+	}
+	if d.Micros() != 1500 {
+		t.Errorf("Micros = %v", d.Micros())
+	}
+}
+
+func TestCategoryStringBounds(t *testing.T) {
+	if Category(-1).String() == "" || Category(99).String() == "" {
+		t.Error("out-of-range categories need names")
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rmmap/internal/simtime"
+)
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	data := []byte{0, 1, 2, 255, 254}
+	raw, err := EncodeEvent("id-1", "produce", "dev.rmmap.state", data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, got, err := DecodeEvent(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.ID != "id-1" || env.Source != "produce" || env.SpecVersion != "1.0" {
+		t.Errorf("envelope = %+v", env)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestEnvelopeInflation(t *testing.T) {
+	data := make([]byte, 3000)
+	raw, err := EncodeEvent("i", "s", "t", data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base64 inflates 4/3 plus JSON overhead.
+	if len(raw) < 4000 {
+		t.Errorf("envelope %dB for 3000B payload, expected base64 inflation", len(raw))
+	}
+}
+
+func TestDecodeEventRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeEvent([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := DecodeEvent([]byte(`{"specversion":"9.9","data_base64":""}`)); err == nil {
+		t.Error("wrong specversion accepted")
+	}
+	if _, _, err := DecodeEvent([]byte(`{"specversion":"1.0","data_base64":"@@@"}`)); err == nil {
+		t.Error("bad base64 accepted")
+	}
+}
+
+func TestCompressRoundtripAndCharges(t *testing.T) {
+	data := bytes.Repeat([]byte("le chat et le chien "), 500)
+	cm, dm := simtime.NewMeter(), simtime.NewMeter()
+	z, err := Compress(cm, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(data) {
+		t.Errorf("repetitive text did not compress: %d → %d", len(data), len(z))
+	}
+	out, err := Decompress(dm, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("roundtrip corrupted")
+	}
+	if cm.Get(simtime.CatSerialize) == 0 || dm.Get(simtime.CatDeserialize) == 0 {
+		t.Error("compression compute uncharged")
+	}
+}
+
+// Property: envelope and compression roundtrips preserve arbitrary bytes.
+func TestEnvelopeProperty(t *testing.T) {
+	f := func(data []byte, compress bool) bool {
+		payload := data
+		m := simtime.NewMeter()
+		if compress {
+			var err error
+			if payload, err = Compress(m, data); err != nil {
+				return false
+			}
+		}
+		raw, err := EncodeEvent("x", "y", "z", payload, compress)
+		if err != nil {
+			return false
+		}
+		env, got, err := DecodeEvent(raw)
+		if err != nil || env.Compressed != compress {
+			return false
+		}
+		if compress {
+			if got, err = Decompress(m, got); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package transport implements the state-transfer baselines RMMAP is
+// evaluated against (§5.1): cloudevents-style messaging through the
+// Knative component path, Pocket-style shared storage, and a DrTM-KV-style
+// RDMA-optimized store. All of them move real serialized bytes; their
+// protocol costs follow the calibrated model.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rmmap/internal/simtime"
+)
+
+// ErrNoKey is returned by Get for missing keys.
+var ErrNoKey = errors.New("transport: no such key")
+
+// Messaging models the cloudevents path: every message traverses
+// MessageHops Knative components (gateway, broker, filters…), each adding
+// latency, plus a per-byte software cost. Payloads beyond the platform
+// limit are chunked, paying the hop path once per chunk — the reason large
+// states are pushed to storage in practice (§2.2).
+type Messaging struct {
+	cm *simtime.CostModel
+	// ZeroCost emulates Fig 5: the network itself is free, exposing the
+	// residual (de)serialization cost.
+	ZeroCost bool
+}
+
+// NewMessaging returns a messaging transport charging from cm.
+func NewMessaging(cm *simtime.CostModel) *Messaging { return &Messaging{cm: cm} }
+
+// Charge accounts one producer-to-consumer message of n bytes.
+func (m *Messaging) Charge(meter *simtime.Meter, n int) {
+	if m.ZeroCost {
+		return
+	}
+	chunks := 1
+	if m.cm.MessageMaxPayload > 0 && n > m.cm.MessageMaxPayload {
+		chunks = (n + m.cm.MessageMaxPayload - 1) / m.cm.MessageMaxPayload
+	}
+	hopCost := simtime.Scale(m.cm.MessageHopLatency, m.cm.MessageHops)
+	meter.Charge(simtime.CatNetwork,
+		simtime.Scale(hopCost, chunks)+simtime.Bytes(n, m.cm.MessagePerByte))
+}
+
+// Store is the shared-storage interface both baselines implement.
+type Store interface {
+	// Put stores data under key, charging the protocol cost.
+	Put(meter *simtime.Meter, key string, data []byte) error
+	// Get retrieves data, charging the protocol cost.
+	Get(meter *simtime.Meter, key string) ([]byte, error)
+	// Delete removes a key (uncharged; off the critical path).
+	Delete(key string)
+	// Name identifies the store in reports.
+	Name() string
+}
+
+// kvStore is the shared mechanics: a real byte store plus a cost profile.
+type kvStore struct {
+	mu      sync.Mutex
+	name    string
+	data    map[string][]byte
+	op      simtime.Duration
+	perByte float64
+	zero    bool
+}
+
+func (s *kvStore) Name() string { return s.name }
+
+func (s *kvStore) charge(meter *simtime.Meter, n int) {
+	if s.zero {
+		return
+	}
+	meter.Charge(simtime.CatStorage, s.op+simtime.Bytes(n, s.perByte))
+}
+
+func (s *kvStore) Put(meter *simtime.Meter, key string, data []byte) error {
+	s.charge(meter, len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = cp
+	return nil
+}
+
+func (s *kvStore) Get(meter *simtime.Meter, key string) ([]byte, error) {
+	s.mu.Lock()
+	d, ok := s.data[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %s", ErrNoKey, key, s.name)
+	}
+	s.charge(meter, len(d))
+	return d, nil
+}
+
+func (s *kvStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len reports the number of stored objects (tests/memory accounting).
+func (s *kvStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// StoredBytes reports total stored payload bytes.
+func (s *kvStore) StoredBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, d := range s.data {
+		n += len(d)
+	}
+	return n
+}
+
+// PocketStore mimics Pocket, the ephemeral serverless storage (§5.1).
+type PocketStore struct{ kvStore }
+
+// NewPocket returns a Pocket-profile store.
+func NewPocket(cm *simtime.CostModel) *PocketStore {
+	return &PocketStore{kvStore{name: "pocket", data: map[string][]byte{}, op: cm.PocketOp, perByte: cm.PocketPerByte}}
+}
+
+// DrTMKV mimics DrTM-KV, the RDMA-optimized store the paper treats as the
+// best achievable shared-storage baseline (64.6× faster than Pocket).
+type DrTMKV struct{ kvStore }
+
+// NewDrTM returns a DrTM-KV-profile store.
+func NewDrTM(cm *simtime.CostModel) *DrTMKV {
+	return &DrTMKV{kvStore{name: "drtm-kv", data: map[string][]byte{}, op: cm.DrTMOp, perByte: cm.DrTMPerByte}}
+}
+
+// NewZeroCostStore returns a store with no protocol charges — the Fig 5
+// emulation where only (de)serialization remains.
+func NewZeroCostStore() Store {
+	return &kvStore{name: "zero-cost", data: map[string][]byte{}, zero: true}
+}

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestMessagingCharge(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	msg := NewMessaging(cm)
+	m := simtime.NewMeter()
+	msg.Charge(m, 1000)
+	want := simtime.Scale(cm.MessageHopLatency, cm.MessageHops) + simtime.Bytes(1000, cm.MessagePerByte)
+	if got := m.Get(simtime.CatNetwork); got != want {
+		t.Errorf("charge = %v, want %v", got, want)
+	}
+}
+
+func TestMessagingChunksLargePayloads(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	msg := NewMessaging(cm)
+	small, large := simtime.NewMeter(), simtime.NewMeter()
+	msg.Charge(small, cm.MessageMaxPayload)
+	msg.Charge(large, 4*cm.MessageMaxPayload)
+	// 4 chunks → 4× hop cost; byte costs scale too.
+	hop := simtime.Scale(cm.MessageHopLatency, cm.MessageHops)
+	if large.Get(simtime.CatNetwork)-small.Get(simtime.CatNetwork) < 3*hop {
+		t.Errorf("chunking not applied: small=%v large=%v", small, large)
+	}
+}
+
+func TestMessagingZeroCost(t *testing.T) {
+	msg := NewMessaging(simtime.DefaultCostModel())
+	msg.ZeroCost = true
+	m := simtime.NewMeter()
+	msg.Charge(m, 1<<20)
+	if m.Total() != 0 {
+		t.Errorf("zero-cost messaging charged %v", m.Total())
+	}
+}
+
+func TestStorePutGetRoundtrip(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	for _, s := range []Store{NewPocket(cm), NewDrTM(cm), NewZeroCostStore()} {
+		m := simtime.NewMeter()
+		if err := s.Put(m, "k", []byte("value-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(m, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "value-bytes" {
+			t.Errorf("%s: got %q", s.Name(), got)
+		}
+		if _, err := s.Get(m, "missing"); !errors.Is(err, ErrNoKey) {
+			t.Errorf("%s: missing key err = %v", s.Name(), err)
+		}
+		s.Delete("k")
+		if _, err := s.Get(m, "k"); err == nil {
+			t.Errorf("%s: key survived delete", s.Name())
+		}
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	s := NewPocket(simtime.DefaultCostModel())
+	data := []byte("original")
+	_ = s.Put(simtime.NewMeter(), "k", data)
+	data[0] = 'X'
+	got, _ := s.Get(simtime.NewMeter(), "k")
+	if string(got) != "original" {
+		t.Error("store aliases caller buffer")
+	}
+}
+
+func TestDrTMFasterThanPocket(t *testing.T) {
+	cm := simtime.DefaultCostModel()
+	pocket, drtm := NewPocket(cm), NewDrTM(cm)
+	payload := make([]byte, 1<<20)
+	mp, md := simtime.NewMeter(), simtime.NewMeter()
+	_ = pocket.Put(mp, "k", payload)
+	_, _ = pocket.Get(mp, "k")
+	_ = drtm.Put(md, "k", payload)
+	_, _ = drtm.Get(md, "k")
+	ratio := float64(mp.Get(simtime.CatStorage)) / float64(md.Get(simtime.CatStorage))
+	if ratio < 40 || ratio > 90 {
+		t.Errorf("Pocket/DrTM ratio = %.1f, want ~64.6", ratio)
+	}
+}
+
+func TestZeroCostStoreCharges(t *testing.T) {
+	s := NewZeroCostStore()
+	m := simtime.NewMeter()
+	_ = s.Put(m, "k", make([]byte, 1<<20))
+	_, _ = s.Get(m, "k")
+	if m.Total() != 0 {
+		t.Errorf("zero-cost store charged %v", m.Total())
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewPocket(simtime.DefaultCostModel())
+	_ = s.Put(simtime.NewMeter(), "a", make([]byte, 100))
+	_ = s.Put(simtime.NewMeter(), "b", make([]byte, 50))
+	if s.Len() != 2 || s.StoredBytes() != 150 {
+		t.Errorf("len=%d bytes=%d", s.Len(), s.StoredBytes())
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"testing"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/simtime"
+)
+
+// TestDefaultTradesMatchPaperScale pins the FINRA input calibration: the
+// paper's FetchPrivateData produces ~3.5 MB of trades with a very high
+// sub-object count (§2.4 reports 401,839 sub-objects for a 3.2 MB frame).
+func TestDefaultTradesMatchPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full-scale dataframe")
+	}
+	rt := newGenRT(t)
+	cfg := DefaultFINRA()
+	df, err := GenTrades(rt, cfg.Rows, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := objrt.Pickle(df, simtime.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := float64(len(data)) / (1 << 20)
+	if mb < 2.5 || mb > 5 {
+		t.Errorf("default trades serialize to %.2f MB, want ~3.5 MB", mb)
+	}
+	if st.Objects < 50000 {
+		t.Errorf("default trades have %d sub-objects, want an object-heavy frame", st.Objects)
+	}
+}
+
+// TestGenImagesSeparable pins that the synthetic digits are actually
+// learnable — the ML workflows' accuracies are meaningful, not chance.
+func TestGenImagesSeparable(t *testing.T) {
+	X, y := GenImages(300, 64, 4, 9)
+	// Naive nearest-centroid on the class stripes should beat chance by
+	// a wide margin.
+	centroids := make([][]float64, 4)
+	counts := make([]int, 4)
+	for i := range centroids {
+		centroids[i] = make([]float64, 64)
+	}
+	for i, row := range X[:200] {
+		c := y[i]
+		counts[c]++
+		for j, v := range row {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i, row := range X[200:] {
+		best, bestD := 0, 1e18
+		for c := range centroids {
+			d := 0.0
+			for j, v := range row {
+				diff := v - centroids[c][j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == y[200+i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 100; acc < 0.9 {
+		t.Errorf("nearest-centroid accuracy = %.2f, data not separable", acc)
+	}
+}
+
+// TestBookZipfShape pins the synthetic book's word distribution: common
+// words dominate, vocabulary stays bounded — the properties WordCount's
+// dict sizes depend on.
+func TestBookZipfShape(t *testing.T) {
+	book := GenBook(200<<10, 3)
+	counts := CountWords(book)
+	if len(counts) > 200 {
+		t.Errorf("vocabulary = %d words, expected bounded", len(counts))
+	}
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.02 {
+		t.Error("distribution too flat for Zipf-ish text")
+	}
+}

@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+)
+
+// FINRAConfig sizes the trade-validation workflow (Fig 1). Paper defaults:
+// 3.5 MB of trades and 200 concurrent RunAuditRules.
+type FINRAConfig struct {
+	Rows  int // trade rows per fetched dataframe
+	Rules int // RunAuditRule fan-out
+	Seed  int64
+}
+
+// DefaultFINRA approximates the paper's setup (the row count is chosen so
+// the private dataframe serializes to roughly 3.5 MB with a high
+// sub-object count).
+func DefaultFINRA() FINRAConfig { return FINRAConfig{Rows: 40000, Rules: 200, Seed: 1} }
+
+// SmallFINRA is the test-scale variant.
+func SmallFINRA() FINRAConfig { return FINRAConfig{Rows: 800, Rules: 8, Seed: 1} }
+
+// FINRAResult is what MergeResults reports.
+type FINRAResult struct {
+	Rules      int
+	Violations int
+}
+
+// FINRA builds the workflow: two fetch functions produce trade dataframes,
+// Rules audit instances validate them, one merge collects violations.
+func FINRA(cfg FINRAConfig) *platform.Workflow {
+	fetch := func(which string, seedOff int64) platform.Handler {
+		return func(ctx *platform.Ctx) (objrt.Obj, error) {
+			df, err := GenTrades(ctx.RT, cfg.Rows, cfg.Seed+seedOff)
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			// Fetching/preparing the data costs compute proportional to
+			// its size (the paper's fetch functions parse feeds into
+			// dataframes).
+			ctx.ChargeCompute(cfg.Rows * 48)
+			_ = which
+			return df, nil
+		}
+	}
+
+	audit := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		if len(ctx.Inputs) != 2 {
+			return objrt.Obj{}, fmt.Errorf("finra: audit got %d inputs", len(ctx.Inputs))
+		}
+		violations := 0
+		// Each rule instance checks a different price band and volume
+		// cap across both data sources.
+		lo := 10 + float64(ctx.Instance%40)*12
+		hi := lo + 30
+		volCap := 9000 - float64(ctx.Instance%20)*50
+		for _, df := range ctx.Inputs {
+			price, err := df.Column("price")
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			volume, err := df.Column("volume")
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			pv, err := price.Data()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			vv, err := volume.Data()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			for i := range pv {
+				if pv[i] >= lo && pv[i] < hi && vv[i] > volCap {
+					violations++
+				}
+			}
+			ctx.ChargeCompute(len(pv) * 16)
+		}
+		// The paper reports ~0.3 ms of rule execution on top of the scan.
+		ctx.ChargeComputeTime(300 * simtime.Microsecond)
+
+		k, err := ctx.RT.NewStr(fmt.Sprintf("rule-%d", ctx.Instance))
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		v, err := ctx.RT.NewInt(int64(violations))
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		return ctx.RT.NewDict([][2]objrt.Obj{{k, v}})
+	}
+
+	merge := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		total := 0
+		for _, in := range ctx.Inputs {
+			n, err := in.Len()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			for i := 0; i < n; i++ {
+				_, v, err := in.DictEntry(i)
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				c, err := v.Int()
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				total += int(c)
+			}
+		}
+		ctx.ChargeCompute(len(ctx.Inputs) * 64)
+		ctx.Report(FINRAResult{Rules: len(ctx.Inputs), Violations: total})
+		return objrt.Obj{}, nil
+	}
+
+	return &platform.Workflow{
+		Name: "finra",
+		Functions: []*platform.FunctionSpec{
+			{Name: "FetchPrivateData", Instances: 1, Handler: fetch("private", 0)},
+			{Name: "FetchPublicData", Instances: 1, Handler: fetch("public", 1000)},
+			{Name: "RunAuditRule", Instances: cfg.Rules, Handler: audit},
+			{Name: "MergeResults", Instances: 1, Handler: merge},
+		},
+		Edges: []platform.Edge{
+			{From: "FetchPrivateData", To: "RunAuditRule"},
+			{From: "FetchPublicData", To: "RunAuditRule"},
+			{From: "RunAuditRule", To: "MergeResults"},
+		},
+	}
+}

@@ -1,0 +1,228 @@
+// Package workloads implements the four serverless workflows of the
+// paper's evaluation (§5.1) on top of the platform: FINRA trade
+// validation, ML training (ORION-style PCA + random forest), ML
+// prediction, and WordCount (FunctionBench MapReduce). Proprietary inputs
+// (FINRA trades, MNIST, the French Oliver Twist) are replaced by synthetic
+// generators with the same sizes and object shapes — the properties that
+// drive (de)serialization cost.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rmmap/internal/objrt"
+)
+
+// GenTrades builds a pandas-like trades dataframe on rt: numeric columns
+// as ndarrays plus string columns as lists of str objects — the mix that
+// gives real dataframes their enormous sub-object counts (§2.4: a 3.2 MB
+// dataframe has 401,839 sub-objects).
+func GenTrades(rt *objrt.Runtime, rows int, seed int64) (objrt.Obj, error) {
+	rng := rand.New(rand.NewSource(seed))
+	price := make([]float64, rows)
+	volume := make([]float64, rows)
+	ts := make([]float64, rows)
+	symbols := make([]string, rows)
+	accounts := make([]string, rows)
+	tickers := []string{"AAPL", "MSFT", "GOOG", "AMZN", "NVDA", "META", "TSLA", "BRK.A"}
+	for i := 0; i < rows; i++ {
+		price[i] = 10 + rng.Float64()*490
+		volume[i] = float64(rng.Intn(10000) + 1)
+		ts[i] = float64(1_600_000_000 + i)
+		symbols[i] = tickers[rng.Intn(len(tickers))]
+		accounts[i] = fmt.Sprintf("ACC%06d", rng.Intn(99999))
+	}
+	colPrice, err := rt.NewNDArray([]int{rows}, price)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	colVolume, err := rt.NewNDArray([]int{rows}, volume)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	colTS, err := rt.NewNDArray([]int{rows}, ts)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	colSymbol, err := rt.NewStrList(symbols)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	colAccount, err := rt.NewStrList(accounts)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	return rt.NewDataFrame(
+		[]string{"price", "volume", "ts", "symbol", "account"},
+		[]objrt.Obj{colPrice, colVolume, colTS, colSymbol, colAccount},
+		rows,
+	)
+}
+
+// GenImages builds an images feature matrix (n × dim, MNIST-like synthetic
+// digits: each class is a Gaussian blob) and its labels, as raw Go slices.
+func GenImages(n, dim, classes int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % classes
+		row := make([]float64, dim)
+		for j := range row {
+			// Class centers differ along a class-specific stripe.
+			center := 0.0
+			if j%classes == c {
+				center = 4
+			}
+			row[j] = center + rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+// FlattenMatrix turns rows into the flat buffer an ndarray stores.
+func FlattenMatrix(X [][]float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(X)*len(X[0]))
+	for _, row := range X {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// UnflattenMatrix reads a (rows × dim) matrix back from a flat buffer.
+func UnflattenMatrix(flat []float64, rows, dim int) ([][]float64, error) {
+	if rows*dim != len(flat) {
+		return nil, fmt.Errorf("workloads: %d values != %d×%d", len(flat), rows, dim)
+	}
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim]
+	}
+	return out, nil
+}
+
+// MatrixObj stores a matrix plus labels as a dataframe
+// {features: ndarray(n×d), labels: ndarray(n)}.
+func MatrixObj(rt *objrt.Runtime, X [][]float64, y []int) (objrt.Obj, error) {
+	feat, err := rt.NewNDArray([]int{len(X), len(X[0])}, FlattenMatrix(X))
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	labels := make([]float64, len(y))
+	for i, v := range y {
+		labels[i] = float64(v)
+	}
+	lab, err := rt.NewNDArray([]int{len(y)}, labels)
+	if err != nil {
+		return objrt.Obj{}, err
+	}
+	return rt.NewDataFrame([]string{"features", "labels"}, []objrt.Obj{feat, lab}, len(X))
+}
+
+// ReadMatrixObj reads a MatrixObj dataframe back into Go slices (through
+// whatever address space the view is bound to — local or rmapped).
+func ReadMatrixObj(df objrt.Obj) ([][]float64, []int, error) {
+	feat, err := df.Column("features")
+	if err != nil {
+		return nil, nil, err
+	}
+	shape, err := feat.Shape()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(shape) != 2 {
+		return nil, nil, fmt.Errorf("workloads: features shape %v", shape)
+	}
+	flat, err := feat.Data()
+	if err != nil {
+		return nil, nil, err
+	}
+	X, err := UnflattenMatrix(flat, shape[0], shape[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	lab, err := df.Column("labels")
+	if err != nil {
+		return nil, nil, err
+	}
+	lf, err := lab.Data()
+	if err != nil {
+		return nil, nil, err
+	}
+	y := make([]int, len(lf))
+	for i, v := range lf {
+		y[i] = int(v)
+	}
+	return X, y, nil
+}
+
+// bookWords is the vocabulary the synthetic book draws from (French-ish,
+// standing in for the French Oliver Twist).
+var bookWords = []string{
+	"le", "la", "les", "un", "une", "des", "et", "ou", "mais", "donc",
+	"or", "ni", "car", "il", "elle", "nous", "vous", "ils", "elles", "je",
+	"tu", "être", "avoir", "faire", "dire", "pouvoir", "aller", "voir",
+	"savoir", "vouloir", "venir", "devoir", "prendre", "trouver", "donner",
+	"falloir", "parler", "mettre", "passer", "regarder", "aimer", "croire",
+	"demander", "rester", "répondre", "entendre", "penser", "arriver",
+	"connaître", "devenir", "sentir", "sembler", "tenir", "comprendre",
+	"rendre", "attendre", "sortir", "vivre", "entrer", "porter", "chercher",
+	"revenir", "appeler", "mourir", "partir", "jeter", "suivre", "écrire",
+	"montrer", "oliver", "twist", "monsieur", "madame", "enfant", "ville",
+	"rue", "maison", "nuit", "jour", "main", "visage", "porte", "temps",
+	"monde", "homme", "femme", "petit", "grand", "pauvre", "vieux", "jeune",
+}
+
+// GenBook produces ~size bytes of synthetic text with a Zipf-ish word
+// distribution (deterministic given seed).
+func GenBook(size int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.Grow(size + 16)
+	col := 0
+	for b.Len() < size {
+		// Zipf-ish: low indices much more likely.
+		idx := int(float64(len(bookWords)) * rng.Float64() * rng.Float64())
+		if idx >= len(bookWords) {
+			idx = len(bookWords) - 1
+		}
+		w := bookWords[idx]
+		b.WriteString(w)
+		col += len(w) + 1
+		if col > 70 {
+			b.WriteByte('\n')
+			col = 0
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// CountWords tallies whitespace-separated words.
+func CountWords(text string) map[string]int {
+	counts := make(map[string]int)
+	start := -1
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c == ' ' || c == '\n' || c == '\t' {
+			if start >= 0 {
+				counts[text[start:i]]++
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		counts[text[start:]]++
+	}
+	return counts
+}

@@ -1,0 +1,206 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rmmap/internal/ml"
+	"rmmap/internal/objrt"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+)
+
+// MLPredictConfig sizes the model-serving workflow: one partitioner splits
+// the input images (and publishes the pre-trained forest), Predictors
+// score their shards in parallel, a combiner tallies the predictions.
+// Paper defaults: 30 MB of input images, 16 predictors, a 64-tree model.
+type MLPredictConfig struct {
+	Images     int
+	Dim        int
+	Classes    int
+	Predictors int
+	Trees      int
+	Seed       int64
+}
+
+// DefaultMLPredict approximates the paper's setup at tractable scale.
+func DefaultMLPredict() MLPredictConfig {
+	return MLPredictConfig{Images: 2000, Dim: 64, Classes: 10, Predictors: 16, Trees: 64, Seed: 3}
+}
+
+// SmallMLPredict is the test-scale variant.
+func SmallMLPredict() MLPredictConfig {
+	return MLPredictConfig{Images: 200, Dim: 16, Classes: 4, Predictors: 4, Trees: 8, Seed: 3}
+}
+
+// MLPredictResult is the combiner's report.
+type MLPredictResult struct {
+	Predictions int
+	Accuracy    float64
+	Histogram   map[int]int
+}
+
+// MLPredict builds the serving workflow. The partitioner trains the model
+// once (standing in for loading a pre-trained LightGBM file) and publishes
+// {features, labels, model} as one state; predictors read their shard and
+// evaluate every tree through the object layer — under RMMAP that means
+// walking the producer's model pages remotely with zero reconstruction.
+func MLPredict(cfg MLPredictConfig) *platform.Workflow {
+	// The model is pre-trained (the paper serves the model trained by the
+	// ML-training workflow); train it once per workflow instance and
+	// reuse across requests, like a model file loaded by a warm
+	// container.
+	var cachedForest [][]objrt.TreeNode
+	partition := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		// Serving batches vary ±15% per request (real request streams
+		// are not uniform; this also gives Fig 12's CDF its spread).
+		n := cfg.Images + (ctx.RequestID%7-3)*cfg.Images/20
+		if n < 1 {
+			n = 1
+		}
+		X, y := GenImages(n, cfg.Dim, cfg.Classes, cfg.Seed+int64(ctx.RequestID))
+		if cachedForest == nil {
+			var err error
+			cachedForest, err = ml.TrainForest(X[:min(n, 400)], y[:min(n, 400)],
+				cfg.Trees, ml.DefaultTreeConfig(), cfg.Seed)
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+		}
+		forest := cachedForest
+		ctx.ChargeCompute(n * cfg.Dim * 8)
+
+		data, err := MatrixObj(ctx.RT, X, y)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		trees := make([]objrt.Obj, len(forest))
+		for i, nodes := range forest {
+			t, err := ctx.RT.NewTree(nodes)
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			trees[i] = t
+		}
+		model, err := ctx.RT.NewForest(trees)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		kData, err := ctx.RT.NewStr("data")
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		kModel, err := ctx.RT.NewStr("model")
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		return ctx.RT.NewDict([][2]objrt.Obj{{kData, data}, {kModel, model}})
+	}
+
+	predict := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		if len(ctx.Inputs) != 1 {
+			return objrt.Obj{}, fmt.Errorf("mlpredict: got %d inputs", len(ctx.Inputs))
+		}
+		in := ctx.Inputs[0]
+		data, ok, err := in.DictGet("data")
+		if err != nil || !ok {
+			return objrt.Obj{}, fmt.Errorf("mlpredict: no data: %v", err)
+		}
+		model, ok, err := in.DictGet("model")
+		if err != nil || !ok {
+			return objrt.Obj{}, fmt.Errorf("mlpredict: no model: %v", err)
+		}
+		X, y, err := ReadMatrixObj(data)
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		lo := ctx.Instance * len(X) / ctx.Instances
+		hi := (ctx.Instance + 1) * len(X) / ctx.Instances
+		nTrees, err := model.Len()
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		preds := make([]int64, 0, hi-lo)
+		correct := int64(0)
+		for i := lo; i < hi; i++ {
+			votes := make(map[int]int)
+			for ti := 0; ti < nTrees; ti++ {
+				tree, err := model.Index(ti)
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				v, err := tree.PredictTree(X[i])
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				votes[int(v)]++
+			}
+			best, bestN := 0, -1
+			for c := 0; c < cfg.Classes; c++ {
+				if votes[c] > bestN {
+					best, bestN = c, votes[c]
+				}
+			}
+			preds = append(preds, int64(best))
+			if best == y[i] {
+				correct++
+			}
+		}
+		// Tree evaluation cost: samples × trees × path length.
+		ctx.ChargeComputeTime(simtime.Scale(40*simtime.Nanosecond, (hi-lo)*nTrees*8))
+
+		out := append(preds, correct) // piggyback the correct count
+		return ctx.RT.NewIntList(out)
+	}
+
+	combine := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		hist := make(map[int]int)
+		total, correct := 0, 0
+		for _, in := range ctx.Inputs {
+			n, err := in.Len()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			for i := 0; i < n-1; i++ {
+				e, err := in.Index(i)
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				v, err := e.Int()
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				hist[int(v)]++
+				total++
+			}
+			last, err := in.Index(n - 1)
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			c, err := last.Int()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			correct += int(c)
+		}
+		ctx.ChargeCompute(total * 8)
+		ctx.Report(MLPredictResult{
+			Predictions: total,
+			Accuracy:    float64(correct) / float64(max(total, 1)),
+			Histogram:   hist,
+		})
+		return objrt.Obj{}, nil
+	}
+
+	return &platform.Workflow{
+		Name: "ml-prediction",
+		Functions: []*platform.FunctionSpec{
+			{Name: "PartitionInput", Instances: 1, Handler: partition, MemBudget: 2 << 30},
+			{Name: "Predictor", Instances: cfg.Predictors, Handler: predict},
+			{Name: "Combine", Instances: 1, Handler: combine},
+		},
+		Edges: []platform.Edge{
+			{From: "PartitionInput", To: "Predictor"},
+			{From: "Predictor", To: "Combine"},
+		},
+	}
+}

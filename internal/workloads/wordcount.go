@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"rmmap/internal/objrt"
+	"rmmap/internal/platform"
+)
+
+// WordCountConfig sizes the FunctionBench MapReduce workflow. Paper
+// defaults: a 13 MB book, 8 mappers, 1 reducer.
+type WordCountConfig struct {
+	BookBytes int
+	Mappers   int
+	Lang      objrt.Lang // Fig 13d runs the same workflow in Java mode
+	Seed      int64
+}
+
+// DefaultWordCount approximates the paper's setup at tractable scale
+// (the payload sweep scales BookBytes).
+func DefaultWordCount() WordCountConfig {
+	return WordCountConfig{BookBytes: 2 << 20, Mappers: 8, Seed: 4}
+}
+
+// SmallWordCount is the test-scale variant.
+func SmallWordCount() WordCountConfig {
+	return WordCountConfig{BookBytes: 64 << 10, Mappers: 4, Seed: 4}
+}
+
+// WordCountResult is the reducer's report.
+type WordCountResult struct {
+	DistinctWords int
+	TotalWords    int
+	TopWord       string
+}
+
+// WordCount builds the MapReduce workflow: a splitter publishes the whole
+// book as one str object, each mapper counts words in its byte range, the
+// reducer merges the per-mapper dicts.
+func WordCount(cfg WordCountConfig) *platform.Workflow {
+	split := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		book := GenBook(cfg.BookBytes, cfg.Seed)
+		ctx.ChargeCompute(len(book))
+		return ctx.RT.NewStr(book)
+	}
+
+	mapper := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		if len(ctx.Inputs) != 1 {
+			return objrt.Obj{}, fmt.Errorf("wordcount: mapper got %d inputs", len(ctx.Inputs))
+		}
+		text, err := ctx.Inputs[0].Str()
+		if err != nil {
+			return objrt.Obj{}, err
+		}
+		// Shard on whitespace-safe boundaries.
+		lo := ctx.Instance * len(text) / ctx.Instances
+		hi := (ctx.Instance + 1) * len(text) / ctx.Instances
+		for lo > 0 && lo < len(text) && text[lo-1] != ' ' && text[lo-1] != '\n' {
+			lo++
+		}
+		for hi < len(text) && text[hi] != ' ' && text[hi] != '\n' {
+			hi++
+		}
+		if lo > hi {
+			lo = hi
+		}
+		counts := CountWords(text[lo:hi])
+		ctx.ChargeCompute(hi - lo)
+
+		words := make([]string, 0, len(counts))
+		for w := range counts {
+			words = append(words, w)
+		}
+		sort.Strings(words) // deterministic layout
+		pairs := make([][2]objrt.Obj, 0, len(words))
+		for _, w := range words {
+			k, err := ctx.RT.NewStr(w)
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			v, err := ctx.RT.NewInt(int64(counts[w]))
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			pairs = append(pairs, [2]objrt.Obj{k, v})
+		}
+		return ctx.RT.NewDict(pairs)
+	}
+
+	reduce := func(ctx *platform.Ctx) (objrt.Obj, error) {
+		merged := make(map[string]int)
+		for _, in := range ctx.Inputs {
+			n, err := in.Len()
+			if err != nil {
+				return objrt.Obj{}, err
+			}
+			for i := 0; i < n; i++ {
+				k, v, err := in.DictEntry(i)
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				w, err := k.Str()
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				c, err := v.Int()
+				if err != nil {
+					return objrt.Obj{}, err
+				}
+				merged[w] += int(c)
+			}
+		}
+		ctx.ChargeCompute(len(merged) * 16 * len(ctx.Inputs))
+		total := 0
+		top, topN := "", -1
+		words := make([]string, 0, len(merged))
+		for w := range merged {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		for _, w := range words {
+			total += merged[w]
+			if merged[w] > topN {
+				top, topN = w, merged[w]
+			}
+		}
+		ctx.Report(WordCountResult{DistinctWords: len(merged), TotalWords: total, TopWord: top})
+		return objrt.Obj{}, nil
+	}
+
+	return &platform.Workflow{
+		Name: "wordcount",
+		Functions: []*platform.FunctionSpec{
+			{Name: "Split", Instances: 1, Handler: split, Lang: cfg.Lang, MemBudget: 2 << 30},
+			{Name: "Map", Instances: cfg.Mappers, Handler: mapper, Lang: cfg.Lang},
+			{Name: "Reduce", Instances: 1, Handler: reduce, Lang: cfg.Lang},
+		},
+		Edges: []platform.Edge{
+			{From: "Split", To: "Map"},
+			{From: "Map", To: "Reduce"},
+		},
+	}
+}

@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/objrt"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+)
+
+func testCluster() platform.ClusterConfig { return platform.ClusterConfig{Machines: 4, Pods: 16} }
+
+func runWorkflow(t *testing.T, wf *platform.Workflow, mode platform.Mode) platform.RunResult {
+	t.Helper()
+	e, err := platform.NewEngine(wf, mode, platform.Options{}, testCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newGenRT(t *testing.T) *objrt.Runtime {
+	t.Helper()
+	as := memsim.NewAddressSpace(memsim.NewMachine(0), simtime.DefaultCostModel())
+	as.SetMeter(simtime.NewMeter())
+	rt, err := objrt.NewRuntime(as, objrt.Config{HeapStart: 0x10000000, HeapEnd: 0x40000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestGenTradesShape(t *testing.T) {
+	rt := newGenRT(t)
+	df, err := GenTrades(rt, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := df.Rows()
+	if err != nil || rows != 500 {
+		t.Fatalf("rows = %d, err %v", rows, err)
+	}
+	names, _, err := df.Columns()
+	if err != nil || len(names) != 5 {
+		t.Fatalf("columns = %v", names)
+	}
+	price, _ := df.Column("price")
+	pv, err := price.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pv {
+		if p < 10 || p > 500 {
+			t.Fatalf("price out of band: %v", p)
+		}
+	}
+	// The dataframe must be object-heavy (string cells boxed).
+	st, err := objrt.Walk(df, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects < 1000 {
+		t.Errorf("trades dataframe has only %d sub-objects", st.Objects)
+	}
+}
+
+func TestGenTradesDeterministic(t *testing.T) {
+	rt1, rt2 := newGenRT(t), newGenRT(t)
+	a, err := GenTrades(rt1, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrades(rt2, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Column("price")
+	pb, _ := b.Column("price")
+	da, _ := pa.Data()
+	db, _ := pb.Data()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("GenTrades nondeterministic")
+		}
+	}
+}
+
+func TestGenBookAndCountWords(t *testing.T) {
+	book := GenBook(10000, 1)
+	if len(book) < 10000 {
+		t.Fatalf("book too short: %d", len(book))
+	}
+	counts := CountWords("le chat et le chien\nle bout")
+	if counts["le"] != 3 || counts["chat"] != 1 || counts["bout"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if CountWords("")["x"] != 0 {
+		t.Error("empty text miscounted")
+	}
+	// Zipf-ish: common words dominate.
+	bc := CountWords(book)
+	if bc["le"] < bc["montrer"] {
+		t.Error("word distribution not skewed")
+	}
+}
+
+func TestMatrixObjRoundtrip(t *testing.T) {
+	rt := newGenRT(t)
+	X, y := GenImages(50, 8, 3, 5)
+	df, err := MatrixObj(rt, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X2, y2, err := ReadMatrixObj(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X2) != 50 || len(y2) != 50 {
+		t.Fatalf("shape %d/%d", len(X2), len(y2))
+	}
+	for i := range X {
+		if y[i] != y2[i] {
+			t.Fatal("labels corrupted")
+		}
+		for j := range X[i] {
+			if X[i][j] != X2[i][j] {
+				t.Fatal("features corrupted")
+			}
+		}
+	}
+}
+
+func TestFINRAAcrossModes(t *testing.T) {
+	cfg := SmallFINRA()
+	var want platform.RunResult
+	for i, mode := range platform.AllModes() {
+		res := runWorkflow(t, FINRA(cfg), mode)
+		out, ok := res.Output.(FINRAResult)
+		if !ok {
+			t.Fatalf("%v: output %T", mode, res.Output)
+		}
+		if out.Rules != cfg.Rules {
+			t.Errorf("%v: rules = %d, want %d", mode, out.Rules, cfg.Rules)
+		}
+		if out.Violations <= 0 {
+			t.Errorf("%v: violations = %d", mode, out.Violations)
+		}
+		if i == 0 {
+			want = res
+		} else if res.Output != want.Output {
+			// Same data, same rules → identical result in every mode.
+			t.Errorf("%v: result %+v differs from %+v", mode, res.Output, want.Output)
+		}
+	}
+}
+
+func TestMLTrainAcrossModes(t *testing.T) {
+	cfg := SmallMLTrain()
+	for _, mode := range []platform.Mode{platform.ModeMessaging, platform.ModeRMMAPPrefetch} {
+		res := runWorkflow(t, MLTrain(cfg), mode)
+		out, ok := res.Output.(MLTrainResult)
+		if !ok {
+			t.Fatalf("%v: output %T", mode, res.Output)
+		}
+		if out.Trees != cfg.Trees {
+			t.Errorf("%v: trees = %d, want %d", mode, out.Trees, cfg.Trees)
+		}
+		if out.Accuracy < 0.8 {
+			t.Errorf("%v: accuracy = %.3f (PCA-space holdout should separate well)", mode, out.Accuracy)
+		}
+	}
+}
+
+func TestMLPredictAcrossModes(t *testing.T) {
+	cfg := SmallMLPredict()
+	var first MLPredictResult
+	for i, mode := range []platform.Mode{platform.ModeMessaging, platform.ModeStorageDrTM, platform.ModeRMMAPPrefetch} {
+		res := runWorkflow(t, MLPredict(cfg), mode)
+		out, ok := res.Output.(MLPredictResult)
+		if !ok {
+			t.Fatalf("%v: output %T", mode, res.Output)
+		}
+		// Batches jitter ±15% by request ID; all modes see request 1.
+		if out.Predictions < cfg.Images*8/10 || out.Predictions > cfg.Images*12/10 {
+			t.Errorf("%v: predictions = %d, want ~%d", mode, out.Predictions, cfg.Images)
+		}
+		if out.Accuracy < 0.6 {
+			t.Errorf("%v: accuracy = %.3f", mode, out.Accuracy)
+		}
+		if i == 0 {
+			first = out
+		} else if out.Predictions != first.Predictions || out.Accuracy != first.Accuracy {
+			t.Errorf("%v: result differs across modes", mode)
+		}
+	}
+}
+
+func TestWordCountAcrossModes(t *testing.T) {
+	cfg := SmallWordCount()
+	book := GenBook(cfg.BookBytes, cfg.Seed)
+	direct := CountWords(book)
+	wantTotal := 0
+	for _, c := range direct {
+		wantTotal += c
+	}
+	for _, mode := range platform.AllModes() {
+		res := runWorkflow(t, WordCount(cfg), mode)
+		out, ok := res.Output.(WordCountResult)
+		if !ok {
+			t.Fatalf("%v: output %T", mode, res.Output)
+		}
+		if out.TotalWords != wantTotal {
+			t.Errorf("%v: total = %d, want %d", mode, out.TotalWords, wantTotal)
+		}
+		if out.DistinctWords != len(direct) {
+			t.Errorf("%v: distinct = %d, want %d", mode, out.DistinctWords, len(direct))
+		}
+		if direct[out.TopWord] == 0 {
+			t.Errorf("%v: top word %q not in direct counts", mode, out.TopWord)
+		}
+	}
+}
+
+func TestWordCountJavaMode(t *testing.T) {
+	cfg := SmallWordCount()
+	cfg.Lang = objrt.LangJava
+	res := runWorkflow(t, WordCount(cfg), platform.ModeRMMAPPrefetch)
+	out, ok := res.Output.(WordCountResult)
+	if !ok || out.TotalWords == 0 {
+		t.Fatalf("java wordcount output: %+v", res.Output)
+	}
+}
+
+func TestRMMAPFasterOnWorkloads(t *testing.T) {
+	// The headline claim at workload level: RMMAP+prefetch beats
+	// messaging and Pocket on every workflow; it also beats
+	// storage(RDMA) on the dataframe-heavy FINRA.
+	for name, build := range map[string]func() *platform.Workflow{
+		"finra":     func() *platform.Workflow { return FINRA(SmallFINRA()) },
+		"wordcount": func() *platform.Workflow { return WordCount(SmallWordCount()) },
+	} {
+		lat := map[platform.Mode]simtime.Duration{}
+		for _, mode := range platform.AllModes() {
+			lat[mode] = runWorkflow(t, build(), mode).Latency
+		}
+		if lat[platform.ModeRMMAPPrefetch] >= lat[platform.ModeMessaging] {
+			t.Errorf("%s: rmmap-prefetch (%v) not faster than messaging (%v)",
+				name, lat[platform.ModeRMMAPPrefetch], lat[platform.ModeMessaging])
+		}
+		if lat[platform.ModeRMMAPPrefetch] >= lat[platform.ModeStoragePocket] {
+			t.Errorf("%s: rmmap-prefetch (%v) not faster than pocket (%v)",
+				name, lat[platform.ModeRMMAPPrefetch], lat[platform.ModeStoragePocket])
+		}
+	}
+}

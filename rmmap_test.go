@@ -1,0 +1,110 @@
+// Facade tests: the public rmmap package must be sufficient on its own for
+// the two ways downstream users consume the library — the raw primitive
+// (register/rmap/read) and the platform (workflow + engine).
+package rmmap_test
+
+import (
+	"testing"
+
+	"rmmap"
+)
+
+func TestPublicAPIPrimitive(t *testing.T) {
+	cm := rmmap.DefaultCostModel()
+	fabric := rmmap.NewFabric(cm)
+	prodMach := rmmap.NewMachine(0)
+	consMach := rmmap.NewMachine(1)
+	fabric.Attach(prodMach)
+	fabric.Attach(consMach)
+	prodK := rmmap.NewKernel(prodMach, rmmap.NewNIC(0, fabric), cm)
+	consK := rmmap.NewKernel(consMach, rmmap.NewNIC(1, fabric), cm)
+	prodK.ServeRPC(fabric)
+
+	prodAS := rmmap.NewAddressSpace(prodMach, cm)
+	prodAS.SetMeter(rmmap.NewMeter())
+	prodRT, err := rmmap.NewRuntime(prodAS, rmmap.RuntimeConfig{
+		HeapStart: 0x1000_0000, HeapEnd: 0x1100_0000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := prodRT.NewIntList([]int64{4, 8, 15, 16, 23, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := prodK.RegisterMem(prodAS, 1, 99, 0x1000_0000, 0x1000_0000+16*rmmap.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	consAS := rmmap.NewAddressSpace(consMach, cm)
+	consAS.SetMeter(rmmap.NewMeter())
+	consRT, err := rmmap.NewRuntime(consAS, rmmap.RuntimeConfig{
+		HeapStart: 0x9000_0000, HeapEnd: 0x9100_0000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := consK.Rmap(consAS, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := consRT.AdoptRemote(state.View(consRT), mp)
+	sum := int64(0)
+	n, _ := ref.Root.Len()
+	for i := 0; i < n; i++ {
+		e, err := ref.Root.Index(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := e.Int()
+		sum += v
+	}
+	if sum != 108 {
+		t.Errorf("sum = %d", sum)
+	}
+	if err := ref.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prodK.DeregisterMem(meta.ID, meta.Key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIPlatform(t *testing.T) {
+	wf := &rmmap.Workflow{
+		Name: "public",
+		Functions: []*rmmap.FunctionSpec{
+			{Name: "p", Instances: 1, Handler: func(ctx *rmmap.Ctx) (rmmap.Obj, error) {
+				return ctx.RT.NewIntList(make([]int64, 500))
+			}},
+			{Name: "c", Instances: 1, Handler: func(ctx *rmmap.Ctx) (rmmap.Obj, error) {
+				n, err := ctx.Inputs[0].Len()
+				ctx.Report(n)
+				return rmmap.Obj{}, err
+			}},
+		},
+		Edges: []rmmap.Edge{{From: "p", To: "c"}},
+	}
+	plan, err := rmmap.GeneratePlan(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range rmmap.AllModes() {
+		engine, err := rmmap.NewEngine(wf, mode, rmmap.Options{},
+			rmmap.ClusterConfig{Machines: 2, Pods: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Output.(int) != 500 {
+			t.Errorf("%v: output %v", mode, res.Output)
+		}
+	}
+}
