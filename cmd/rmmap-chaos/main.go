@@ -1,0 +1,135 @@
+// Command rmmap-chaos runs a built-in workflow under a seeded,
+// deterministic fault-injection plan (DESIGN.md §7) and reports what the
+// recovery ladder did: transport retries, messaging fallbacks, and
+// producer re-executions.
+//
+// Usage:
+//
+//	rmmap-chaos [-workflow finra] [-small] [-seed 20260805] [-prob 0.1]
+//	            [-crash-machine 1 -crash-at 100us] [-no-recovery] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmmap/internal/faults"
+	"rmmap/internal/memsim"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+	"rmmap/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workflow", "finra", "workflow: finra, ml-training, ml-prediction, wordcount")
+	small := flag.Bool("small", false, "use the small (test-scale) configuration")
+	seed := flag.Uint64("seed", 20260805, "fault-plan seed; same seed, same schedule")
+	prob := flag.Float64("prob", 0.1, "transient-fault probability on remote reads, doorbells and RPCs")
+	endpoint := flag.String("endpoint", "", "restrict the RPC rule to one endpoint (e.g. rmmap.auth)")
+	crashMachine := flag.Int("crash-machine", -1, "machine to crash (-1: none)")
+	crashAt := flag.Duration("crash-at", 0, "virtual-time instant of the crash (e.g. 100us)")
+	noRecovery := flag.Bool("no-recovery", false, "negative control: disable the recovery ladder")
+	maxReexecs := flag.Int("max-reexecs", platform.DefaultMaxReexecutions, "producer re-execution budget per request")
+	degradeAfter := flag.Int("degrade-after", platform.DefaultDegradeAfter, "edge failures before falling back to messaging")
+	machines := flag.Int("machines", 4, "cluster size")
+	pods := flag.Int("pods", 16, "warm pods")
+	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
+	flag.Parse()
+
+	wf, err := buildWorkflow(*name, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	plan := faults.Plan{Seed: *seed}
+	if *prob > 0 {
+		plan.Rules = []faults.Rule{
+			{Site: faults.SiteRDMARead, Target: faults.AnyMachine, Prob: *prob},
+			{Site: faults.SiteDoorbell, Target: faults.AnyMachine, Prob: *prob},
+			{Site: faults.SiteRPC, Target: faults.AnyMachine, Endpoint: *endpoint, Prob: *prob},
+		}
+	}
+	if *crashMachine >= 0 {
+		plan.Crashes = []faults.Crash{{
+			Machine: memsim.MachineID(*crashMachine),
+			At:      simtime.Time(crashAt.Nanoseconds()),
+		}}
+	}
+
+	rec := platform.DefaultRecoveryPolicy()
+	rec.MaxReexecutions = *maxReexecs
+	rec.DegradeAfter = *degradeAfter
+	opts := platform.Options{Trace: *trace, Recovery: rec}
+	if *noRecovery {
+		opts.Recovery = nil
+	}
+	cluster := platform.NewChaosCluster(*machines, simtime.DefaultCostModel(), plan, rec.Retry)
+	engine, err := platform.NewEngineOn(cluster, wf, platform.ModeRMMAPPrefetch, opts, *pods)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("plan: seed=%d prob=%g", *seed, *prob)
+	if *crashMachine >= 0 {
+		fmt.Printf(" crash=machine%d@%v", *crashMachine, simtime.Duration((*crashAt).Nanoseconds()))
+	}
+	if *noRecovery {
+		fmt.Printf(" recovery=off")
+	}
+	fmt.Println()
+
+	var res platform.RunResult
+	engine.Submit(func(out platform.RunResult) { res = out })
+	engine.Cluster.Sim.Run()
+
+	fmt.Printf("injected faults: %d\n", cluster.Injector.Total())
+	if res.Err != nil {
+		fmt.Printf("request FAILED: %v\n", res.Err)
+		fmt.Printf("recovery: retries=%d fallbacks=%d reexecs=%d\n",
+			res.Retries, res.Fallbacks, res.Reexecs)
+		os.Exit(1)
+	}
+	fmt.Printf("request completed: latency %v\n", res.Latency)
+	fmt.Printf("  result: %+v\n", res.Output)
+	fmt.Printf("  recovery: retries=%d (backoff %v under %v) fallbacks=%d reexecs=%d\n",
+		res.Retries, res.Meter.Get(simtime.CatRetry), simtime.CatRetry,
+		res.Fallbacks, res.Reexecs)
+	if *trace {
+		fmt.Println("  execution timeline:")
+		platform.WriteTrace(os.Stdout, res.Trace)
+	}
+}
+
+func buildWorkflow(name string, small bool) (*platform.Workflow, error) {
+	switch name {
+	case "finra":
+		cfg := workloads.DefaultFINRA()
+		if small {
+			cfg = workloads.SmallFINRA()
+		}
+		return workloads.FINRA(cfg), nil
+	case "ml-training":
+		cfg := workloads.DefaultMLTrain()
+		if small {
+			cfg = workloads.SmallMLTrain()
+		}
+		return workloads.MLTrain(cfg), nil
+	case "ml-prediction":
+		cfg := workloads.DefaultMLPredict()
+		if small {
+			cfg = workloads.SmallMLPredict()
+		}
+		return workloads.MLPredict(cfg), nil
+	case "wordcount":
+		cfg := workloads.DefaultWordCount()
+		if small {
+			cfg = workloads.SmallWordCount()
+		}
+		return workloads.WordCount(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow %q", name)
+	}
+}

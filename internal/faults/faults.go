@@ -1,0 +1,202 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// reproduction's §6 fault-tolerance story. A fault Plan names injection
+// sites (one-sided RDMA reads, doorbell batches, kernel RPCs, TCP
+// dial/roundtrip), schedules (virtual-time windows), probabilities, and
+// whole-machine crashes at virtual-time instants. An Injector evaluates the
+// plan with a seeded PRNG against the cluster's virtual clock, so every
+// fault schedule — and therefore every failure and recovery — reproduces
+// bit-for-bit from the seed.
+//
+// The injector never touches the transports directly: FaultFabric (see
+// transport.go) wraps any rdma.Transport (SimFabric NICs and TCPFabric
+// NICs alike, unmodified) and consults the injector before each operation.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// Site names one class of injectable operation.
+type Site int
+
+// Injection sites.
+const (
+	// SiteRDMARead is a one-sided RDMA read of a remote frame.
+	SiteRDMARead Site = iota
+	// SiteDoorbell is a doorbell-batched multi-page read (§4.4).
+	SiteDoorbell
+	// SiteRPC is a kernel RPC (auth / dereg / page); Rule.Endpoint can
+	// narrow a rule to one endpoint.
+	SiteRPC
+	// SiteTCPDial is connection establishment to a previously uncontacted
+	// peer (the QP-connect / TCP-dial step).
+	SiteTCPDial
+	// SiteTCPRoundtrip is any request/response roundtrip on an established
+	// connection.
+	SiteTCPRoundtrip
+	numSites
+)
+
+var siteNames = [...]string{
+	SiteRDMARead:     "rdma-read",
+	SiteDoorbell:     "doorbell",
+	SiteRPC:          "rpc",
+	SiteTCPDial:      "tcp-dial",
+	SiteTCPRoundtrip: "tcp-roundtrip",
+}
+
+func (s Site) String() string {
+	if s < 0 || int(s) >= len(siteNames) {
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+	return siteNames[s]
+}
+
+// ErrInjected marks a transient injected fault: the operation failed this
+// time but may succeed if retried (a dropped packet, a timed-out RPC).
+// Recovery layers test for it with IsTransient.
+var ErrInjected = errors.New("faults: injected transient fault")
+
+// IsTransient reports whether err is a retryable injected fault. Machine
+// crashes are NOT transient: retrying a read against a dead machine cannot
+// succeed, only re-execution or degradation can.
+func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
+
+// AnyMachine matches every target machine in a Rule.
+const AnyMachine = memsim.MachineID(-1)
+
+// Rule injects transient faults at one site with a probability, optionally
+// restricted to a target machine, an RPC endpoint, and a virtual-time
+// window.
+type Rule struct {
+	Site Site
+	// Target restricts the rule to operations against one machine;
+	// AnyMachine (the zero Rule must set this explicitly) matches all.
+	Target memsim.MachineID
+	// Endpoint restricts a SiteRPC rule to one endpoint name ("" = all).
+	Endpoint string
+	// Prob is the per-operation injection probability in [0, 1].
+	Prob float64
+	// After / Until bound the active window in virtual time
+	// (Until 0 = no end).
+	After, Until simtime.Time
+	// Max caps the number of faults this rule may inject (0 = unlimited).
+	Max int
+}
+
+// Crash fails a whole machine at a virtual-time instant: its frames
+// (including shadow pages of registered state) become unreadable and RPCs
+// to it fail, so consumers of its state see remote-fault errors.
+type Crash struct {
+	Machine memsim.MachineID
+	At      simtime.Time
+}
+
+// Plan is a complete seeded fault schedule.
+type Plan struct {
+	Seed    uint64
+	Rules   []Rule
+	Crashes []Crash
+}
+
+// Injector evaluates a Plan deterministically. It is safe for concurrent
+// use, though determinism of the draw sequence requires a deterministic
+// caller order (the discrete-event simulator provides one).
+type Injector struct {
+	mu      sync.Mutex
+	rules   []Rule
+	fired   []int // per-rule injection counts
+	rng     uint64
+	clock   func() simtime.Time
+	bySite  [numSites]int
+	total   int
+	crashes []Crash
+}
+
+// NewInjector builds an injector for plan; clock supplies the current
+// virtual time (nil means time 0, which keeps window-free plans working).
+func NewInjector(plan Plan, clock func() simtime.Time) *Injector {
+	return &Injector{
+		rules:   append([]Rule(nil), plan.Rules...),
+		fired:   make([]int, len(plan.Rules)),
+		rng:     plan.Seed + 0x9e3779b97f4a7c15, // non-zero even for seed 0
+		clock:   clock,
+		crashes: append([]Crash(nil), plan.Crashes...),
+	}
+}
+
+// Crashes returns the plan's machine-crash schedule (for arming on a
+// simulator — see platform.NewChaosCluster).
+func (in *Injector) Crashes() []Crash { return in.crashes }
+
+func (in *Injector) now() simtime.Time {
+	if in.clock == nil {
+		return 0
+	}
+	return in.clock()
+}
+
+// next is a SplitMix64 step returning a float64 uniform in [0, 1).
+func (in *Injector) next() float64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Check consults the plan for one operation: it returns a wrapped
+// ErrInjected if any active rule fires, nil otherwise. Each matching active
+// rule consumes exactly one PRNG draw, in declaration order, so the fault
+// sequence is a pure function of (plan, operation sequence).
+func (in *Injector) Check(site Site, target memsim.MachineID, endpoint string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := in.now()
+	for i, r := range in.rules {
+		if r.Site != site {
+			continue
+		}
+		if r.Target != AnyMachine && r.Target != target {
+			continue
+		}
+		if r.Endpoint != "" && r.Endpoint != endpoint {
+			continue
+		}
+		if now < r.After || (r.Until != 0 && now >= r.Until) {
+			continue
+		}
+		if r.Max > 0 && in.fired[i] >= r.Max {
+			continue
+		}
+		if in.next() >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		in.bySite[site]++
+		in.total++
+		return fmt.Errorf("%w: %v machine %d %s at %v",
+			ErrInjected, site, target, endpoint, simtime.Duration(now))
+	}
+	return nil
+}
+
+// Injected reports how many faults were injected at one site.
+func (in *Injector) Injected(site Site) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.bySite[site]
+}
+
+// Total reports all injected faults.
+func (in *Injector) Total() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}

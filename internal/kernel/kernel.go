@@ -293,6 +293,8 @@ func (k *Kernel) handlePage(m *simtime.Meter, req []byte) ([]byte, error) {
 	}
 	pfn := memsim.PFN(binary.LittleEndian.Uint64(req))
 	buf := make([]byte, memsim.PageSize)
-	k.machine.ReadFrame(pfn, 0, buf)
+	if err := k.machine.ReadFrameErr(pfn, 0, buf); err != nil {
+		return nil, err
+	}
 	return buf, nil
 }

@@ -6,6 +6,7 @@
 package memsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -40,15 +41,22 @@ type frame struct {
 	refs int
 }
 
+// ErrMachineCrashed is returned by checked frame reads after Crash: the
+// machine's frames — including any shadow copies of registered state — are
+// gone, and every remote access to them must surface an error the platform
+// can recover from (§6 fault tolerance).
+var ErrMachineCrashed = errors.New("memsim: machine crashed")
+
 // Machine owns a pool of physical frames. It is safe for concurrent use:
 // the TCP fabric serves one-sided reads from other goroutines.
 type Machine struct {
-	mu     sync.Mutex
-	id     MachineID
-	frames []*frame
-	free   []PFN
-	live   int
-	peak   int
+	mu      sync.Mutex
+	id      MachineID
+	frames  []*frame
+	free    []PFN
+	live    int
+	peak    int
+	crashed bool
 }
 
 // NewMachine returns an empty machine.
@@ -112,6 +120,38 @@ func (m *Machine) Refs(pfn PFN) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.frameLocked(pfn).refs
+}
+
+// Crash marks the machine failed: its frames become unreadable through the
+// checked read path, so consumer page faults on rmapped pages surface as
+// remote-fault errors. Crashing is permanent for the simulation's lifetime
+// (a restarted machine would be a new Machine).
+func (m *Machine) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = true
+}
+
+// Crashed reports whether the machine has failed.
+func (m *Machine) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// ReadFrameErr is ReadFrame for remote access paths: it fails with
+// ErrMachineCrashed instead of serving bytes from a dead machine.
+func (m *Machine) ReadFrameErr(pfn PFN, off int, buf []byte) error {
+	if off < 0 || off+len(buf) > PageSize {
+		panic(fmt.Sprintf("memsim: ReadFrame out of range off=%d len=%d", off, len(buf)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return fmt.Errorf("%w: machine %d", ErrMachineCrashed, m.id)
+	}
+	copy(buf, m.frameLocked(pfn).data[off:])
+	return nil
 }
 
 // ReadFrame copies bytes out of a frame. This is the one-sided RDMA read

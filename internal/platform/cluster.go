@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 
+	"rmmap/internal/faults"
 	"rmmap/internal/kernel"
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
@@ -20,6 +21,11 @@ type Cluster struct {
 	Machines []*memsim.Machine
 	Kernels  []*kernel.Kernel
 	Sim      *sim.Simulator
+
+	// Injector is non-nil on chaos clusters (NewChaosCluster): the seeded
+	// fault source every kernel's transport consults.
+	Injector *faults.Injector
+	retriers []*faults.RetryTransport
 }
 
 // NewCluster builds n machines, each with an RMMAP kernel serving RPC.
@@ -35,6 +41,47 @@ func NewCluster(n int, cm *simtime.CostModel) *Cluster {
 		c.Kernels = append(c.Kernels, k)
 	}
 	return c
+}
+
+// NewChaosCluster builds a cluster whose kernels see the fabric through a
+// seeded fault injector and a retrying transport: each NIC is wrapped as
+// retry(faults(NIC)), so transient injected faults are retried with capped
+// exponential backoff (charged to CatRetry) before they ever reach the
+// kernel, while persistent faults and machine crashes surface as errors for
+// the engine's recovery ladder. The plan's machine crashes are armed on the
+// simulator; everything downstream is deterministic in plan.Seed.
+func NewChaosCluster(n int, cm *simtime.CostModel, plan faults.Plan, retry faults.RetryPolicy) *Cluster {
+	c := &Cluster{CM: cm, Fabric: rdma.NewSimFabric(cm), Sim: sim.New()}
+	c.Injector = faults.NewInjector(plan, c.Sim.Now)
+	for i := 0; i < n; i++ {
+		m := memsim.NewMachine(memsim.MachineID(i))
+		c.Fabric.Attach(m)
+		rt := faults.WithRetry(faults.Wrap(rdma.NewNIC(m.ID(), c.Fabric), c.Injector), retry)
+		c.retriers = append(c.retriers, rt)
+		k := kernel.New(m, rt, cm)
+		k.Clock = c.Sim.Now
+		k.ServeRPC(c.Fabric)
+		c.Machines = append(c.Machines, m)
+		c.Kernels = append(c.Kernels, k)
+	}
+	for _, cr := range plan.Crashes {
+		if int(cr.Machine) < 0 || int(cr.Machine) >= n {
+			continue
+		}
+		mach := c.Machines[cr.Machine]
+		c.Sim.At(cr.At, mach.Crash)
+	}
+	return c
+}
+
+// Retries reports the cumulative transport-level retry count across all
+// machines (zero on non-chaos clusters).
+func (c *Cluster) Retries() int {
+	n := 0
+	for _, r := range c.retriers {
+		n += r.Retries()
+	}
+	return n
 }
 
 // NewClusterTCP builds a cluster whose machines talk over real loopback

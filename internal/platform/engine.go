@@ -119,6 +119,10 @@ func (p *statePayload) freeBuffer() {
 type invocation struct {
 	req  *request
 	node nodeKey
+	// redo marks a producer re-execution scheduled by the recovery
+	// ladder: its payload goes only to the parked waiters (deliverRedo)
+	// and its completion does not count against request progress.
+	redo bool
 }
 
 // request tracks one workflow execution.
@@ -133,6 +137,14 @@ type request struct {
 	err       error
 	done      func(*request)
 	spans     []Span
+
+	// Recovery state (see recovery.go).
+	reexecs   int
+	retries   int
+	fallbacks int
+	redoFor   map[nodeKey][]*invocation
+	edgeFails map[edgeKey]int
+	degraded  map[edgeKey]bool
 }
 
 // RunResult reports one request's outcome.
@@ -148,6 +160,11 @@ type RunResult struct {
 	Err    error
 	// Trace holds per-invocation spans when Options.Trace is set.
 	Trace []Span
+	// Recovery accounting (nonzero only under faults): transport retry
+	// attempts, rmap→messaging degradations, and producer re-executions.
+	Retries   int
+	Fallbacks int
+	Reexecs   int
 }
 
 // NewEngine builds an engine for one workflow and transfer mode on a fresh
@@ -251,11 +268,14 @@ func (e *Engine) QueueLen() int { return len(e.queue) }
 func (e *Engine) Submit(done func(RunResult)) {
 	e.requests++
 	req := &request{
-		id:      e.requests,
-		start:   e.Cluster.Sim.Now(),
-		pending: make(map[nodeKey]int),
-		inputs:  make(map[nodeKey][]*statePayload),
-		meters:  make(map[nodeKey]*simtime.Meter),
+		id:        e.requests,
+		start:     e.Cluster.Sim.Now(),
+		pending:   make(map[nodeKey]int),
+		inputs:    make(map[nodeKey][]*statePayload),
+		meters:    make(map[nodeKey]*simtime.Meter),
+		redoFor:   make(map[nodeKey][]*invocation),
+		edgeFails: make(map[edgeKey]int),
+		degraded:  make(map[edgeKey]bool),
 	}
 	req.done = func(r *request) {
 		if done == nil {
@@ -295,6 +315,9 @@ func (e *Engine) collect(r *request) RunResult {
 		Output:      r.result,
 		Err:         r.err,
 		Trace:       r.spans,
+		Retries:     r.retries,
+		Fallbacks:   r.fallbacks,
+		Reexecs:     r.reexecs,
 	}
 	for node, m := range r.meters {
 		res.Meter.AddAll(m)
@@ -409,7 +432,9 @@ func (e *Engine) dispatch() {
 		slot := SlotID{inv.node.fn, inv.node.inst}
 		var pod *Pod
 		for _, p := range e.pods {
-			if p.busy {
+			// Crashed machines take no new work; their frames (and warm
+			// containers) are gone.
+			if p.busy || p.Machine.Crashed() {
 				continue
 			}
 			if _, warm := p.cache[slot]; warm {
@@ -441,32 +466,60 @@ func (p *Pod) markUsed()      { p.used = true }
 func (e *Engine) execute(inv *invocation, pod *Pod) {
 	meter := simtime.NewMeter()
 	req := inv.req
-	req.meters[inv.node] = meter
 
 	var out *statePayload
 	var err error
+	retryBase := e.Cluster.Retries()
 	if req.err == nil {
 		out, err = e.invoke(inv, pod, meter, req.inputs[inv.node])
 	}
+	// The simulator is single-threaded and invoke runs synchronously, so
+	// the retry-counter delta is exactly this invocation's attempts.
+	retries := e.Cluster.Retries() - retryBase
+	req.retries += retries
 	started := e.Cluster.Sim.Now()
 	d := meter.Total()
 	e.Cluster.Sim.After(d, func() {
 		pod.busy = false
 		pod.lastBusy = e.Cluster.Sim.Now()
+		// Fold the attempt's meter so re-executed nodes accumulate across
+		// attempts instead of overwriting.
+		if agg, ok := req.meters[inv.node]; ok {
+			agg.AddAll(meter)
+		} else {
+			req.meters[inv.node] = meter
+		}
 		if e.opts.Trace {
+			errText := ""
+			if err != nil {
+				errText = err.Error()
+			}
 			req.spans = append(req.spans, Span{
 				Node: inv.node.String(), Pod: pod.ID, Machine: int(pod.Machine.ID()),
 				Start: started, End: e.Cluster.Sim.Now(),
 				Breakdown: meter.Snapshot(),
+				Retries:   retries, Redo: inv.redo, Err: errText,
 			})
 		}
 		if err != nil && req.err == nil {
+			if e.opts.Recovery != nil && e.repair(req, inv, err) {
+				// Repaired: this invocation is parked and re-runs when the
+				// producer's redo delivers. No progress is recorded now.
+				e.dispatch()
+				return
+			}
 			req.err = fmt.Errorf("%v: %w", inv.node, err)
 		}
-		e.deliver(req, inv.node, out)
-		req.remaining--
-		if req.remaining == 0 {
-			req.done(req)
+		if inv.redo {
+			// A redo feeds only its parked waiters; it already counted
+			// toward progress on its original completion.
+			e.deliverRedo(req, inv.node, out)
+		} else {
+			e.deliver(req, inv.node, out)
+			req.remaining--
+			if req.remaining == 0 {
+				req.done(req)
+			}
 		}
 		e.dispatch()
 	})
@@ -508,7 +561,12 @@ func (e *Engine) invoke(inv *invocation, pod *Pod, meter *simtime.Meter, payload
 	for _, p := range payloads {
 		obj, err := e.consume(c, pod, meter, p)
 		if err != nil {
-			return nil, err
+			// Drop any remote maps adopted for earlier inputs so a re-run
+			// of this invocation starts from a clean address space, and
+			// tag the failure with the payload so repair can identify the
+			// producer to re-execute.
+			_ = c.RT.ReleaseAllRemote()
+			return nil, &transferError{payload: p, err: err}
 		}
 		inputs = append(inputs, obj)
 	}
@@ -728,11 +786,15 @@ func (e *Engine) consume(c *Container, pod *Pod, meter *simtime.Meter, p *stateP
 		}
 		if len(p.prefetch) > 0 {
 			if err := mp.Prefetch(p.prefetch); err != nil {
+				// Tear the VMA down before failing: a later re-invocation
+				// of this slot must not hit a stale overlapping mapping.
+				_ = mp.Unmap()
 				return objrt.Obj{}, err
 			}
 		}
 		root, err := c.RT.Load(p.rootAddr)
 		if err != nil {
+			_ = mp.Unmap()
 			return objrt.Obj{}, err
 		}
 		c.RT.AdoptRemote(root, mp)
@@ -774,6 +836,17 @@ func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *requ
 		for _, cfn := range e.wf.Consumers(node.fn) {
 			if e.wf.Function(cfn).Lang != spec.Lang {
 				mode = ModeMessaging
+				break
+			}
+		}
+	}
+	// Recovery-ladder degradation: an edge whose rmap kept failing has
+	// been demoted to messaging for the rest of this request.
+	if mode.IsRMMAP() && len(req.degraded) > 0 {
+		for _, cfn := range e.wf.Consumers(node.fn) {
+			if req.degraded[edgeKey{node.fn, cfn}] {
+				mode = ModeMessaging
+				req.fallbacks++
 				break
 			}
 		}
@@ -919,11 +992,14 @@ func (e *Engine) stateIsSmall(out objrt.Obj) (bool, error) {
 // deliver routes a completed node's payload to all its consumers and
 // reclaims registered memory whose consumers have all finished.
 func (e *Engine) deliver(req *request, node nodeKey, payload *statePayload) {
-	// Account consumption of this node's own inputs for reclamation.
+	// Account consumption of this node's own inputs for reclamation. The
+	// slice itself is kept: if a downstream failure later forces this node
+	// to re-execute, the redo re-consumes from it (payloads whose
+	// registrations were meanwhile reclaimed then fail auth, which cascades
+	// the re-execution further upstream — still bounded by the budget).
 	for _, in := range req.inputs[node] {
 		e.releaseConsumer(in)
 	}
-	delete(req.inputs, node)
 
 	for _, cfn := range e.wf.Consumers(node.fn) {
 		for i := 0; i < e.wf.Function(cfn).Instances; i++ {

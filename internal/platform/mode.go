@@ -105,6 +105,10 @@ type Options struct {
 	// (§4.2) reclaim registered memory. Requires MaxRegLifetime on the
 	// engine for cleanup to happen.
 	DropReclamation bool
+	// Recovery enables the failure-handling ladder (retry → degradation →
+	// re-execution, see RecoveryPolicy). nil means any transfer failure
+	// fails the request — the negative control for the chaos experiments.
+	Recovery *RecoveryPolicy
 }
 
 // DefaultSmallState is the messaging-fallback threshold: at or below this

@@ -1,0 +1,152 @@
+package platform
+
+import (
+	"errors"
+
+	"rmmap/internal/faults"
+	"rmmap/internal/memsim"
+)
+
+// RecoveryPolicy is the platform's failure-handling ladder (§6 fault
+// tolerance). With a policy set, transfer failures climb three rungs:
+//
+//  1. transport retries — transient faults are retried with capped
+//     exponential backoff inside the chaos cluster's retry transport,
+//     charged to simtime.CatRetry (configured by Retry, applied by
+//     NewChaosCluster);
+//  2. re-execution — a consumer that cannot reach its input state parks
+//     while the coordinator re-runs the producer (the MITOSIS-style
+//     re-fork: handlers are deterministic, so the rebuilt state is
+//     byte-identical), bounded by MaxReexecutions per request;
+//  3. degradation — an edge whose rmap keeps failing for reasons other
+//     than a machine crash switches to messaging after DegradeAfter
+//     failures, trading zero-copy for liveness.
+//
+// Options.Recovery == nil disables the ladder entirely (the negative
+// control: any transfer failure fails the request).
+type RecoveryPolicy struct {
+	// Retry is the transport-level retry policy for transient faults.
+	Retry faults.RetryPolicy
+	// MaxReexecutions caps producer re-executions per request;
+	// 0 = DefaultMaxReexecutions.
+	MaxReexecutions int
+	// DegradeAfter is the number of non-crash transfer failures on one
+	// edge before it falls back to messaging; 0 = DefaultDegradeAfter.
+	DegradeAfter int
+}
+
+// Recovery ladder defaults.
+const (
+	DefaultMaxReexecutions = 4
+	DefaultDegradeAfter    = 2
+)
+
+// DefaultRecoveryPolicy is the policy the chaos experiments run under.
+func DefaultRecoveryPolicy() *RecoveryPolicy {
+	return &RecoveryPolicy{Retry: faults.DefaultRetryPolicy()}
+}
+
+func (p *RecoveryPolicy) maxReexecutions() int {
+	if p.MaxReexecutions > 0 {
+		return p.MaxReexecutions
+	}
+	return DefaultMaxReexecutions
+}
+
+func (p *RecoveryPolicy) degradeAfter() int {
+	if p.DegradeAfter > 0 {
+		return p.DegradeAfter
+	}
+	return DefaultDegradeAfter
+}
+
+// transferError marks an invocation failure attributable to one input
+// payload, carrying the payload so repair can identify the producer to
+// re-execute.
+type transferError struct {
+	payload *statePayload
+	err     error
+}
+
+func (t *transferError) Error() string { return t.err.Error() }
+func (t *transferError) Unwrap() error { return t.err }
+
+// edgeKey identifies one workflow edge by function type, the granularity
+// at which degradation applies.
+type edgeKey struct {
+	from, to string
+}
+
+// repair is the coordinator's response to a failed invocation when
+// recovery is enabled. If the failure traces to an input payload and the
+// re-execution budget allows, it removes the poisoned payload, parks the
+// invocation, schedules a redo of the producer, and reports true; the
+// parked invocation re-runs once the redo's payload is delivered
+// (deliverRedo). It reports false for unrepairable failures.
+func (e *Engine) repair(req *request, inv *invocation, err error) bool {
+	pol := e.opts.Recovery
+	var te *transferError
+	if !errors.As(err, &te) {
+		return false
+	}
+	if req.reexecs >= pol.maxReexecutions() {
+		return false
+	}
+	p := te.payload
+	producer := p.from
+
+	// Drop the poisoned payload from this node's inputs and release its
+	// claim so the old registration can be reclaimed; the surviving inputs
+	// stay queued for the re-run.
+	ins := req.inputs[inv.node]
+	for i, q := range ins {
+		if q == p {
+			req.inputs[inv.node] = append(ins[:i:i], ins[i+1:]...)
+			break
+		}
+	}
+	e.releaseConsumer(p)
+
+	// Degradation bookkeeping: crashes always warrant plain re-execution
+	// (the state is gone, not the mechanism); anything else that keeps
+	// failing on this edge degrades it to messaging.
+	if !errors.Is(err, memsim.ErrMachineCrashed) {
+		ek := edgeKey{producer.fn, inv.node.fn}
+		req.edgeFails[ek]++
+		if req.edgeFails[ek] >= pol.degradeAfter() {
+			req.degraded[ek] = true
+		}
+	}
+	req.reexecs++
+
+	// Park this invocation until the redo delivers; the first waiter for a
+	// producer enqueues the redo itself.
+	req.pending[inv.node]++
+	waiters := req.redoFor[producer]
+	req.redoFor[producer] = append(waiters, inv)
+	if len(waiters) == 0 {
+		e.queue = append(e.queue, &invocation{req: req, node: producer, redo: true})
+	}
+	return true
+}
+
+// deliverRedo routes a re-executed producer's payload to the invocations
+// parked on it and re-enqueues those that are ready. A nil payload (the
+// redo itself failed terminally) still unparks the waiters so the request
+// drains to its error instead of deadlocking.
+func (e *Engine) deliverRedo(req *request, node nodeKey, payload *statePayload) {
+	waiters := req.redoFor[node]
+	delete(req.redoFor, node)
+	if payload != nil {
+		payload.consumers = len(waiters)
+	}
+	for _, w := range waiters {
+		if payload != nil {
+			req.inputs[w.node] = append(req.inputs[w.node], payload)
+		}
+		req.pending[w.node]--
+		if req.pending[w.node] == 0 {
+			e.queue = append(e.queue, w)
+		}
+	}
+}

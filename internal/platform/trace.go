@@ -18,6 +18,13 @@ type Span struct {
 	End     simtime.Time
 	// Breakdown is the invocation's per-category work.
 	Breakdown map[string]simtime.Duration
+	// Retries is the number of transport-level retry attempts charged to
+	// this invocation (chaos clusters only).
+	Retries int
+	// Redo marks a producer re-execution scheduled by the recovery ladder.
+	Redo bool
+	// Err is the invocation's failure, if any ("" = success).
+	Err string
 }
 
 // Duration returns the span's length.
@@ -37,11 +44,19 @@ func WriteTrace(w io.Writer, spans []Span) {
 		return sorted[i].Node < sorted[j].Node
 	})
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tbreakdown")
+	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tretries\tbreakdown")
 	for _, s := range sorted {
-		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%v\n",
-			s.Node, s.Pod, s.Machine,
-			simtime.Duration(s.Start), simtime.Duration(s.End), s.Duration(), s.Breakdown)
+		node := s.Node
+		if s.Redo {
+			node += " (redo)"
+		}
+		if s.Err != "" {
+			node += " !"
+		}
+		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%d\t%v\n",
+			node, s.Pod, s.Machine,
+			simtime.Duration(s.Start), simtime.Duration(s.End), s.Duration(),
+			s.Retries, s.Breakdown)
 	}
 	tw.Flush()
 }

@@ -184,6 +184,9 @@ func (n *NIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, of
 		n.fabric.reads++
 		n.fabric.bytesRead += int64(len(buf))
 		n.fabric.mu.Unlock()
+		// Remote reads go through the checked path so a crashed target
+		// surfaces as an error instead of silently serving stale bytes.
+		return mach.ReadFrameErr(pfn, off, buf)
 	}
 	mach.ReadFrame(pfn, off, buf)
 	return nil
@@ -220,7 +223,13 @@ func (n *NIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRe
 		if len(r.Buf) > memsim.PageSize {
 			return fmt.Errorf("rdma: batch entry exceeds page size: %d", len(r.Buf))
 		}
-		mach.ReadFrame(r.PFN, 0, r.Buf)
+		if target != n.owner {
+			if err := mach.ReadFrameErr(r.PFN, 0, r.Buf); err != nil {
+				return err
+			}
+		} else {
+			mach.ReadFrame(r.PFN, 0, r.Buf)
+		}
 	}
 	return nil
 }
@@ -234,6 +243,12 @@ func (n *NIC) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, r
 // CallCat is Call with an explicit charge category; the RPC-paging
 // ablation (Fig 15) routes page fetches through it under CatFault.
 func (n *NIC) CallCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	if target != n.owner {
+		if mach, err := n.fabric.machine(target); err == nil && mach.Crashed() {
+			return nil, fmt.Errorf("rdma: rpc %q to machine %d: %w",
+				endpoint, target, memsim.ErrMachineCrashed)
+		}
+	}
 	n.fabric.mu.Lock()
 	h := n.fabric.handlers[target][endpoint]
 	n.fabric.rpcs++

@@ -3,10 +3,12 @@ package rdma
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"rmmap/internal/memsim"
 	"rmmap/internal/simtime"
@@ -28,6 +30,12 @@ import (
 type TCPFabric struct {
 	cm *simtime.CostModel
 
+	// DialTimeout bounds connection establishment; IOTimeout bounds each
+	// request/response roundtrip so a hung peer surfaces as a timeout error
+	// instead of wedging the caller forever. Zero means the defaults.
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+
 	mu    sync.Mutex
 	addrs map[memsim.MachineID]string
 }
@@ -36,11 +44,33 @@ const (
 	opRead  = 1
 	opBatch = 2
 	opRPC   = 3
+
+	defaultDialTimeout = 5 * time.Second
+	defaultIOTimeout   = 10 * time.Second
 )
+
+// ErrRemote marks an application-level error returned by the remote handler
+// (response status 1). The connection that carried it is healthy: callers
+// must not evict or redial on ErrRemote, only on transport-level failures.
+var ErrRemote = errors.New("rdma/tcp: remote error")
 
 // NewTCPFabric returns a fabric whose charges come from cm.
 func NewTCPFabric(cm *simtime.CostModel) *TCPFabric {
 	return &TCPFabric{cm: cm, addrs: make(map[memsim.MachineID]string)}
+}
+
+func (f *TCPFabric) dialTimeout() time.Duration {
+	if f.DialTimeout > 0 {
+		return f.DialTimeout
+	}
+	return defaultDialTimeout
+}
+
+func (f *TCPFabric) ioTimeout() time.Duration {
+	if f.IOTimeout > 0 {
+		return f.IOTimeout
+	}
+	return defaultIOTimeout
 }
 
 // TCPServer serves one machine's frames and RPC endpoints.
@@ -51,6 +81,7 @@ type TCPServer struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	closed   bool
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 }
 
@@ -61,7 +92,12 @@ func (f *TCPFabric) Serve(m *memsim.Machine, addr string) (*TCPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{machine: m, ln: ln, handlers: make(map[string]Handler)}
+	s := &TCPServer{
+		machine:  m,
+		ln:       ln,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
 	f.mu.Lock()
 	f.addrs[m.ID()] = ln.Addr().String()
 	f.mu.Unlock()
@@ -80,14 +116,47 @@ func (s *TCPServer) HandleFunc(endpoint string, h Handler) {
 // Addr returns the listening address.
 func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for its goroutines.
+// Close stops the server and waits for its goroutines: it stops the accept
+// loop, closes every in-flight connection (unblocking serveConn readers
+// that would otherwise wait on a client forever), and drains them before
+// returning. Close is idempotent.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection; it reports false if the server is
+// already closing, in which case the caller must drop the connection.
+func (s *TCPServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
 }
 
 func (s *TCPServer) acceptLoop() {
@@ -95,11 +164,18 @@ func (s *TCPServer) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
+			// Listener closed by Close, or a fatal accept error: either
+			// way the loop ends without spurious noise.
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
 			return
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
@@ -146,7 +222,9 @@ func (s *TCPServer) dispatch(req []byte) ([]byte, error) {
 			return nil, fmt.Errorf("rdma/tcp: read out of page bounds")
 		}
 		buf := make([]byte, n)
-		s.machine.ReadFrame(pfn, off, buf)
+		if err := s.machine.ReadFrameErr(pfn, off, buf); err != nil {
+			return nil, err
+		}
 		return buf, nil
 	case opBatch:
 		if len(body) < 4 {
@@ -165,7 +243,9 @@ func (s *TCPServer) dispatch(req []byte) ([]byte, error) {
 				return nil, fmt.Errorf("rdma/tcp: batch entry too large")
 			}
 			buf := make([]byte, n)
-			s.machine.ReadFrame(pfn, 0, buf)
+			if err := s.machine.ReadFrameErr(pfn, 0, buf); err != nil {
+				return nil, err
+			}
 			out = append(out, buf...)
 		}
 		return out, nil
@@ -253,30 +333,76 @@ func (n *TCPNIC) Close() {
 	n.conns = make(map[memsim.MachineID]*tcpConn)
 }
 
-func (n *TCPNIC) conn(target memsim.MachineID) (*tcpConn, error) {
+// conn returns the cached connection to target, dialing (with the fabric's
+// dial timeout) if none exists. fresh reports whether this call dialed, so
+// the caller skips the pointless redial of an already-fresh connection.
+func (n *TCPNIC) conn(target memsim.MachineID) (c *tcpConn, fresh bool, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if c, ok := n.conns[target]; ok {
-		return c, nil
+		return c, false, nil
 	}
 	n.fabric.mu.Lock()
 	addr, ok := n.fabric.addrs[target]
 	n.fabric.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoMachine, target)
+		return nil, false, fmt.Errorf("%w: %d", ErrNoMachine, target)
 	}
-	raw, err := net.Dial("tcp", addr)
+	raw, err := net.DialTimeout("tcp", addr, n.fabric.dialTimeout())
+	if err != nil {
+		return nil, false, err
+	}
+	c = &tcpConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+	n.conns[target] = c
+	return c, true, nil
+}
+
+// evict drops a cached connection if it is still the one the caller used
+// (a concurrent caller may already have replaced it).
+func (n *TCPNIC) evict(target memsim.MachineID, c *tcpConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conns[target] == c {
+		delete(n.conns, target)
+	}
+	c.conn.Close()
+}
+
+// roundtrip runs one request/response against target. A connection-level
+// failure (write error, timeout, short response) on a previously cached
+// connection evicts it and retries once on a fresh dial, so one broken
+// socket cannot poison every later call. ErrRemote responses pass through
+// untouched: the connection is fine, the handler refused.
+func (n *TCPNIC) roundtrip(target memsim.MachineID, req []byte) ([]byte, error) {
+	c, fresh, err := n.conn(target)
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
-	n.conns[target] = c
-	return c, nil
+	resp, err := c.roundtrip(n.fabric.ioTimeout(), req)
+	if err == nil || errors.Is(err, ErrRemote) {
+		return resp, err
+	}
+	n.evict(target, c)
+	if fresh {
+		return nil, err
+	}
+	c, _, derr := n.conn(target)
+	if derr != nil {
+		return nil, fmt.Errorf("rdma/tcp: redial after %v: %w", err, derr)
+	}
+	resp, err = c.roundtrip(n.fabric.ioTimeout(), req)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		n.evict(target, c)
+	}
+	return resp, err
 }
 
-func (c *tcpConn) roundtrip(req []byte) ([]byte, error) {
+func (c *tcpConn) roundtrip(timeout time.Duration, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
 	if err := writeMsg(c.w, req); err != nil {
 		return nil, err
 	}
@@ -291,7 +417,7 @@ func (c *tcpConn) roundtrip(req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("rdma/tcp: empty response")
 	}
 	if resp[0] != 0 {
-		return nil, fmt.Errorf("rdma/tcp: remote error: %s", resp[1:])
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp[1:])
 	}
 	return resp[1:], nil
 }
@@ -302,16 +428,12 @@ func (n *TCPNIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN,
 		n.local.ReadFrame(pfn, off, buf)
 		return nil
 	}
-	c, err := n.conn(target)
-	if err != nil {
-		return err
-	}
 	req := make([]byte, 17)
 	req[0] = opRead
 	binary.LittleEndian.PutUint64(req[1:], uint64(pfn))
 	binary.LittleEndian.PutUint32(req[9:], uint32(off))
 	binary.LittleEndian.PutUint32(req[13:], uint32(len(buf)))
-	resp, err := c.roundtrip(req)
+	resp, err := n.roundtrip(target, req)
 	if err != nil {
 		return err
 	}
@@ -334,10 +456,6 @@ func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []Pag
 		}
 		return nil
 	}
-	c, err := n.conn(target)
-	if err != nil {
-		return err
-	}
 	req := make([]byte, 5+12*len(reqs))
 	req[0] = opBatch
 	binary.LittleEndian.PutUint32(req[1:], uint32(len(reqs)))
@@ -347,7 +465,7 @@ func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []Pag
 		binary.LittleEndian.PutUint32(req[5+i*12+8:], uint32(len(r.Buf)))
 		total += len(r.Buf)
 	}
-	resp, err := c.roundtrip(req)
+	resp, err := n.roundtrip(target, req)
 	if err != nil {
 		return err
 	}
@@ -366,16 +484,12 @@ func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []Pag
 
 // Call implements Transport over TCP.
 func (n *TCPNIC) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
-	c, err := n.conn(target)
-	if err != nil {
-		return nil, err
-	}
 	msg := make([]byte, 3+len(endpoint)+len(req))
 	msg[0] = opRPC
 	binary.LittleEndian.PutUint16(msg[1:], uint16(len(endpoint)))
 	copy(msg[3:], endpoint)
 	copy(msg[3+len(endpoint):], req)
-	resp, err := c.roundtrip(msg)
+	resp, err := n.roundtrip(target, msg)
 	if err != nil {
 		return nil, err
 	}

@@ -83,6 +83,9 @@ const (
 	CatFault
 	// CatPlatform is coordinator invocation/scheduling overhead.
 	CatPlatform
+	// CatRetry is recovery backoff: virtual time spent re-attempting
+	// remote operations that hit transient faults (§6 fault tolerance).
+	CatRetry
 	numCategories
 )
 
@@ -96,6 +99,7 @@ var categoryNames = [...]string{
 	CatMap:         "map",
 	CatFault:       "fault",
 	CatPlatform:    "platform",
+	CatRetry:       "retry",
 }
 
 func (c Category) String() string {
