@@ -6,10 +6,13 @@
 //
 //	rmmap-bench -list
 //	rmmap-bench [-scale 0.25] [fig11a fig14 ...]
+//	rmmap-bench -json [-scale 0.25]
 //
 // With no experiment IDs, all experiments run in registration order.
 // -scale shrinks payload sizes for quick runs; 1.0 is the calibrated
-// default documented in EXPERIMENTS.md.
+// default documented in EXPERIMENTS.md. -json writes the machine-readable
+// Fig 14 grid (per-mode latency, fabric reads, cache hit rate) to
+// BENCH_fig14.json; combined with experiment IDs it also runs those.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "payload scale factor in (0,1]")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "write the Fig 14 grid to BENCH_fig14.json")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +38,25 @@ func main() {
 	}
 
 	ids := flag.Args()
+	if *jsonOut {
+		f, err := os.Create("BENCH_fig14.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_fig14.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFig14JSON(f, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "fig14 json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_fig14.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_fig14.json")
+		if len(ids) == 0 {
+			return
+		}
+	}
 	ran := 0
 	for _, e := range bench.All() {
 		if len(ids) > 0 && !contains(ids, e.ID) {

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+)
+
+// Fig14Row is one (workflow, mode) cell of the machine-readable Fig 14
+// report: end-to-end latency plus the fabric and remote-page-cache
+// counters behind it.
+type Fig14Row struct {
+	Workflow            string  `json:"workflow"`
+	Mode                string  `json:"mode"`
+	LatencyNs           int64   `json:"latency_ns"`
+	FabricOneSidedReads int     `json:"fabric_one_sided_reads"`
+	FabricBatches       int     `json:"fabric_doorbell_batches"`
+	FabricBatchPages    int     `json:"fabric_batch_pages"`
+	FabricBytesRead     int64   `json:"fabric_bytes_read"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	ReadaheadPages      int64   `json:"readahead_pages"`
+}
+
+// Fig14Report is what `rmmap-bench -json` writes to BENCH_fig14.json.
+type Fig14Report struct {
+	Scale float64    `json:"scale"`
+	Rows  []Fig14Row `json:"rows"`
+}
+
+// CollectFig14 reruns the Fig 14 grid (every evaluated workflow × every
+// transfer mode) on fresh clusters, capturing fabric and cache counters
+// alongside latency.
+func CollectFig14(scale float64) (Fig14Report, error) {
+	rep := Fig14Report{Scale: scale}
+	cfg := benchCluster()
+	for _, wfb := range wfBuilders(scale) {
+		for _, mode := range platform.AllModes() {
+			cl := platform.NewCluster(cfg.Machines, simtime.DefaultCostModel())
+			e, err := platform.NewEngineOn(cl, wfb.Build(), mode, platform.Options{}, cfg.Pods)
+			if err != nil {
+				return rep, err
+			}
+			res, err := e.Run()
+			if err != nil {
+				return rep, err
+			}
+			reads, batches, _, bytesRead := cl.Fabric.Stats()
+			rep.Rows = append(rep.Rows, Fig14Row{
+				Workflow:            wfb.Name,
+				Mode:                mode.String(),
+				LatencyNs:           int64(res.Latency),
+				FabricOneSidedReads: reads,
+				FabricBatches:       batches,
+				FabricBatchPages:    cl.Fabric.BatchPages(),
+				FabricBytesRead:     bytesRead,
+				CacheHits:           res.Cache.Hits,
+				CacheMisses:         res.Cache.Misses,
+				CacheHitRate:        res.Cache.HitRate(),
+				ReadaheadPages:      res.Cache.ReadaheadPages,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteFig14JSON collects the Fig 14 grid and writes it as indented JSON.
+func WriteFig14JSON(w io.Writer, scale float64) error {
+	rep, err := CollectFig14(scale)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -13,6 +13,13 @@ type callCatTransport interface {
 	CallCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error)
 }
 
+// readPagesCatTransport is the optional interface for category-attributed
+// doorbell batches (see rdma.NIC.ReadPagesCat); the wrappers preserve it so
+// the kernel's readahead stays attributed through chaos transports.
+type readPagesCatTransport interface {
+	ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageRead) error
+}
+
 // FaultFabric wraps an rdma.Transport and consults an Injector before every
 // operation, so SimFabric and TCPFabric NICs gain fault injection without
 // modification. Remote operations to a previously uncontacted machine also
@@ -70,6 +77,22 @@ func (f *FaultFabric) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs 
 		if err := f.inj.Check(SiteDoorbell, target, ""); err != nil {
 			return err
 		}
+	}
+	return f.inner.ReadPages(m, target, reqs)
+}
+
+// ReadPagesCat forwards category-attributed batches through the same gates.
+func (f *FaultFabric) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageRead) error {
+	if err := f.gate(target); err != nil {
+		return err
+	}
+	if target != f.inner.Owner() {
+		if err := f.inj.Check(SiteDoorbell, target, ""); err != nil {
+			return err
+		}
+	}
+	if rp, ok := f.inner.(readPagesCatTransport); ok {
+		return rp.ReadPagesCat(m, cat, target, reqs)
 	}
 	return f.inner.ReadPages(m, target, reqs)
 }
@@ -190,6 +213,17 @@ func (r *RetryTransport) Read(m *simtime.Meter, target memsim.MachineID, pfn mem
 // ReadPages implements rdma.Transport.
 func (r *RetryTransport) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []rdma.PageRead) error {
 	return r.do(m, func() error { return r.inner.ReadPages(m, target, reqs) })
+}
+
+// ReadPagesCat forwards category-attributed batches with the retry policy.
+func (r *RetryTransport) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageRead) error {
+	rp, ok := r.inner.(readPagesCatTransport)
+	return r.do(m, func() error {
+		if ok {
+			return rp.ReadPagesCat(m, cat, target, reqs)
+		}
+		return r.inner.ReadPages(m, target, reqs)
+	})
 }
 
 // Call implements rdma.Transport.

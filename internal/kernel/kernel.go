@@ -67,6 +67,10 @@ type regEntry struct {
 	start, end   uint64
 	snapshot     map[memsim.VPN]memsim.PFN
 	registeredAt simtime.Time
+	// gen is the machine's registration generation at register time; it
+	// keys consumer-side page-cache entries so frames of deregistered
+	// (and possibly reused) producer PFNs can never serve stale hits.
+	gen uint64
 	// respCache holds the encoded full-range auth response; many
 	// consumers of one registration (e.g. a 200-wide fan-out) fetch the
 	// same page table.
@@ -83,9 +87,26 @@ type Kernel struct {
 	transport rdma.Transport
 	cm        *simtime.CostModel
 	regs      map[regKey]*regEntry
+	// memGen is the registration generation counter: it advances on every
+	// deregister_mem (and re-registration), so consumer page caches can
+	// tell a live registration's frames from a reclaimed one's.
+	memGen uint64
+	// pcache is the machine-level remote page cache; nil disables caching
+	// (the kernel-level default — platform clusters enable it).
+	pcache *PageCache
+	// raMax caps the fault-coalescing readahead window in pages; 0 or 1
+	// disables readahead.
+	raMax int
+	// raPages counts pages fetched by readahead beyond demand pages.
+	raPages int64
 	// Clock supplies the current virtual time for lease-based
 	// reclamation; nil means time 0 (leases disabled).
 	Clock func() simtime.Time
+	// OnDeregister, when set, is called after a successful deregister_mem
+	// with this machine's ID and the first still-valid generation; the
+	// platform broadcasts it to every machine's page cache
+	// (InvalidateBelow) so reclaimed producer frames drop out everywhere.
+	OnDeregister func(producer memsim.MachineID, below uint64)
 }
 
 // New returns a kernel for machine m whose remote operations go through t.
@@ -95,6 +116,56 @@ func New(m *memsim.Machine, t rdma.Transport, cm *simtime.CostModel) *Kernel {
 
 // Machine returns the hosting machine.
 func (k *Kernel) Machine() *memsim.Machine { return k.machine }
+
+// EnablePageCache turns on the machine-level remote page cache with the
+// given byte budget; budget ≤ 0 disables it (dropping any cached frames).
+func (k *Kernel) EnablePageCache(budget int64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if budget <= 0 {
+		if k.pcache != nil {
+			k.pcache.invalidate(func(cacheKey) bool { return true })
+		}
+		k.pcache = nil
+		return
+	}
+	k.pcache = NewPageCache(k.machine, budget)
+}
+
+// PageCache returns the machine's remote page cache (nil when disabled).
+func (k *Kernel) PageCache() *PageCache { return k.pcache }
+
+// SetReadahead caps the fault-coalescing readahead window in pages;
+// 0 or 1 disables readahead.
+func (k *Kernel) SetReadahead(maxPages int) {
+	if maxPages < 0 {
+		maxPages = 0
+	}
+	k.raMax = maxPages
+}
+
+// ReadaheadPages reports pages fetched by readahead beyond demand faults.
+func (k *Kernel) ReadaheadPages() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.raPages
+}
+
+func (k *Kernel) addReadaheadPages(n int) {
+	k.mu.Lock()
+	k.raPages += int64(n)
+	k.mu.Unlock()
+}
+
+// CacheStats snapshots this machine's cache and readahead counters.
+func (k *Kernel) CacheStats() CacheStats {
+	var s CacheStats
+	if k.pcache != nil {
+		s = k.pcache.Stats()
+	}
+	s.ReadaheadPages = k.ReadaheadPages()
+	return s
+}
 
 func (k *Kernel) now() simtime.Time {
 	if k.Clock == nil {
@@ -122,12 +193,14 @@ func (k *Kernel) RegisterMem(as *memsim.AddressSpace, id FuncID, key Key, start,
 	defer k.mu.Unlock()
 	rk := regKey{id, key}
 	if old, ok := k.regs[rk]; ok {
-		// Re-registration replaces the previous shadow set.
+		// Re-registration replaces the previous shadow set; bump the
+		// generation so cached pages of the old set go stale.
 		for _, pfn := range old.snapshot {
 			k.machine.Unref(pfn)
 		}
+		k.memGen++
 	}
-	k.regs[rk] = &regEntry{start: start, end: end, snapshot: snap, registeredAt: k.now()}
+	k.regs[rk] = &regEntry{start: start, end: end, snapshot: snap, registeredAt: k.now(), gen: k.memGen}
 	return VMMeta{
 		Machine: k.machine.ID(), ID: id, Key: key,
 		Start: start, End: end, Pages: len(snap),
@@ -163,6 +236,12 @@ func (k *Kernel) DeregisterMem(id FuncID, key Key) error {
 	e, ok := k.regs[regKey{id, key}]
 	if ok {
 		delete(k.regs, regKey{id, key})
+		// The freed PFNs may be reused by any later registration, so the
+		// generation advances past this entry's: consumer caches keyed on
+		// (machine, pfn, e.gen) can never serve the reused frames.
+		if k.memGen <= e.gen {
+			k.memGen = e.gen + 1
+		}
 	}
 	k.mu.Unlock()
 	if !ok {
@@ -170,6 +249,9 @@ func (k *Kernel) DeregisterMem(id FuncID, key Key) error {
 	}
 	for _, pfn := range e.snapshot {
 		k.machine.Unref(pfn)
+	}
+	if k.OnDeregister != nil {
+		k.OnDeregister(k.machine.ID(), e.gen+1)
 	}
 	return nil
 }
@@ -225,7 +307,7 @@ func (k *Kernel) ServeTCP(s *rdma.TCPServer) {
 }
 
 // auth request: id u64 | key u64 | start u64 | end u64 | consumer u64
-// auth response: count u32 | count × (vpn u64, pfn u64)
+// auth response: count u32 | gen u64 | count × (vpn u64, pfn u64)
 func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
 	if len(req) != 40 {
 		return nil, fmt.Errorf("kernel: bad auth request")
@@ -255,7 +337,7 @@ func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
 	if full && e.respCache != nil {
 		return e.respCache, nil
 	}
-	resp := make([]byte, 4, 4+16*len(e.snapshot))
+	resp := make([]byte, 12, 12+16*len(e.snapshot))
 	count := 0
 	for vpn, pfn := range e.snapshot {
 		if vpn.Base() >= start && vpn.Base() < end {
@@ -267,6 +349,7 @@ func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
 		}
 	}
 	binary.LittleEndian.PutUint32(resp, uint32(count))
+	binary.LittleEndian.PutUint64(resp[4:], e.gen)
 	if full {
 		e.respCache = resp
 	}

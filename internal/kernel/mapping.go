@@ -2,7 +2,9 @@ package kernel
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 
 	"rmmap/internal/memsim"
 	"rmmap/internal/rdma"
@@ -21,6 +23,26 @@ const (
 	PagingRPC
 )
 
+// pageBufPool recycles page-sized staging buffers used between the fabric
+// read and WriteFrame, so the fault hot path stops allocating 4 KB per
+// page (real wall-clock GC churn in benches and chaos stress runs).
+var pageBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, memsim.PageSize)
+		return &b
+	},
+}
+
+func getPageBuf() *[]byte  { return pageBufPool.Get().(*[]byte) }
+func putPageBuf(b *[]byte) { pageBufPool.Put(b) }
+
+// readPagesCatTransport is the optional interface for category-attributed
+// doorbell batches (rdma.NIC.ReadPagesCat); readahead batches fall back to
+// plain ReadPages (CatFault) on transports that lack it.
+type readPagesCatTransport interface {
+	ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageRead) error
+}
+
 // Mapping is a live rmap: the producer's [Start, End) mapped into a
 // consumer address space.
 type Mapping struct {
@@ -32,6 +54,16 @@ type Mapping struct {
 	remotePT map[memsim.VPN]memsim.PFN
 	mode     PagingMode
 	unmapped bool
+
+	// gen is the producer registration's generation, keying page-cache
+	// entries for this mapping's pages.
+	gen uint64
+
+	// Adaptive readahead state: raWindow is the current window in pages
+	// (doubled on sequential faults, reset to 1 on a stride break, capped
+	// at Kernel.raMax); raNext is the predicted next sequential fault.
+	raWindow int
+	raNext   memsim.VPN
 }
 
 // Rmap implements rmap(mac_addr, id, key, vm_start, vm_end) for consumer
@@ -68,21 +100,22 @@ func (k *Kernel) RmapAs(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID
 	if err != nil {
 		return nil, err
 	}
-	if len(resp) < 4 {
+	if len(resp) < 12 {
 		return nil, fmt.Errorf("kernel: bad auth response")
 	}
 	count := int(binary.LittleEndian.Uint32(resp))
-	if len(resp) != 4+16*count {
+	gen := binary.LittleEndian.Uint64(resp[4:])
+	if len(resp) != 12+16*count {
 		return nil, fmt.Errorf("kernel: bad auth response length")
 	}
 	pt := make(map[memsim.VPN]memsim.PFN, count)
 	for i := 0; i < count; i++ {
-		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[4+i*16:]))
-		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[4+i*16+8:]))
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[12+i*16:]))
+		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[12+i*16+8:]))
 		pt[vpn] = pfn
 	}
 
-	mp := &Mapping{k: k, as: as, target: mac, Start: start, End: end, remotePT: pt, mode: mode}
+	mp := &Mapping{k: k, as: as, target: mac, Start: start, End: end, remotePT: pt, mode: mode, gen: gen}
 	vma := &memsim.VMA{
 		Start: start, End: end, Kind: memsim.SegRmap, Writable: true,
 		Fault: mp.fault,
@@ -94,24 +127,164 @@ func (k *Kernel) RmapAs(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID
 	return mp, nil
 }
 
-// fault resolves one page: fetch the remote frame (or zero-fill pages the
-// producer never touched), install it as a private writable copy. Consumer
-// writes therefore never reach the producer — the CoW coherency model.
+// cacheable reports whether this mapping's pages go through the machine's
+// remote page cache: only genuinely remote RDMA-paged mappings do. Local
+// mappings read frames for free, and the RPC ablation must keep paying
+// per-page RPCs (Fig 15).
+func (mp *Mapping) cacheable() bool {
+	return mp.k.pcache != nil && mp.target != mp.as.Machine().ID() && mp.mode == PagingRDMA
+}
+
+// fault resolves one page. Pages the producer never touched are zero-filled
+// privately. Remote pages consult the machine's page cache first: a hit
+// installs the cached frame CoW-shared (zero-copy; the first write breaks
+// CoW). A miss fetches the page — coalescing a window of adjacent
+// not-yet-present pages into one doorbell batch when the fault stream looks
+// sequential — and inserts the fetched frames into the cache.
 func (mp *Mapping) fault(as *memsim.AddressSpace, vaddr uint64, ft memsim.FaultType) error {
 	meter := as.Meter()
 	meter.Charge(simtime.CatFault, mp.k.cm.PageFault)
 	vpn := memsim.PageOf(vaddr)
-	local := as.Machine().AllocFrame()
-	if rpfn, ok := mp.remotePT[vpn]; ok {
-		buf := make([]byte, memsim.PageSize)
-		if err := mp.readRemote(meter, rpfn, buf); err != nil {
-			as.Machine().Unref(local)
-			return err
-		}
-		as.Machine().WriteFrame(local, 0, buf)
+	rpfn, remote := mp.remotePT[vpn]
+	if !remote {
+		local := as.Machine().AllocFrame()
+		as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+		return nil
 	}
-	as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+	useCache := mp.cacheable()
+	if useCache {
+		if frame, ok := mp.k.pcache.Lookup(mp.target, rpfn, mp.gen); ok {
+			meter.Charge(simtime.CatCache, mp.k.cm.CacheHitInstall)
+			// A hit at the predicted address keeps the sequential stream
+			// (and its window) alive without fetching anything.
+			if vpn == mp.raNext {
+				mp.raNext = vpn + 1
+			}
+			as.InstallShared(vpn, frame)
+			return nil
+		}
+	}
+
+	window := []memsim.VPN{vpn}
+	if mp.target != as.Machine().ID() && mp.mode == PagingRDMA && mp.k.raMax > 1 {
+		if vpn == mp.raNext && mp.raWindow >= 1 {
+			mp.raWindow *= 2
+		} else {
+			mp.raWindow = 1
+		}
+		if mp.raWindow > mp.k.raMax {
+			mp.raWindow = mp.k.raMax
+		}
+		window = mp.collectWindow(vpn, mp.raWindow, useCache)
+		mp.raNext = window[len(window)-1] + 1
+	}
+	if len(window) == 1 {
+		return mp.fetchSingle(meter, as, vpn, rpfn, useCache)
+	}
+	return mp.fetchBatch(meter, as, window, useCache)
+}
+
+// collectWindow returns the contiguous run of fetchable pages starting at
+// vpn (known remote, not present, not cached), at most max long. The run
+// stops at the first ineligible page, matching the next demand fault a
+// sequential scan would take.
+func (mp *Mapping) collectWindow(vpn memsim.VPN, max int, useCache bool) []memsim.VPN {
+	window := []memsim.VPN{vpn}
+	for next := vpn + 1; len(window) < max && next.Base() < mp.End; next++ {
+		rpfn, ok := mp.remotePT[next]
+		if !ok {
+			break
+		}
+		if pte, ok := mp.as.Lookup(next); ok && pte.Present() {
+			break
+		}
+		if useCache && mp.k.pcache.Contains(mp.target, rpfn, mp.gen) {
+			break
+		}
+		window = append(window, next)
+	}
+	return window
+}
+
+// fetchSingle resolves one remote page with a single fabric read.
+func (mp *Mapping) fetchSingle(meter *simtime.Meter, as *memsim.AddressSpace, vpn memsim.VPN, rpfn memsim.PFN, useCache bool) error {
+	local := as.Machine().AllocFrame()
+	buf := getPageBuf()
+	err := mp.readRemote(meter, rpfn, *buf)
+	if err == nil {
+		as.Machine().WriteFrame(local, 0, *buf)
+	}
+	putPageBuf(buf)
+	if err != nil {
+		as.Machine().Unref(local)
+		mp.dropCrashed(err)
+		return err
+	}
+	mp.install(meter, as, vpn, rpfn, local, useCache)
 	return nil
+}
+
+// fetchBatch resolves the demand page plus readahead window in one
+// doorbell-batched read, charged to the readahead category.
+func (mp *Mapping) fetchBatch(meter *simtime.Meter, as *memsim.AddressSpace, window []memsim.VPN, useCache bool) error {
+	mach := as.Machine()
+	reqs := make([]rdma.PageRead, len(window))
+	locals := make([]memsim.PFN, len(window))
+	bufs := make([]*[]byte, len(window))
+	for i, vpn := range window {
+		locals[i] = mach.AllocFrame()
+		bufs[i] = getPageBuf()
+		reqs[i] = rdma.PageRead{PFN: mp.remotePT[vpn], Buf: *bufs[i]}
+	}
+	err := mp.readPages(meter, simtime.CatReadahead, reqs)
+	if err == nil {
+		for i := range window {
+			mach.WriteFrame(locals[i], 0, *bufs[i])
+		}
+	}
+	for _, b := range bufs {
+		putPageBuf(b)
+	}
+	if err != nil {
+		for _, pfn := range locals {
+			mach.Unref(pfn)
+		}
+		mp.dropCrashed(err)
+		return err
+	}
+	mp.k.addReadaheadPages(len(window) - 1)
+	for i, vpn := range window {
+		mp.install(meter, as, vpn, mp.remotePT[vpn], locals[i], useCache)
+	}
+	return nil
+}
+
+// install maps a freshly fetched frame: through the page cache it becomes a
+// CoW-shared entry (the cache takes the fetch reference and may return an
+// existing canonical frame); without the cache it stays a private writable
+// copy — the original CoW coherency model.
+func (mp *Mapping) install(meter *simtime.Meter, as *memsim.AddressSpace, vpn memsim.VPN, rpfn memsim.PFN, local memsim.PFN, useCache bool) {
+	if !useCache {
+		as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+		return
+	}
+	canonical := mp.k.pcache.Insert(meter, mp.k.cm, mp.target, rpfn, mp.gen, local)
+	as.InstallShared(vpn, canonical)
+}
+
+// dropCrashed invalidates the producer machine's cache entries when a read
+// failed because that machine crashed — its frames are gone for good.
+func (mp *Mapping) dropCrashed(err error) {
+	if mp.k.pcache != nil && errors.Is(err, memsim.ErrMachineCrashed) {
+		mp.k.pcache.InvalidateMachine(mp.target)
+	}
+}
+
+func (mp *Mapping) readPages(meter *simtime.Meter, cat simtime.Category, reqs []rdma.PageRead) error {
+	if rp, ok := mp.k.transport.(readPagesCatTransport); ok {
+		return rp.ReadPagesCat(meter, cat, mp.target, reqs)
+	}
+	return mp.k.transport.ReadPages(meter, mp.target, reqs)
 }
 
 func (mp *Mapping) readRemote(meter *simtime.Meter, pfn memsim.PFN, buf []byte) error {
@@ -142,9 +315,12 @@ func (mp *Mapping) readRemote(meter *simtime.Meter, pfn memsim.PFN, buf []byte) 
 // Prefetch reads the given pages in one doorbell-batched request and
 // installs them, so later accesses hit locally with no fault (§4.4). Pages
 // outside the mapping or already present are skipped; unknown remote pages
-// are zero-filled without network cost.
+// are zero-filled without network cost. With the page cache enabled,
+// already-cached pages install CoW-shared without refetching, and fetched
+// pages are inserted for co-located consumers.
 func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 	meter := mp.as.Meter()
+	useCache := mp.cacheable()
 	type slot struct {
 		vpn  memsim.VPN
 		pfn  memsim.PFN // local destination
@@ -152,6 +328,7 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 	}
 	var reqs []rdma.PageRead
 	var slots []slot
+	var bufs []*[]byte
 	for _, vpn := range vpns {
 		base := vpn.Base()
 		if base < mp.Start || base >= mp.End {
@@ -160,27 +337,46 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 		if pte, ok := mp.as.Lookup(vpn); ok && pte.Present() {
 			continue
 		}
-		local := mp.as.Machine().AllocFrame()
-		if rpfn, ok := mp.remotePT[vpn]; ok {
-			slots = append(slots, slot{vpn, local, rpfn})
-			reqs = append(reqs, rdma.PageRead{PFN: rpfn, Buf: make([]byte, memsim.PageSize)})
-		} else {
+		rpfn, ok := mp.remotePT[vpn]
+		if !ok {
+			local := mp.as.Machine().AllocFrame()
 			mp.as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
+			continue
 		}
+		if useCache {
+			if frame, hit := mp.k.pcache.Lookup(mp.target, rpfn, mp.gen); hit {
+				meter.Charge(simtime.CatCache, mp.k.cm.CacheHitInstall)
+				mp.as.InstallShared(vpn, frame)
+				continue
+			}
+		}
+		local := mp.as.Machine().AllocFrame()
+		slots = append(slots, slot{vpn, local, rpfn})
+		buf := getPageBuf()
+		bufs = append(bufs, buf)
+		reqs = append(reqs, rdma.PageRead{PFN: rpfn, Buf: *buf})
 	}
 	if len(reqs) == 0 {
 		return nil
+	}
+	release := func() {
+		for _, b := range bufs {
+			putPageBuf(b)
+		}
 	}
 	if err := mp.k.transport.ReadPages(meter, mp.target, reqs); err != nil {
 		for _, s := range slots {
 			mp.as.Machine().Unref(s.pfn)
 		}
+		release()
+		mp.dropCrashed(err)
 		return err
 	}
 	for i, s := range slots {
 		mp.as.Machine().WriteFrame(s.pfn, 0, reqs[i].Buf)
-		mp.as.InstallPTE(s.vpn, memsim.PTE{PFN: s.pfn, Flags: memsim.FlagPresent | memsim.FlagWritable})
+		mp.install(meter, mp.as, s.vpn, s.rpfn, s.pfn, useCache)
 	}
+	release()
 	return nil
 }
 
@@ -208,3 +404,6 @@ func (mp *Mapping) Target() memsim.MachineID { return mp.target }
 
 // RemotePages reports how many remote pages the mapping knows about.
 func (mp *Mapping) RemotePages() int { return len(mp.remotePT) }
+
+// Generation returns the producer registration's generation.
+func (mp *Mapping) Generation() uint64 { return mp.gen }

@@ -1,0 +1,238 @@
+package kernel
+
+import (
+	"container/list"
+	"sync"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// Default page-cache tuning used by platform clusters. Kernel-level users
+// opt in explicitly via EnablePageCache/SetReadahead.
+const (
+	// DefaultPageCacheBytes is the per-machine remote page cache budget.
+	DefaultPageCacheBytes = 64 << 20
+	// DefaultReadaheadMax caps the adaptive readahead window, in pages.
+	DefaultReadaheadMax = 32
+)
+
+// CacheStats snapshots one machine's remote-page-cache activity. LiveBytes
+// is the cache's current footprint; the counters are cumulative.
+type CacheStats struct {
+	Hits           int64
+	Misses         int64
+	Inserts        int64
+	Evictions      int64
+	ReadaheadPages int64
+	LiveBytes      int64
+}
+
+// Add accumulates o into s (cluster-wide aggregation).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.Evictions += o.Evictions
+	s.ReadaheadPages += o.ReadaheadPages
+	s.LiveBytes += o.LiveBytes
+	return s
+}
+
+// Sub returns the counter deltas s−o (per-span attribution). LiveBytes is
+// the net footprint change over the interval.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	s.Hits -= o.Hits
+	s.Misses -= o.Misses
+	s.Inserts -= o.Inserts
+	s.Evictions -= o.Evictions
+	s.ReadaheadPages -= o.ReadaheadPages
+	s.LiveBytes -= o.LiveBytes
+	return s
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cacheKey identifies a remote page: the producer machine, its physical
+// frame number there, and the registration generation. The generation makes
+// stale entries unreachable after deregister_mem: a producer PFN reused by
+// a later registration carries a higher generation and so never matches an
+// entry cached from the freed one.
+type cacheKey struct {
+	mac memsim.MachineID
+	pfn memsim.PFN
+	gen uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	local memsim.PFN // consumer-machine frame holding the page's bytes
+}
+
+// PageCache is the machine-level remote page cache: the first fault on a
+// producer page fetches it once over the fabric and inserts a refcounted
+// frame here; later faults from any co-located consumer install that frame
+// CoW-shared instead of fetching and copying. The cache holds one reference
+// per entry, bounded by a byte budget with LRU eviction.
+type PageCache struct {
+	mu      sync.Mutex
+	machine *memsim.Machine
+	budget  int64
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, inserts, evictions int64
+	liveBytes                        int64
+}
+
+// NewPageCache returns an empty cache on machine m with the given byte
+// budget (must be > 0; use a nil *PageCache to disable caching).
+func NewPageCache(m *memsim.Machine, budget int64) *PageCache {
+	return &PageCache{
+		machine: m,
+		budget:  budget,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Budget returns the configured byte budget.
+func (c *PageCache) Budget() int64 { return c.budget }
+
+// Lookup returns the local frame caching (mac, pfn, gen) and records a hit
+// or miss. The frame stays owned by the cache; callers wanting to map it
+// must take their own reference (InstallShared does).
+func (c *PageCache) Lookup(mac memsim.MachineID, pfn memsim.PFN, gen uint64) (memsim.PFN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{mac, pfn, gen}]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).local, true
+}
+
+// Contains reports whether the page is cached without touching recency or
+// the hit/miss counters (readahead eligibility checks).
+func (c *PageCache) Contains(mac memsim.MachineID, pfn memsim.PFN, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[cacheKey{mac, pfn, gen}]
+	return ok
+}
+
+// Insert adds a fetched page, taking ownership of the caller's reference on
+// local. If the key is already cached (two consumers raced on the same
+// page), the caller's frame is released and the canonical one returned.
+// Inserting may LRU-evict older pages past the byte budget; the eviction
+// bookkeeping is charged to meter under CatCache.
+func (c *PageCache) Insert(meter *simtime.Meter, cm *simtime.CostModel, mac memsim.MachineID, pfn memsim.PFN, gen uint64, local memsim.PFN) memsim.PFN {
+	key := cacheKey{mac, pfn, gen}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		canonical := el.Value.(*cacheEntry).local
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.machine.Unref(local)
+		return canonical
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, local: local})
+	c.inserts++
+	c.liveBytes += memsim.PageSize
+	evicted := c.evictLocked(c.budget)
+	c.mu.Unlock()
+	if evicted > 0 && meter != nil {
+		meter.Charge(simtime.CatCache, simtime.Scale(cm.CacheEvictPerPage, evicted))
+	}
+	return local
+}
+
+// evictLocked drops LRU entries until liveBytes ≤ limit, returning how many
+// pages were evicted. Caller holds c.mu.
+func (c *PageCache) evictLocked(limit int64) int {
+	n := 0
+	for c.liveBytes > limit {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.machine.Unref(e.local)
+		c.liveBytes -= memsim.PageSize
+		c.evictions++
+		n++
+	}
+	return n
+}
+
+// InvalidateMachine drops every entry sourced from mac (machine crash).
+func (c *PageCache) InvalidateMachine(mac memsim.MachineID) {
+	c.invalidate(func(k cacheKey) bool { return k.mac == mac })
+}
+
+// InvalidateBelow drops entries sourced from mac with generation < below —
+// the deregister_mem broadcast. Entries of still-live registrations (higher
+// generation) survive.
+func (c *PageCache) InvalidateBelow(mac memsim.MachineID, below uint64) {
+	c.invalidate(func(k cacheKey) bool { return k.mac == mac && k.gen < below })
+}
+
+func (c *PageCache) invalidate(drop func(cacheKey) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if !drop(e.key) {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.machine.Unref(e.local)
+		c.liveBytes -= memsim.PageSize
+	}
+}
+
+// MachineBytes reports the cache footprint attributable to pages sourced
+// from mac (test observability for crash invalidation).
+func (c *PageCache) MachineBytes(mac memsim.MachineID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for k := range c.entries {
+		if k.mac == mac {
+			n += memsim.PageSize
+		}
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *PageCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Inserts: c.inserts, Evictions: c.evictions,
+		LiveBytes: c.liveBytes,
+	}
+}
+
+// Len reports the number of cached pages.
+func (c *PageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

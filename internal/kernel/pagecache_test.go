@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// enableCaches turns the page cache + readahead on for every kernel of the
+// test cluster (the kernel-level default is off).
+func (c *cluster) enableCaches(budget int64, raMax int) {
+	for _, k := range c.kernels {
+		k.EnablePageCache(budget)
+		k.SetReadahead(raMax)
+	}
+}
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	m := memsim.NewMachine(0)
+	cm := simtime.DefaultCostModel()
+	pc := NewPageCache(m, 2*memsim.PageSize)
+	meter := simtime.NewMeter()
+
+	frames := make([]memsim.PFN, 3)
+	for i := range frames {
+		frames[i] = m.AllocFrame()
+		pc.Insert(meter, cm, 1, memsim.PFN(100+i), 0, frames[i])
+	}
+	if got := pc.Len(); got != 2 {
+		t.Fatalf("cache holds %d pages, want 2 (budget)", got)
+	}
+	s := pc.Stats()
+	if s.Evictions != 1 || s.LiveBytes != 2*memsim.PageSize {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 pages live", s)
+	}
+	// The oldest entry (pfn 100) was evicted and its frame freed.
+	if _, ok := pc.Lookup(1, 100, 0); ok {
+		t.Error("evicted page still cached")
+	}
+	if m.LiveFrames() != 2 {
+		t.Errorf("machine holds %d frames, want 2", m.LiveFrames())
+	}
+	if meter.Get(simtime.CatCache) == 0 {
+		t.Error("eviction charged nothing to CatCache")
+	}
+}
+
+func TestPageCacheRecency(t *testing.T) {
+	m := memsim.NewMachine(0)
+	cm := simtime.DefaultCostModel()
+	pc := NewPageCache(m, 2*memsim.PageSize)
+	pc.Insert(nil, cm, 1, 100, 0, m.AllocFrame())
+	pc.Insert(nil, cm, 1, 101, 0, m.AllocFrame())
+	// Touch 100 so 101 becomes LRU, then overflow.
+	if _, ok := pc.Lookup(1, 100, 0); !ok {
+		t.Fatal("expected hit on pfn 100")
+	}
+	pc.Insert(nil, cm, 1, 102, 0, m.AllocFrame())
+	if _, ok := pc.Lookup(1, 100, 0); !ok {
+		t.Error("recently used page evicted")
+	}
+	if pc.Contains(1, 101, 0) {
+		t.Error("LRU page survived over-budget insert")
+	}
+}
+
+func TestPageCacheGenerationMismatch(t *testing.T) {
+	m := memsim.NewMachine(0)
+	pc := NewPageCache(m, 8*memsim.PageSize)
+	pc.Insert(nil, simtime.DefaultCostModel(), 1, 100, 1, m.AllocFrame())
+	if _, ok := pc.Lookup(1, 100, 2); ok {
+		t.Error("hit across generations: a reused PFN would serve stale bytes")
+	}
+	if _, ok := pc.Lookup(1, 100, 1); !ok {
+		t.Error("same-generation lookup missed")
+	}
+}
+
+func TestPageCacheInvalidation(t *testing.T) {
+	m := memsim.NewMachine(0)
+	cm := simtime.DefaultCostModel()
+	pc := NewPageCache(m, 64*memsim.PageSize)
+	pc.Insert(nil, cm, 1, 100, 1, m.AllocFrame())
+	pc.Insert(nil, cm, 1, 101, 2, m.AllocFrame())
+	pc.Insert(nil, cm, 2, 100, 1, m.AllocFrame())
+
+	pc.InvalidateBelow(1, 2) // drops (1,100,gen1) only
+	if pc.Contains(1, 100, 1) || !pc.Contains(1, 101, 2) || !pc.Contains(2, 100, 1) {
+		t.Fatalf("InvalidateBelow dropped the wrong entries (len=%d)", pc.Len())
+	}
+	pc.InvalidateMachine(2)
+	if pc.Contains(2, 100, 1) {
+		t.Error("InvalidateMachine left an entry")
+	}
+	if pc.MachineBytes(2) != 0 || pc.MachineBytes(1) != memsim.PageSize {
+		t.Errorf("MachineBytes: m2=%d m1=%d", pc.MachineBytes(2), pc.MachineBytes(1))
+	}
+	// Invalidation released the frames (the survivor keeps one).
+	if m.LiveFrames() != 1 {
+		t.Errorf("machine holds %d frames, want 1", m.LiveFrames())
+	}
+}
+
+func TestPageCacheInsertRaceKeepsCanonical(t *testing.T) {
+	m := memsim.NewMachine(0)
+	cm := simtime.DefaultCostModel()
+	pc := NewPageCache(m, 64*memsim.PageSize)
+	first := m.AllocFrame()
+	m.WriteFrame(first, 0, []byte("canonical"))
+	pc.Insert(nil, cm, 1, 100, 0, first)
+	dup := m.AllocFrame()
+	got := pc.Insert(nil, cm, 1, 100, 0, dup)
+	if got != first {
+		t.Fatalf("duplicate insert returned %d, want canonical %d", got, first)
+	}
+	if m.LiveFrames() != 1 {
+		t.Errorf("duplicate frame not released: %d live", m.LiveFrames())
+	}
+	buf := make([]byte, 9)
+	m.ReadFrame(got, 0, buf)
+	if !bytes.Equal(buf, []byte("canonical")) {
+		t.Errorf("canonical frame bytes = %q", buf)
+	}
+}

@@ -201,6 +201,15 @@ func (as *AddressSpace) InstallPTE(vpn VPN, pte PTE) {
 	as.tlbFlush()
 }
 
+// InstallShared maps vpn onto an existing frame without copying: it takes
+// a reference on pfn and installs a write-protected CoW entry, so the frame
+// is shared zero-copy until the first write breaks CoW. The remote page
+// cache uses it to hand one fetched frame to many co-located consumers.
+func (as *AddressSpace) InstallShared(vpn VPN, pfn PFN) {
+	as.machine.Ref(pfn)
+	as.InstallPTE(vpn, PTE{PFN: pfn, Flags: FlagPresent | FlagCoW})
+}
+
 // Lookup returns the PTE for vpn.
 func (as *AddressSpace) Lookup(vpn VPN) (PTE, bool) {
 	pte, ok := as.pt[vpn]

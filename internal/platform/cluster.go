@@ -40,7 +40,45 @@ func NewCluster(n int, cm *simtime.CostModel) *Cluster {
 		c.Machines = append(c.Machines, m)
 		c.Kernels = append(c.Kernels, k)
 	}
+	c.wirePageCaches()
 	return c
+}
+
+// wirePageCaches enables the per-machine remote page cache with platform
+// defaults and connects deregister_mem on any machine to every machine's
+// cache — the generation-bump invalidation broadcast (§4.2 reclamation).
+func (c *Cluster) wirePageCaches() {
+	for _, k := range c.Kernels {
+		k.EnablePageCache(kernel.DefaultPageCacheBytes)
+		k.SetReadahead(kernel.DefaultReadaheadMax)
+		k.OnDeregister = c.invalidateBelow
+	}
+}
+
+func (c *Cluster) invalidateBelow(mac memsim.MachineID, below uint64) {
+	for _, k := range c.Kernels {
+		if pc := k.PageCache(); pc != nil {
+			pc.InvalidateBelow(mac, below)
+		}
+	}
+}
+
+// invalidateMachine drops every cached page sourced from mac (crash path).
+func (c *Cluster) invalidateMachine(mac memsim.MachineID) {
+	for _, k := range c.Kernels {
+		if pc := k.PageCache(); pc != nil {
+			pc.InvalidateMachine(mac)
+		}
+	}
+}
+
+// CacheStats aggregates page-cache and readahead counters cluster-wide.
+func (c *Cluster) CacheStats() kernel.CacheStats {
+	var s kernel.CacheStats
+	for _, k := range c.Kernels {
+		s = s.Add(k.CacheStats())
+	}
+	return s
 }
 
 // NewChaosCluster builds a cluster whose kernels see the fabric through a
@@ -64,12 +102,18 @@ func NewChaosCluster(n int, cm *simtime.CostModel, plan faults.Plan, retry fault
 		c.Machines = append(c.Machines, m)
 		c.Kernels = append(c.Kernels, k)
 	}
+	c.wirePageCaches()
 	for _, cr := range plan.Crashes {
 		if int(cr.Machine) < 0 || int(cr.Machine) >= n {
 			continue
 		}
 		mach := c.Machines[cr.Machine]
-		c.Sim.At(cr.At, mach.Crash)
+		c.Sim.At(cr.At, func() {
+			mach.Crash()
+			// The crashed machine's frames are gone; cached copies of
+			// them cluster-wide are stale by definition.
+			c.invalidateMachine(mach.ID())
+		})
 	}
 	return c
 }
@@ -118,6 +162,7 @@ func NewClusterTCP(n int, cm *simtime.CostModel) (*Cluster, func(), error) {
 		c.Machines = append(c.Machines, m)
 		c.Kernels = append(c.Kernels, k)
 	}
+	c.wirePageCaches()
 	return c, cleanup, nil
 }
 
@@ -158,6 +203,9 @@ type Pod struct {
 	busy     bool
 	used     bool
 	lastBusy simtime.Time
+	// inFree mirrors physical membership in the engine's free-pod heap
+	// (lazy deletion: stale entries are discarded on pop).
+	inFree bool
 }
 
 // Container is a warm function container: an address space laid out per

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -38,6 +39,14 @@ type Engine struct {
 	pods      []*Pod
 	activated int // high-water mark of pods ever used
 	queue     []*invocation
+
+	// Dispatch indexes: freePods is a lazy-deletion min-heap of free pods
+	// by ID, warm maps a slot to the pods holding its warm container, and
+	// byMachine lists pods per machine (pinned placement). Together they
+	// replace the O(pods) scan per queued invocation.
+	freePods  podHeap
+	warm      map[SlotID]map[int]*Pod
+	byMachine map[memsim.MachineID][]*Pod
 
 	nextReg  uint64
 	regs     map[regRef]*registration
@@ -165,6 +174,10 @@ type RunResult struct {
 	Retries   int
 	Fallbacks int
 	Reexecs   int
+	// Cache snapshots the cluster's remote-page-cache and readahead
+	// counters at completion time (cumulative across the cluster's life;
+	// per-invocation deltas are on the trace spans).
+	Cache kernel.CacheStats
 }
 
 // NewEngine builds an engine for one workflow and transfer mode on a fresh
@@ -207,6 +220,22 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 		cds:        objrt.DefaultCDS(),
 		regs:       make(map[regRef]*registration),
 		textFrames: make(map[textKey][]memsim.PFN),
+		warm:       make(map[SlotID]map[int]*Pod),
+		byMachine:  make(map[memsim.MachineID][]*Pod),
+	}
+	// Per-run page-cache/readahead knobs (zero value keeps the cluster
+	// defaults wired by NewCluster).
+	for _, k := range cluster.Kernels {
+		if opts.NoPageCache {
+			k.EnablePageCache(0)
+		} else if opts.PageCacheBytes > 0 {
+			k.EnablePageCache(opts.PageCacheBytes)
+		}
+		if opts.NoReadahead {
+			k.SetReadahead(0)
+		} else if opts.ReadaheadWindow > 0 {
+			k.SetReadahead(opts.ReadaheadWindow)
+		}
 	}
 	e.msg.ZeroCost = opts.ZeroNetwork
 	switch mode {
@@ -220,10 +249,27 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 	}
 	for i := 0; i < pods; i++ {
 		m := cluster.Machines[i%len(cluster.Machines)]
-		e.pods = append(e.pods, &Pod{
+		p := &Pod{
 			ID: i, Machine: m, Kernel: cluster.Kernels[int(m.ID())],
 			cache: make(map[SlotID]*Container),
-		})
+		}
+		e.pods = append(e.pods, p)
+		e.byMachine[m.ID()] = append(e.byMachine[m.ID()], p)
+		p.inFree = true
+		e.freePods = append(e.freePods, p) // already ID-ordered
+	}
+	for _, f := range wf.Functions {
+		if f.PinMachine == nil {
+			continue
+		}
+		if *f.PinMachine < 0 || *f.PinMachine >= len(cluster.Machines) {
+			return nil, fmt.Errorf("platform: function %q pinned to machine %d of %d",
+				f.Name, *f.PinMachine, len(cluster.Machines))
+		}
+		if len(e.byMachine[memsim.MachineID(*f.PinMachine)]) == 0 {
+			return nil, fmt.Errorf("platform: function %q pinned to machine %d, which has no pods",
+				f.Name, *f.PinMachine)
+		}
 	}
 	return e, nil
 }
@@ -318,6 +364,7 @@ func (e *Engine) collect(r *request) RunResult {
 		Retries:     r.retries,
 		Fallbacks:   r.fallbacks,
 		Reexecs:     r.reexecs,
+		Cache:       e.Cluster.CacheStats(),
 	}
 	for node, m := range r.meters {
 		res.Meter.AddAll(m)
@@ -396,6 +443,7 @@ func (e *Engine) startAutoscaler() {
 				for slot, c := range p.cache {
 					c.Close()
 					delete(p.cache, slot)
+					e.warmRemove(slot, p)
 				}
 				e.scaleDowns++
 			} else {
@@ -425,28 +473,14 @@ func (e *Engine) SharedTextBytes() int {
 }
 
 // dispatch assigns queued invocations to free pods (cache-affinity first,
-// then lowest pod ID).
+// then lowest pod ID), via the warm-slot index and the free-pod heap.
 func (e *Engine) dispatch() {
 	for len(e.queue) > 0 {
 		inv := e.queue[0]
 		slot := SlotID{inv.node.fn, inv.node.inst}
-		var pod *Pod
-		for _, p := range e.pods {
-			// Crashed machines take no new work; their frames (and warm
-			// containers) are gone.
-			if p.busy || p.Machine.Crashed() {
-				continue
-			}
-			if _, warm := p.cache[slot]; warm {
-				pod = p
-				break
-			}
-			if pod == nil {
-				pod = p
-			}
-		}
+		pod := e.pickPod(slot, e.wf.Function(inv.node.fn).PinMachine)
 		if pod == nil {
-			return // all pods busy; completions re-dispatch
+			return // no eligible pod; completions re-dispatch
 		}
 		e.queue = e.queue[1:]
 		pod.busy = true
@@ -456,6 +490,90 @@ func (e *Engine) dispatch() {
 		}
 		e.execute(inv, pod)
 	}
+}
+
+// pickPod selects the pod for one invocation: the lowest-ID free pod
+// holding the slot's warm container wins (cache affinity), then pinned
+// functions scan their machine's pods, then the free-pod heap yields the
+// lowest-ID free pod. Crashed machines take no new work; their frames (and
+// warm containers) are gone.
+func (e *Engine) pickPod(slot SlotID, pin *int) *Pod {
+	var best *Pod
+	for _, p := range e.warm[slot] {
+		if p.busy || p.Machine.Crashed() {
+			continue
+		}
+		if pin != nil && int(p.Machine.ID()) != *pin {
+			continue
+		}
+		if best == nil || p.ID < best.ID {
+			best = p
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if pin != nil {
+		for _, p := range e.byMachine[memsim.MachineID(*pin)] {
+			if !p.busy && !p.Machine.Crashed() {
+				return p
+			}
+		}
+		return nil
+	}
+	for e.freePods.Len() > 0 {
+		p := heap.Pop(&e.freePods).(*Pod)
+		p.inFree = false
+		if p.busy || p.Machine.Crashed() {
+			continue // stale entry (taken via warm/pin path) or dead pod
+		}
+		return p
+	}
+	return nil
+}
+
+// podFreed returns a pod to the free heap after its invocation completes.
+func (e *Engine) podFreed(p *Pod) {
+	if !p.inFree && !p.Machine.Crashed() {
+		p.inFree = true
+		heap.Push(&e.freePods, p)
+	}
+}
+
+// warmAdd indexes pod as holding slot's warm container.
+func (e *Engine) warmAdd(slot SlotID, p *Pod) {
+	m := e.warm[slot]
+	if m == nil {
+		m = make(map[int]*Pod)
+		e.warm[slot] = m
+	}
+	m[p.ID] = p
+}
+
+// warmRemove drops pod from slot's warm index (container evicted).
+func (e *Engine) warmRemove(slot SlotID, p *Pod) {
+	if m := e.warm[slot]; m != nil {
+		delete(m, p.ID)
+		if len(m) == 0 {
+			delete(e.warm, slot)
+		}
+	}
+}
+
+// podHeap is a min-heap of free pods by ID with lazy deletion.
+type podHeap []*Pod
+
+func (h podHeap) Len() int            { return len(h) }
+func (h podHeap) Less(i, j int) bool  { return h[i].ID < h[j].ID }
+func (h podHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *podHeap) Push(x any)         { *h = append(*h, x.(*Pod)) }
+func (h *podHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
 }
 
 func (p *Pod) everUsed() bool { return p.used }
@@ -470,18 +588,22 @@ func (e *Engine) execute(inv *invocation, pod *Pod) {
 	var out *statePayload
 	var err error
 	retryBase := e.Cluster.Retries()
+	cacheBase := e.Cluster.CacheStats()
 	if req.err == nil {
 		out, err = e.invoke(inv, pod, meter, req.inputs[inv.node])
 	}
 	// The simulator is single-threaded and invoke runs synchronously, so
-	// the retry-counter delta is exactly this invocation's attempts.
+	// the retry-counter delta is exactly this invocation's attempts (and
+	// likewise for the cache-counter delta).
 	retries := e.Cluster.Retries() - retryBase
+	cacheDelta := e.Cluster.CacheStats().Sub(cacheBase)
 	req.retries += retries
 	started := e.Cluster.Sim.Now()
 	d := meter.Total()
 	e.Cluster.Sim.After(d, func() {
 		pod.busy = false
 		pod.lastBusy = e.Cluster.Sim.Now()
+		e.podFreed(pod)
 		// Fold the attempt's meter so re-executed nodes accumulate across
 		// attempts instead of overwriting.
 		if agg, ok := req.meters[inv.node]; ok {
@@ -499,6 +621,8 @@ func (e *Engine) execute(inv *invocation, pod *Pod) {
 				Start: started, End: e.Cluster.Sim.Now(),
 				Breakdown: meter.Snapshot(),
 				Retries:   retries, Redo: inv.redo, Err: errText,
+				CacheHits: cacheDelta.Hits, CacheMisses: cacheDelta.Misses,
+				ReadaheadPages: cacheDelta.ReadaheadPages,
 			})
 		}
 		if err != nil && req.err == nil {
@@ -704,6 +828,7 @@ func (e *Engine) container(pod *Pod, spec *FunctionSpec, node nodeKey, meter *si
 		}
 		c.Close()
 		delete(pod.cache, slot)
+		e.warmRemove(slot, pod)
 	}
 	layout, ok := e.Plan.Slot(slot)
 	if !ok {
@@ -725,6 +850,7 @@ func (e *Engine) container(pod *Pod, spec *FunctionSpec, node nodeKey, meter *si
 		meter.Charge(simtime.CatPlatform, e.Cluster.CM.ColdStart)
 	}
 	pod.cache[slot] = c
+	e.warmAdd(slot, pod)
 	return c, nil
 }
 

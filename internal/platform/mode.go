@@ -109,6 +109,19 @@ type Options struct {
 	// re-execution, see RecoveryPolicy). nil means any transfer failure
 	// fails the request — the negative control for the chaos experiments.
 	Recovery *RecoveryPolicy
+	// NoPageCache disables the machine-level remote page cache (the
+	// fan-out ablation's negative control); default is enabled with
+	// kernel.DefaultPageCacheBytes.
+	NoPageCache bool
+	// PageCacheBytes overrides the per-machine page-cache byte budget
+	// (0 = kernel.DefaultPageCacheBytes).
+	PageCacheBytes int64
+	// NoReadahead disables fault-coalescing readahead; default is an
+	// adaptive window capped at kernel.DefaultReadaheadMax pages.
+	NoReadahead bool
+	// ReadaheadWindow overrides the maximum readahead window in pages
+	// (0 = kernel.DefaultReadaheadMax).
+	ReadaheadWindow int
 }
 
 // DefaultSmallState is the messaging-fallback threshold: at or below this

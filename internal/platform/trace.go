@@ -21,6 +21,11 @@ type Span struct {
 	// Retries is the number of transport-level retry attempts charged to
 	// this invocation (chaos clusters only).
 	Retries int
+	// CacheHits/CacheMisses/ReadaheadPages are this invocation's remote
+	// page-cache activity (cluster-wide counter deltas over the span).
+	CacheHits      int64
+	CacheMisses    int64
+	ReadaheadPages int64
 	// Redo marks a producer re-execution scheduled by the recovery ladder.
 	Redo bool
 	// Err is the invocation's failure, if any ("" = success).
@@ -44,7 +49,7 @@ func WriteTrace(w io.Writer, spans []Span) {
 		return sorted[i].Node < sorted[j].Node
 	})
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tretries\tbreakdown")
+	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tretries\tcache h/m/ra\tbreakdown")
 	for _, s := range sorted {
 		node := s.Node
 		if s.Redo {
@@ -53,10 +58,10 @@ func WriteTrace(w io.Writer, spans []Span) {
 		if s.Err != "" {
 			node += " !"
 		}
-		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%d\t%v\n",
+		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%d\t%d/%d/%d\t%v\n",
 			node, s.Pod, s.Machine,
 			simtime.Duration(s.Start), simtime.Duration(s.End), s.Duration(),
-			s.Retries, s.Breakdown)
+			s.Retries, s.CacheHits, s.CacheMisses, s.ReadaheadPages, s.Breakdown)
 	}
 	tw.Flush()
 }

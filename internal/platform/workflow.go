@@ -64,8 +64,15 @@ type FunctionSpec struct {
 	// Untrusted marks a function whose producers should not expose
 	// memory to it; edges into it fall back to messaging (§3.2).
 	Untrusted bool
-	Handler   Handler
+	// PinMachine, when non-nil, restricts this function's invocations to
+	// pods on the given machine index — placement control for experiments
+	// that need co-location (e.g. a fan-out's consumers on one machine).
+	PinMachine *int
+	Handler    Handler
 }
+
+// Pin returns a *int for FunctionSpec.PinMachine.
+func Pin(machine int) *int { return &machine }
 
 // Edge declares a state transfer From → To (every From instance feeds
 // every To instance; handlers shard by Ctx.Instance).

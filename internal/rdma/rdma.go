@@ -72,6 +72,7 @@ type SimFabric struct {
 	// Telemetry for the factor analysis and ablations.
 	reads      int
 	batchReads int
+	batchPages int
 	rpcs       int
 	bytesRead  int64
 }
@@ -110,11 +111,19 @@ func (f *SimFabric) Stats() (reads, batches, rpcs int, bytesRead int64) {
 	return f.reads, f.batchReads, f.rpcs, f.bytesRead
 }
 
+// BatchPages reports the cumulative number of pages carried inside
+// doorbell batches — reads+BatchPages is the fabric's total page count.
+func (f *SimFabric) BatchPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.batchPages
+}
+
 // ResetStats zeroes the telemetry counters.
 func (f *SimFabric) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.reads, f.batchReads, f.rpcs, f.bytesRead = 0, 0, 0, 0
+	f.reads, f.batchReads, f.batchPages, f.rpcs, f.bytesRead = 0, 0, 0, 0, 0
 }
 
 func (f *SimFabric) machine(id memsim.MachineID) (*memsim.Machine, error) {
@@ -196,6 +205,12 @@ func (n *NIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, of
 // many pages (§4.4). Cost: DoorbellBase + per-page NIC processing +
 // line-rate bytes — the reason batched prefetch beats per-fault reads.
 func (n *NIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error {
+	return n.ReadPagesCat(m, simtime.CatFault, target, reqs)
+}
+
+// ReadPagesCat is ReadPages with an explicit charge category; the kernel's
+// fault-coalescing readahead attributes its batches to CatReadahead.
+func (n *NIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageRead) error {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -210,12 +225,13 @@ func (n *NIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRe
 	if target != n.owner {
 		n.connect(m, target)
 		cm := n.fabric.cm
-		m.Charge(simtime.CatFault,
+		m.Charge(cat,
 			cm.DoorbellBase+
 				simtime.Scale(cm.DoorbellPerPage, len(reqs))+
 				simtime.Bytes(total, cm.RDMAPerByte))
 		n.fabric.mu.Lock()
 		n.fabric.batchReads++
+		n.fabric.batchPages += len(reqs)
 		n.fabric.bytesRead += int64(total)
 		n.fabric.mu.Unlock()
 	}

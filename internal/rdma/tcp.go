@@ -447,6 +447,11 @@ func (n *TCPNIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN,
 
 // ReadPages implements Transport over TCP with one roundtrip.
 func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error {
+	return n.ReadPagesCat(m, simtime.CatFault, target, reqs)
+}
+
+// ReadPagesCat is ReadPages with an explicit charge category (readahead).
+func (n *TCPNIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageRead) error {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -477,7 +482,7 @@ func (n *TCPNIC) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []Pag
 		resp = resp[len(r.Buf):]
 	}
 	cm := n.fabric.cm
-	m.Charge(simtime.CatFault,
+	m.Charge(cat,
 		cm.DoorbellBase+simtime.Scale(cm.DoorbellPerPage, len(reqs))+simtime.Bytes(total, cm.RDMAPerByte))
 	return nil
 }

@@ -94,6 +94,16 @@ type CostModel struct {
 	// exists (pre-warmed experiments never pay it).
 	ColdStart Duration
 
+	// --- Remote page cache (machine-level, §4.4 co-design) ---
+
+	// CacheHitInstall is the cost of resolving a fault from the machine's
+	// remote page cache: a refcount bump plus a write-protected PTE
+	// install, no fabric roundtrip.
+	CacheHitInstall Duration
+	// CacheEvictPerPage is the LRU bookkeeping cost of evicting one page
+	// when an insert exceeds the cache's byte budget.
+	CacheEvictPerPage Duration
+
 	// --- Memory (local) ---
 
 	// MemcpyPerByte is a plain local copy at DRAM-ish single-thread
@@ -139,6 +149,9 @@ func DefaultCostModel() *CostModel {
 
 		InvokeOverhead: 1 * Millisecond,
 		ColdStart:      500 * Millisecond,
+
+		CacheHitInstall:   300 * Nanosecond,
+		CacheEvictPerPage: 100 * Nanosecond,
 
 		MemcpyPerByte:  0.2, // 5 GB/s single-thread copy
 		ComputePerByte: 1.5,

@@ -86,6 +86,12 @@ const (
 	// CatRetry is recovery backoff: virtual time spent re-attempting
 	// remote operations that hit transient faults (§6 fault tolerance).
 	CatRetry
+	// CatCache is remote-page-cache management: CoW-shared installs on
+	// cache hits and LRU eviction bookkeeping.
+	CatCache
+	// CatReadahead is fault-coalescing readahead: doorbell-batched reads
+	// issued beyond the demand page.
+	CatReadahead
 	numCategories
 )
 
@@ -100,6 +106,8 @@ var categoryNames = [...]string{
 	CatFault:       "fault",
 	CatPlatform:    "platform",
 	CatRetry:       "retry",
+	CatCache:       "cache",
+	CatReadahead:   "readahead",
 }
 
 func (c Category) String() string {

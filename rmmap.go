@@ -114,6 +114,10 @@ type (
 	FuncID = kernel.FuncID
 	// Key is the registration authentication secret.
 	Key = kernel.Key
+	// PageCache is the machine-level remote page cache.
+	PageCache = kernel.PageCache
+	// CacheStats snapshots page-cache and readahead activity.
+	CacheStats = kernel.CacheStats
 )
 
 // NewKernel returns a kernel for machine m using transport t.
