@@ -1,12 +1,16 @@
 // Command rmmap-chaos runs a built-in workflow under a seeded,
-// deterministic fault-injection plan (DESIGN.md §7) and reports what the
-// recovery ladder did: transport retries, messaging fallbacks, and
-// producer re-executions.
+// deterministic fault-injection plan (DESIGN.md §7, §9) and reports what
+// the recovery ladder did: transport retries, partition waits, replica
+// failovers, messaging fallbacks, and producer re-executions.
 //
 // Usage:
 //
 //	rmmap-chaos [-workflow finra] [-small] [-seed 20260805] [-prob 0.1]
-//	            [-crash-machine 1 -crash-at 100us] [-no-recovery] [-trace]
+//	            [-crash-machine 1 -crash-at 100us] [-plan plan.json]
+//	            [-replicas 1] [-no-replication] [-no-recovery] [-trace]
+//
+// A -plan file replaces the flag-built plan entirely (see
+// cmd/rmmap-chaos/plans/ for examples including partitions).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 func main() {
 	name := flag.String("workflow", "finra", "workflow: finra, ml-training, ml-prediction, wordcount")
 	small := flag.Bool("small", false, "use the small (test-scale) configuration")
+	planPath := flag.String("plan", "", "JSON fault plan (overrides -seed/-prob/-crash-* flags)")
 	seed := flag.Uint64("seed", 20260805, "fault-plan seed; same seed, same schedule")
 	prob := flag.Float64("prob", 0.1, "transient-fault probability on remote reads, doorbells and RPCs")
 	endpoint := flag.String("endpoint", "", "restrict the RPC rule to one endpoint (e.g. rmmap.auth)")
@@ -32,6 +37,8 @@ func main() {
 	noRecovery := flag.Bool("no-recovery", false, "negative control: disable the recovery ladder")
 	maxReexecs := flag.Int("max-reexecs", platform.DefaultMaxReexecutions, "producer re-execution budget per request")
 	degradeAfter := flag.Int("degrade-after", platform.DefaultDegradeAfter, "edge failures before falling back to messaging")
+	replicas := flag.Int("replicas", 0, "backup machines per registration (0: replication off)")
+	noReplication := flag.Bool("no-replication", false, "force replication off even with -replicas set")
 	machines := flag.Int("machines", 4, "cluster size")
 	pods := flag.Int("pods", 16, "warm pods")
 	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
@@ -43,25 +50,39 @@ func main() {
 		os.Exit(1)
 	}
 
-	plan := faults.Plan{Seed: *seed}
-	if *prob > 0 {
-		plan.Rules = []faults.Rule{
-			{Site: faults.SiteRDMARead, Target: faults.AnyMachine, Prob: *prob},
-			{Site: faults.SiteDoorbell, Target: faults.AnyMachine, Prob: *prob},
-			{Site: faults.SiteRPC, Target: faults.AnyMachine, Endpoint: *endpoint, Prob: *prob},
+	var plan faults.Plan
+	if *planPath != "" {
+		plan, err = faults.LoadPlan(*planPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-	}
-	if *crashMachine >= 0 {
-		plan.Crashes = []faults.Crash{{
-			Machine: memsim.MachineID(*crashMachine),
-			At:      simtime.Time(crashAt.Nanoseconds()),
-		}}
+	} else {
+		plan = faults.Plan{Seed: *seed}
+		if *prob > 0 {
+			plan.Rules = []faults.Rule{
+				{Site: faults.SiteRDMARead, Target: faults.AnyMachine, Prob: *prob},
+				{Site: faults.SiteDoorbell, Target: faults.AnyMachine, Prob: *prob},
+				{Site: faults.SiteRPC, Target: faults.AnyMachine, Endpoint: *endpoint, Prob: *prob},
+			}
+		}
+		if *crashMachine >= 0 {
+			plan.Crashes = []faults.Crash{{
+				Machine: memsim.MachineID(*crashMachine),
+				At:      simtime.Time(crashAt.Nanoseconds()),
+			}}
+		}
 	}
 
 	rec := platform.DefaultRecoveryPolicy()
 	rec.MaxReexecutions = *maxReexecs
 	rec.DegradeAfter = *degradeAfter
-	opts := platform.Options{Trace: *trace, Recovery: rec}
+	opts := platform.Options{
+		Trace:         *trace,
+		Recovery:      rec,
+		Replicas:      *replicas,
+		NoReplication: *noReplication,
+	}
 	if *noRecovery {
 		opts.Recovery = nil
 	}
@@ -72,9 +93,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("plan: seed=%d prob=%g", *seed, *prob)
-	if *crashMachine >= 0 {
-		fmt.Printf(" crash=machine%d@%v", *crashMachine, simtime.Duration((*crashAt).Nanoseconds()))
+	if *planPath != "" {
+		fmt.Printf("plan: %s (seed=%d rules=%d crashes=%d partitions=%d)",
+			*planPath, plan.Seed, len(plan.Rules), len(plan.Crashes), len(plan.Partitions))
+	} else {
+		fmt.Printf("plan: seed=%d prob=%g", *seed, *prob)
+		if *crashMachine >= 0 {
+			fmt.Printf(" crash=machine%d@%v", *crashMachine, simtime.Duration((*crashAt).Nanoseconds()))
+		}
+	}
+	if *replicas > 0 && !*noReplication {
+		fmt.Printf(" replicas=%d", *replicas)
 	}
 	if *noRecovery {
 		fmt.Printf(" recovery=off")
@@ -88,15 +117,19 @@ func main() {
 	fmt.Printf("injected faults: %d\n", cluster.Injector.Total())
 	if res.Err != nil {
 		fmt.Printf("request FAILED: %v\n", res.Err)
-		fmt.Printf("recovery: retries=%d fallbacks=%d reexecs=%d\n",
-			res.Retries, res.Fallbacks, res.Reexecs)
+		fmt.Printf("recovery: retries=%d waits=%d failovers=%d fallbacks=%d reexecs=%d\n",
+			res.Retries, res.PartitionWaits, res.Failovers, res.Fallbacks, res.Reexecs)
 		os.Exit(1)
 	}
 	fmt.Printf("request completed: latency %v\n", res.Latency)
 	fmt.Printf("  result: %+v\n", res.Output)
-	fmt.Printf("  recovery: retries=%d (backoff %v under %v) fallbacks=%d reexecs=%d\n",
+	fmt.Printf("  recovery: retries=%d (backoff %v under %v) waits=%d failovers=%d fallbacks=%d reexecs=%d\n",
 		res.Retries, res.Meter.Get(simtime.CatRetry), simtime.CatRetry,
-		res.Fallbacks, res.Reexecs)
+		res.PartitionWaits, res.Failovers, res.Fallbacks, res.Reexecs)
+	if res.ReplicatedBytes > 0 || res.LeaseExpiries > 0 {
+		fmt.Printf("  liveness: replicated %d bytes, lease expiries=%d\n",
+			res.ReplicatedBytes, res.LeaseExpiries)
+	}
 	if *trace {
 		fmt.Println("  execution timeline:")
 		platform.WriteTrace(os.Stdout, res.Trace)

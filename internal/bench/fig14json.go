@@ -26,9 +26,12 @@ type Fig14Row struct {
 }
 
 // Fig14Report is what `rmmap-bench -json` writes to BENCH_fig14.json.
+// Failover is the abl-failover recovery comparison (failover vs.
+// re-execution vs. degradation) over the same workflows.
 type Fig14Report struct {
-	Scale float64    `json:"scale"`
-	Rows  []Fig14Row `json:"rows"`
+	Scale    float64       `json:"scale"`
+	Rows     []Fig14Row    `json:"rows"`
+	Failover []FailoverRow `json:"failover,omitempty"`
 }
 
 // CollectFig14 reruns the Fig 14 grid (every evaluated workflow × every
@@ -64,6 +67,7 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 			})
 		}
 	}
+	rep.Failover = CollectFailover(scale)
 	return rep, nil
 }
 

@@ -39,6 +39,12 @@ const (
 	// SiteTCPRoundtrip is any request/response roundtrip on an established
 	// connection.
 	SiteTCPRoundtrip
+	// SiteRDMAWrite is a doorbell-batched one-sided write (the replication
+	// push path).
+	SiteRDMAWrite
+	// SitePartition counts operations refused by an asymmetric link
+	// partition (see Partition); it is not a probabilistic rule site.
+	SitePartition
 	numSites
 )
 
@@ -48,6 +54,8 @@ var siteNames = [...]string{
 	SiteRPC:          "rpc",
 	SiteTCPDial:      "tcp-dial",
 	SiteTCPRoundtrip: "tcp-roundtrip",
+	SiteRDMAWrite:    "rdma-write",
+	SitePartition:    "partition",
 }
 
 func (s Site) String() string {
@@ -64,8 +72,19 @@ var ErrInjected = errors.New("faults: injected transient fault")
 
 // IsTransient reports whether err is a retryable injected fault. Machine
 // crashes are NOT transient: retrying a read against a dead machine cannot
-// succeed, only re-execution or degradation can.
+// succeed, only re-execution or degradation can. Partitions are not
+// transient either — within one synchronous invocation the virtual clock
+// is frozen, so in-invocation retries can never outlast a partition
+// window; healing is the platform's job (requeue after a wait).
 func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
+
+// ErrPartitioned marks an operation refused because the link between two
+// live machines is partitioned. Unlike a crash it is not terminal: the
+// same operation succeeds once the partition window lifts.
+var ErrPartitioned = errors.New("faults: link partitioned")
+
+// IsPartition reports whether err is a partition refusal.
+func IsPartition(err error) bool { return errors.Is(err, ErrPartitioned) }
 
 // AnyMachine matches every target machine in a Rule.
 const AnyMachine = memsim.MachineID(-1)
@@ -97,11 +116,24 @@ type Crash struct {
 	At      simtime.Time
 }
 
+// Partition severs the directed link From→To during a virtual-time
+// window: operations issued by From against To fail with ErrPartitioned
+// while the window is open. Partitions are asymmetric — sever both
+// directions with two entries — which is what makes crash vs. partition
+// distinguishable: a crashed machine refuses everyone forever, a
+// partitioned one only refuses some peers for a while.
+type Partition struct {
+	From, To memsim.MachineID
+	After    simtime.Time
+	Until    simtime.Time // 0 = never lifts
+}
+
 // Plan is a complete seeded fault schedule.
 type Plan struct {
-	Seed    uint64
-	Rules   []Rule
-	Crashes []Crash
+	Seed       uint64
+	Rules      []Rule
+	Crashes    []Crash
+	Partitions []Partition
 }
 
 // Injector evaluates a Plan deterministically. It is safe for concurrent
@@ -116,6 +148,7 @@ type Injector struct {
 	bySite  [numSites]int
 	total   int
 	crashes []Crash
+	parts   []Partition
 }
 
 // NewInjector builds an injector for plan; clock supplies the current
@@ -127,6 +160,7 @@ func NewInjector(plan Plan, clock func() simtime.Time) *Injector {
 		rng:     plan.Seed + 0x9e3779b97f4a7c15, // non-zero even for seed 0
 		clock:   clock,
 		crashes: append([]Crash(nil), plan.Crashes...),
+		parts:   append([]Partition(nil), plan.Partitions...),
 	}
 }
 
@@ -185,6 +219,61 @@ func (in *Injector) Check(site Site, target memsim.MachineID, endpoint string) e
 			ErrInjected, site, target, endpoint, simtime.Duration(now))
 	}
 	return nil
+}
+
+// CrashedNow reports whether target's scheduled crash instant has passed.
+// FaultFabric consults it before the probabilistic rules so operations
+// against a permanently dead machine fail fast with ErrMachineCrashed
+// instead of burning retry budget on injected "transient" faults that can
+// never clear. Crash awareness consumes no PRNG draws.
+func (in *Injector) CrashedNow(target memsim.MachineID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := in.now()
+	for _, cr := range in.crashes {
+		if cr.Machine == target && now >= cr.At {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckPartition consults the partition schedule for one directed
+// operation from→to. An open window returns a wrapped ErrPartitioned and
+// counts under SitePartition; partitions are deterministic schedules, not
+// probabilistic rules, so no PRNG draw is consumed.
+func (in *Injector) CheckPartition(from, to memsim.MachineID) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := in.now()
+	for _, p := range in.parts {
+		if p.From != from || p.To != to {
+			continue
+		}
+		if now < p.After || (p.Until != 0 && now >= p.Until) {
+			continue
+		}
+		in.bySite[SitePartition]++
+		in.total++
+		return fmt.Errorf("%w: link %d->%d at %v",
+			ErrPartitioned, from, to, simtime.Duration(now))
+	}
+	return nil
+}
+
+// Partitioned reports whether the directed link from→to is currently
+// inside an open partition window, without counting a refusal.
+func (in *Injector) Partitioned(from, to memsim.MachineID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := in.now()
+	for _, p := range in.parts {
+		if p.From == from && p.To == to &&
+			now >= p.After && (p.Until == 0 || now < p.Until) {
+			return true
+		}
+	}
+	return false
 }
 
 // Injected reports how many faults were injected at one site.

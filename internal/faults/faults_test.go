@@ -36,6 +36,10 @@ func (f *fakeTransport) ReadPages(m *simtime.Meter, target memsim.MachineID, req
 	return f.op()
 }
 
+func (f *fakeTransport) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	return f.op()
+}
+
 func (f *fakeTransport) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
 	return []byte("ok"), f.op()
 }
@@ -208,5 +212,45 @@ func TestFaultFabricDialFaultLeavesPeerUncontacted(t *testing.T) {
 	// (and succeeds, the rule being exhausted).
 	if err := ft.Read(m, 1, 0, 0, nil); err != nil {
 		t.Fatalf("redial failed: %v", err)
+	}
+}
+
+// TestRetryFastFailsOnCrashedMachine: an operation aimed at a machine the
+// plan has already crashed must fail immediately with ErrMachineCrashed —
+// no attempts against the dead peer, no backoff budget burned on CatRetry,
+// and no injector PRNG draws consumed (crash checks are draw-free, so the
+// downstream fault sequence is unchanged).
+func TestRetryFastFailsOnCrashedMachine(t *testing.T) {
+	plan := Plan{
+		Seed:    42,
+		Rules:   []Rule{{Site: SiteRDMARead, Target: AnyMachine, Prob: 1.0}},
+		Crashes: []Crash{{Machine: 1, At: 0}},
+	}
+	in := NewInjector(plan, nil)
+	inner := &fakeTransport{owner: 0}
+	rt := WithRetry(Wrap(inner, in), RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * simtime.Microsecond})
+	m := simtime.NewMeter()
+
+	for i := 0; i < 5; i++ {
+		if err := rt.Read(m, 1, 0, 0, nil); !errors.Is(err, memsim.ErrMachineCrashed) {
+			t.Fatalf("read of crashed machine: %v", err)
+		}
+	}
+	if inner.calls != 0 {
+		t.Fatalf("crashed-machine reads reached the inner transport %d times", inner.calls)
+	}
+	if rt.Retries() != 0 {
+		t.Fatalf("retried a permanently crashed machine %d times", rt.Retries())
+	}
+	if got := m.Get(simtime.CatRetry); got != 0 {
+		t.Fatalf("burned %v of backoff budget on a crashed machine", got)
+	}
+	if in.Total() != 0 {
+		t.Fatalf("crash fast-fail fired %d injected faults", in.Total())
+	}
+	// The prob-1.0 rule never drew: the injector's future fault sequence is
+	// identical to a fresh injector's.
+	if got, want := faultPattern(in, 50), faultPattern(NewInjector(plan, nil), 50); got != want {
+		t.Fatalf("crash checks consumed PRNG draws:\n got %s\nwant %s", got, want)
 	}
 }

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// JSON plan format (cmd/rmmap-chaos -plan). Sites are named ("rdma-read",
+// "doorbell", "rpc", "tcp-dial", "tcp-roundtrip", "rdma-write"), times are
+// Go duration strings measured from virtual time 0, and machine -1 (or an
+// omitted target) means any machine. Example:
+//
+//	{
+//	  "seed": 20260805,
+//	  "rules": [{"site": "rpc", "endpoint": "rmmap.auth", "prob": 0.2,
+//	             "after": "100us", "until": "2ms", "max": 4}],
+//	  "crashes": [{"machine": 1, "at": "1.2ms"}],
+//	  "partitions": [{"from": 2, "to": 0, "after": "500us", "until": "1ms"}]
+//	}
+type planJSON struct {
+	Seed       uint64          `json:"seed"`
+	Rules      []ruleJSON      `json:"rules,omitempty"`
+	Crashes    []crashJSON     `json:"crashes,omitempty"`
+	Partitions []partitionJSON `json:"partitions,omitempty"`
+}
+
+type ruleJSON struct {
+	Site     string  `json:"site"`
+	Target   *int    `json:"target,omitempty"` // nil = any machine
+	Endpoint string  `json:"endpoint,omitempty"`
+	Prob     float64 `json:"prob"`
+	After    string  `json:"after,omitempty"`
+	Until    string  `json:"until,omitempty"`
+	Max      int     `json:"max,omitempty"`
+}
+
+type crashJSON struct {
+	Machine int    `json:"machine"`
+	At      string `json:"at"`
+}
+
+type partitionJSON struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	After string `json:"after,omitempty"`
+	Until string `json:"until,omitempty"`
+}
+
+func siteByName(name string) (Site, error) {
+	for s, n := range siteNames {
+		if n == name {
+			return Site(s), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown site %q", name)
+}
+
+// parseAt parses a Go duration string into a virtual-time instant measured
+// from 0; "" means 0.
+func parseAt(s string) (simtime.Time, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad duration %q: %w", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("faults: negative duration %q", s)
+	}
+	return simtime.Time(d.Nanoseconds()), nil
+}
+
+// ParsePlan decodes a JSON fault plan.
+func ParsePlan(data []byte) (Plan, error) {
+	var pj planJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return Plan{}, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	p := Plan{Seed: pj.Seed}
+	for i, rj := range pj.Rules {
+		site, err := siteByName(rj.Site)
+		if err != nil {
+			return Plan{}, fmt.Errorf("rule %d: %w", i, err)
+		}
+		if site == SitePartition {
+			return Plan{}, fmt.Errorf("rule %d: partitions are schedules, not rules — use \"partitions\"", i)
+		}
+		if rj.Prob < 0 || rj.Prob > 1 {
+			return Plan{}, fmt.Errorf("rule %d: prob %v outside [0,1]", i, rj.Prob)
+		}
+		r := Rule{Site: site, Target: AnyMachine, Endpoint: rj.Endpoint, Prob: rj.Prob, Max: rj.Max}
+		if rj.Target != nil {
+			r.Target = memsim.MachineID(*rj.Target)
+		}
+		if r.After, err = parseAt(rj.After); err != nil {
+			return Plan{}, fmt.Errorf("rule %d: %w", i, err)
+		}
+		if r.Until, err = parseAt(rj.Until); err != nil {
+			return Plan{}, fmt.Errorf("rule %d: %w", i, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	for i, cj := range pj.Crashes {
+		at, err := parseAt(cj.At)
+		if err != nil {
+			return Plan{}, fmt.Errorf("crash %d: %w", i, err)
+		}
+		p.Crashes = append(p.Crashes, Crash{Machine: memsim.MachineID(cj.Machine), At: at})
+	}
+	for i, qj := range pj.Partitions {
+		var q Partition
+		var err error
+		q.From = memsim.MachineID(qj.From)
+		q.To = memsim.MachineID(qj.To)
+		if q.After, err = parseAt(qj.After); err != nil {
+			return Plan{}, fmt.Errorf("partition %d: %w", i, err)
+		}
+		if q.Until, err = parseAt(qj.Until); err != nil {
+			return Plan{}, fmt.Errorf("partition %d: %w", i, err)
+		}
+		p.Partitions = append(p.Partitions, q)
+	}
+	return p, nil
+}
+
+// LoadPlan reads and parses a JSON fault plan from path.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	return ParsePlan(data)
+}

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestParsePlanFull(t *testing.T) {
+	data := []byte(`{
+		"seed": 20260805,
+		"rules": [
+			{"site": "rpc", "endpoint": "rmmap.auth", "prob": 0.2, "after": "100us", "until": "2ms", "max": 4},
+			{"site": "rdma-read", "target": 1, "prob": 0.5}
+		],
+		"crashes": [{"machine": 1, "at": "1.2ms"}],
+		"partitions": [{"from": 2, "to": 0, "after": "500us", "until": "1ms"}]
+	}`)
+	p, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 20260805 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Site != SiteRPC || r.Endpoint != "rmmap.auth" || r.Prob != 0.2 || r.Max != 4 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r.After != simtime.Time(100*simtime.Microsecond) || r.Until != simtime.Time(2*simtime.Millisecond) {
+		t.Errorf("rule 0 window = [%v, %v]", r.After, r.Until)
+	}
+	if p.Rules[0].Target != AnyMachine {
+		t.Errorf("omitted target = %d, want AnyMachine", p.Rules[0].Target)
+	}
+	if p.Rules[1].Target != 1 || p.Rules[1].Site != SiteRDMARead {
+		t.Errorf("rule 1 = %+v", p.Rules[1])
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0].Machine != 1 ||
+		p.Crashes[0].At != simtime.Time(1200*simtime.Microsecond) {
+		t.Errorf("crashes = %+v", p.Crashes)
+	}
+	if len(p.Partitions) != 1 {
+		t.Fatalf("partitions = %d, want 1", len(p.Partitions))
+	}
+	q := p.Partitions[0]
+	if q.From != 2 || q.To != 0 || q.After != simtime.Time(500*simtime.Microsecond) ||
+		q.Until != simtime.Time(1*simtime.Millisecond) {
+		t.Errorf("partition = %+v", q)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad json", `{`, "parse plan"},
+		{"unknown site", `{"rules":[{"site":"quantum","prob":0.5}]}`, "unknown site"},
+		{"partition as rule", `{"rules":[{"site":"partition","prob":0.5}]}`, "partitions are schedules"},
+		{"prob range", `{"rules":[{"site":"rpc","prob":1.5}]}`, "outside [0,1]"},
+		{"bad duration", `{"crashes":[{"machine":0,"at":"soon"}]}`, "bad duration"},
+		{"negative duration", `{"partitions":[{"from":0,"to":1,"until":"-5us"}]}`, "negative duration"},
+	}
+	for _, tc := range cases {
+		_, err := ParsePlan([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 7, "crashes": [{"machine": 2, "at": "10us"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Crashes) != 1 || p.Crashes[0].Machine != 2 {
+		t.Errorf("plan = %+v", p)
+	}
+	if _, err := LoadPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

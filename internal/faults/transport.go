@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"fmt"
+
 	"rmmap/internal/memsim"
 	"rmmap/internal/rdma"
 	"rmmap/internal/simtime"
@@ -18,6 +20,13 @@ type callCatTransport interface {
 // the kernel's readahead stays attributed through chaos transports.
 type readPagesCatTransport interface {
 	ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageRead) error
+}
+
+// writePagesCatTransport is the optional interface for category-attributed
+// write batches (see rdma.NIC.WritePagesCat); preserved so replication
+// pushes stay attributed to CatReplicate through chaos transports.
+type writePagesCatTransport interface {
+	WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageWrite) error
 }
 
 // FaultFabric wraps an rdma.Transport and consults an Injector before every
@@ -42,9 +51,23 @@ func (f *FaultFabric) Owner() memsim.MachineID { return f.inner.Owner() }
 
 // gate runs the connection-level checks shared by every remote operation.
 // A dial fault leaves the target uncontacted, so the next attempt redials.
+//
+// Order matters: the deterministic checks (crash schedule, partition
+// windows) run before any probabilistic rule so that (a) operations
+// against a permanently dead machine fail fast with the terminal
+// ErrMachineCrashed instead of burning the retry budget on injected
+// transients that can never clear, and (b) neither check perturbs the
+// PRNG draw sequence of the probabilistic rules.
 func (f *FaultFabric) gate(target memsim.MachineID) error {
 	if target == f.inner.Owner() {
 		return nil
+	}
+	if f.inj.CrashedNow(target) {
+		return fmt.Errorf("faults: operation against crashed machine %d: %w",
+			target, memsim.ErrMachineCrashed)
+	}
+	if err := f.inj.CheckPartition(f.inner.Owner(), target); err != nil {
+		return err
 	}
 	if !f.contacted[target] {
 		if err := f.inj.Check(SiteTCPDial, target, ""); err != nil {
@@ -95,6 +118,36 @@ func (f *FaultFabric) ReadPagesCat(m *simtime.Meter, cat simtime.Category, targe
 		return rp.ReadPagesCat(m, cat, target, reqs)
 	}
 	return f.inner.ReadPages(m, target, reqs)
+}
+
+// WritePages implements rdma.Transport.
+func (f *FaultFabric) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	if err := f.gate(target); err != nil {
+		return err
+	}
+	if target != f.inner.Owner() {
+		if err := f.inj.Check(SiteRDMAWrite, target, ""); err != nil {
+			return err
+		}
+	}
+	return f.inner.WritePages(m, target, reqs)
+}
+
+// WritePagesCat forwards category-attributed write batches through the
+// same gates.
+func (f *FaultFabric) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	if err := f.gate(target); err != nil {
+		return err
+	}
+	if target != f.inner.Owner() {
+		if err := f.inj.Check(SiteRDMAWrite, target, ""); err != nil {
+			return err
+		}
+	}
+	if wp, ok := f.inner.(writePagesCatTransport); ok {
+		return wp.WritePagesCat(m, cat, target, reqs)
+	}
+	return f.inner.WritePages(m, target, reqs)
 }
 
 // Call implements rdma.Transport.
@@ -223,6 +276,23 @@ func (r *RetryTransport) ReadPagesCat(m *simtime.Meter, cat simtime.Category, ta
 			return rp.ReadPagesCat(m, cat, target, reqs)
 		}
 		return r.inner.ReadPages(m, target, reqs)
+	})
+}
+
+// WritePages implements rdma.Transport.
+func (r *RetryTransport) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	return r.do(m, func() error { return r.inner.WritePages(m, target, reqs) })
+}
+
+// WritePagesCat forwards category-attributed write batches with the retry
+// policy.
+func (r *RetryTransport) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	wp, ok := r.inner.(writePagesCatTransport)
+	return r.do(m, func() error {
+		if ok {
+			return wp.WritePagesCat(m, cat, target, reqs)
+		}
+		return r.inner.WritePages(m, target, reqs)
 	})
 }
 

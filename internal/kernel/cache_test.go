@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"rmmap/internal/memsim"
@@ -291,5 +292,93 @@ func TestDeregisterBumpsGeneration(t *testing.T) {
 	}
 	if string(got) != "generation-two!!" {
 		t.Errorf("stale cache hit across deregister: %q", got)
+	}
+}
+
+// TestFailoverKeepsCachedFrames: frames cached from a producer that later
+// crashed stay valid hits for a failed-over consumer — generation fencing
+// (the replica serves the same generation) keeps them honest, so failover
+// costs zero extra fabric reads for already-cached pages.
+func TestFailoverKeepsCachedFrames(t *testing.T) {
+	c := newCluster(t, 3)
+	c.enableCaches(64<<20, 0)
+	s := c.withSim()
+	c.kernels[0].EnableReplication([]memsim.MachineID{1}, s.After)
+
+	const start, end = uint64(0x100000), uint64(0x104000) // 4 pages
+	_, meta := producerSetup(t, c, 0, start, end, []byte("cached-failover!"))
+	s.Run()
+
+	// First consumer on machine 2 pulls every page into m2's cache.
+	cons1 := c.newAS(2)
+	mp1, err := c.kernels[2].RmapMeta(cons1, meta, 0, PagingRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readAll(t, cons1, start, end)
+	if mp1.FailedOver() {
+		t.Fatal("healthy rmap failed over")
+	}
+
+	// Producer dies. The platform retains cached pages when replication is
+	// on; at kernel level nothing invalidates, matching that policy.
+	c.machines[0].Crash()
+
+	cons2 := c.newAS(2)
+	mp2, err := c.kernels[2].RmapMeta(cons2, meta, 0, PagingRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp2.FailedOver() {
+		t.Fatal("rmap of dead producer did not fail over")
+	}
+	hitsBefore := c.kernels[2].CacheStats().Hits
+	before := c.fabricPages(t)
+	got := readAll(t, cons2, start, end)
+	if !bytes.Equal(got, want) {
+		t.Fatal("failed-over consumer read different bytes")
+	}
+	if moved := c.fabricPages(t) - before; moved != 0 {
+		t.Fatalf("failed-over reads moved %d pages despite warm cache", moved)
+	}
+	if hits := c.kernels[2].CacheStats().Hits - hitsBefore; hits != 4 {
+		t.Fatalf("cache hits after failover = %d, want 4", hits)
+	}
+}
+
+// TestLeaseExpiryBroadcastInvalidation: wiring OnLeaseExpired to the page
+// cache drops a suspect machine's cached frames exactly like the
+// OnDeregister broadcast does for reclaimed ones.
+func TestLeaseExpiryBroadcastInvalidation(t *testing.T) {
+	c := newCluster(t, 2)
+	c.enableCaches(64<<20, 0)
+	k := c.kernels[1]
+	var now simtime.Time
+	k.Clock = func() simtime.Time { return now }
+	k.EnableLeases(100 * simtime.Microsecond)
+	k.OnLeaseExpired = func(peer memsim.MachineID) {
+		k.PageCache().InvalidateMachine(peer)
+	}
+
+	const start, end = uint64(0x100000), uint64(0x104000)
+	_, meta := producerSetup(t, c, 0, start, end, []byte("lease-cached-pg!"))
+	cons := c.newAS(1)
+	if _, err := k.Rmap(cons, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End); err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, cons, start, end)
+	if k.PageCache().Len() != 4 {
+		t.Fatalf("cache holds %d pages, want 4", k.PageCache().Len())
+	}
+
+	now = simtime.Time(200 * simtime.Microsecond)
+	k.ProbeFailed(0, errors.New("probe timeout"))
+	if k.PageCache().Len() != 0 {
+		t.Fatalf("lease expiry left %d pages cached", k.PageCache().Len())
+	}
+	// The expiry fired once; a repeat failure must not re-broadcast.
+	k.ProbeFailed(0, errors.New("probe timeout"))
+	if k.LeaseExpiries() != 1 {
+		t.Fatalf("lease expiries = %d, want 1", k.LeaseExpiries())
 	}
 }

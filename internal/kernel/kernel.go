@@ -39,12 +39,35 @@ const DeregEndpoint = "rmmap.dereg"
 // Fig 15 "no RDMA" ablation, which pays messaging-style costs per page.
 const PageEndpoint = "rmmap.page"
 
+// LeaseEndpoint serves failure-detector probes: a successful roundtrip
+// renews the caller's lease on this machine and returns its current
+// registration generation.
+const LeaseEndpoint = "rmmap.lease"
+
+// Replica endpoints (see replica.go): prepare allocates backup frames for
+// a registration, commit advances the replication watermark, drop frees a
+// replica, and auth serves the consumer-side failover page table.
+const (
+	ReplPrepareEndpoint = "rmmap.replprep"
+	ReplCommitEndpoint  = "rmmap.replcommit"
+	ReplDropEndpoint    = "rmmap.repldrop"
+	ReplicaEndpoint     = "rmmap.replica"
+)
+
 // Errors.
 var (
 	ErrAuth          = errors.New("kernel: authentication failed")
 	ErrDenied        = errors.New("kernel: consumer not permitted by registration ACL")
 	ErrNotRegistered = errors.New("kernel: memory not registered")
 	ErrRangeOutside  = errors.New("kernel: requested range outside registration")
+	// ErrStaleGeneration fences split-brain reads: a consumer revalidating
+	// an expired lease found the producer serving a different registration
+	// generation, so its mapping (and any cached frames under the old
+	// generation) must not be read again.
+	ErrStaleGeneration = errors.New("kernel: registration generation changed under an expired lease")
+	// ErrReplicaIncomplete refuses failover to a backup whose replication
+	// watermark never reached the registration's full page count.
+	ErrReplicaIncomplete = errors.New("kernel: replica watermark incomplete")
 )
 
 // VMMeta describes a successful registration; the producer ships it (via
@@ -56,6 +79,10 @@ type VMMeta struct {
 	Start, End uint64
 	// Pages is the number of present (shadowed) pages registered.
 	Pages int
+	// Backups lists the machines this registration is asynchronously
+	// replicated to (empty without replication); consumers fail over to
+	// them when the producer machine dies.
+	Backups []memsim.MachineID
 }
 
 type regKey struct {
@@ -78,6 +105,9 @@ type regEntry struct {
 	// allowed is the connection-based permission list (§4.1, following
 	// MITOSIS): non-nil restricts rmap to the listed consumer IDs.
 	allowed map[FuncID]struct{}
+	// backups snapshots the kernel's replication targets at register time;
+	// it travels in the auth response so consumers can fail over.
+	backups []memsim.MachineID
 }
 
 // Kernel is one machine's RMMAP kernel module.
@@ -107,6 +137,38 @@ type Kernel struct {
 	// platform broadcasts it to every machine's page cache
 	// (InvalidateBelow) so reclaimed producer frames drop out everywhere.
 	OnDeregister func(producer memsim.MachineID, below uint64)
+
+	// --- Leases (failure detector state; see lease.go) ---
+
+	// leaseTTL > 0 enables the lease table: peers not successfully probed
+	// within the TTL become suspect and reads must revalidate.
+	leaseTTL      simtime.Duration
+	leases        map[memsim.MachineID]*leaseState
+	hbMeter       *simtime.Meter
+	leaseExpiries int64
+	// OnPeerDead, when set, fires once when a probe proves a peer machine
+	// crashed (terminal, unlike an expiry).
+	OnPeerDead func(peer memsim.MachineID)
+	// OnLeaseExpired, when set, fires once per peer when its lease ages
+	// out without crash evidence; the platform broadcasts page-cache
+	// invalidation exactly like OnDeregister.
+	OnLeaseExpired func(peer memsim.MachineID)
+
+	// --- Replication (producer + backup roles; see replica.go) ---
+
+	// replBackups lists this kernel's backup machines; non-empty enables
+	// async replication of every registration.
+	replBackups []memsim.MachineID
+	// replSched schedules deferred work in virtual time (the platform
+	// wires Sim.After); replication is inert without it.
+	replSched func(d simtime.Duration, fn func())
+	replMeter *simtime.Meter
+	// replicatedBytes counts page bytes this kernel pushed to backups.
+	replicatedBytes int64
+	// replicas holds registrations this machine backs up for peers.
+	replicas map[replicaKey]*replicaEntry
+	// failovers counts consumer-side mapping re-points to a replica.
+	failovers int64
 }
 
 // New returns a kernel for machine m whose remote operations go through t.
@@ -200,10 +262,16 @@ func (k *Kernel) RegisterMem(as *memsim.AddressSpace, id FuncID, key Key, start,
 		}
 		k.memGen++
 	}
-	k.regs[rk] = &regEntry{start: start, end: end, snapshot: snap, registeredAt: k.now(), gen: k.memGen}
+	e := &regEntry{
+		start: start, end: end, snapshot: snap, registeredAt: k.now(),
+		gen: k.memGen, backups: append([]memsim.MachineID(nil), k.replBackups...),
+	}
+	k.regs[rk] = e
+	k.scheduleReplicationLocked(rk, e)
 	return VMMeta{
 		Machine: k.machine.ID(), ID: id, Key: key,
 		Start: start, End: end, Pages: len(snap),
+		Backups: append([]memsim.MachineID(nil), e.backups...),
 	}, nil
 }
 
@@ -253,6 +321,7 @@ func (k *Kernel) DeregisterMem(id FuncID, key Key) error {
 	if k.OnDeregister != nil {
 		k.OnDeregister(k.machine.ID(), e.gen+1)
 	}
+	k.scheduleReplicaDrop(id, key, e.backups)
 	return nil
 }
 
@@ -297,6 +366,11 @@ func (k *Kernel) ServeRPC(f *rdma.SimFabric) {
 	f.HandleFunc(k.machine.ID(), AuthEndpoint, k.handleAuth)
 	f.HandleFunc(k.machine.ID(), DeregEndpoint, k.handleDereg)
 	f.HandleFunc(k.machine.ID(), PageEndpoint, k.handlePage)
+	f.HandleFunc(k.machine.ID(), LeaseEndpoint, k.handleLease)
+	f.HandleFunc(k.machine.ID(), ReplPrepareEndpoint, k.handleReplPrepare)
+	f.HandleFunc(k.machine.ID(), ReplCommitEndpoint, k.handleReplCommit)
+	f.HandleFunc(k.machine.ID(), ReplDropEndpoint, k.handleReplDrop)
+	f.HandleFunc(k.machine.ID(), ReplicaEndpoint, k.handleReplicaAuth)
 }
 
 // ServeTCP registers this kernel's endpoints on a TCP server.
@@ -304,10 +378,16 @@ func (k *Kernel) ServeTCP(s *rdma.TCPServer) {
 	s.HandleFunc(AuthEndpoint, k.handleAuth)
 	s.HandleFunc(DeregEndpoint, k.handleDereg)
 	s.HandleFunc(PageEndpoint, k.handlePage)
+	s.HandleFunc(LeaseEndpoint, k.handleLease)
+	s.HandleFunc(ReplPrepareEndpoint, k.handleReplPrepare)
+	s.HandleFunc(ReplCommitEndpoint, k.handleReplCommit)
+	s.HandleFunc(ReplDropEndpoint, k.handleReplDrop)
+	s.HandleFunc(ReplicaEndpoint, k.handleReplicaAuth)
 }
 
 // auth request: id u64 | key u64 | start u64 | end u64 | consumer u64
-// auth response: count u32 | gen u64 | count × (vpn u64, pfn u64)
+// auth response: count u32 | gen u64 | nback u16 | nback × (mac u64) |
+// count × (vpn u64, pfn u64)
 func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
 	if len(req) != 40 {
 		return nil, fmt.Errorf("kernel: bad auth request")
@@ -337,7 +417,12 @@ func (k *Kernel) handleAuth(m *simtime.Meter, req []byte) ([]byte, error) {
 	if full && e.respCache != nil {
 		return e.respCache, nil
 	}
-	resp := make([]byte, 12, 12+16*len(e.snapshot))
+	hdr := 14 + 8*len(e.backups)
+	resp := make([]byte, hdr, hdr+16*len(e.snapshot))
+	binary.LittleEndian.PutUint16(resp[12:], uint16(len(e.backups)))
+	for i, b := range e.backups {
+		binary.LittleEndian.PutUint64(resp[14+8*i:], uint64(b))
+	}
 	count := 0
 	for vpn, pfn := range e.snapshot {
 		if vpn.Base() >= start && vpn.Base() < end {

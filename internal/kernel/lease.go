@@ -1,0 +1,207 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// Lease-based liveness (§6 fault tolerance extension).
+//
+// Every kernel holds a soft-state lease per peer machine, renewed by
+// periodic heartbeat probes (the platform drives them on the simulator).
+// Three peer states fall out:
+//
+//	fresh   — a probe succeeded within the TTL; reads proceed untouched.
+//	suspect — the lease aged out without crash evidence (a partition, an
+//	          overloaded peer). Reads must revalidate: re-auth the specific
+//	          registration and fence on generation equality. A generation
+//	          mismatch is ErrStaleGeneration — terminal, because frames of
+//	          the old generation may already be reclaimed or reused.
+//	dead    — a probe (or any RPC) returned ErrMachineCrashed. Terminal;
+//	          consumers fail over to a replica proactively instead of
+//	          discovering the crash on the read path.
+type leaseState struct {
+	expires simtime.Time
+	dead    bool
+	// expired marks that OnLeaseExpired already fired for this aging-out,
+	// so the broadcast happens once per expiry, like OnDeregister.
+	expired bool
+}
+
+// EnableLeases turns on the lease table with the given TTL (≤ 0 disables).
+func (k *Kernel) EnableLeases(ttl simtime.Duration) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if ttl <= 0 {
+		k.leaseTTL = 0
+		k.leases = nil
+		return
+	}
+	k.leaseTTL = ttl
+	if k.leases == nil {
+		k.leases = make(map[memsim.MachineID]*leaseState)
+	}
+	if k.hbMeter == nil {
+		k.hbMeter = simtime.NewMeter()
+	}
+}
+
+// LeasesEnabled reports whether the lease table is active.
+func (k *Kernel) LeasesEnabled() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.leaseTTL > 0
+}
+
+// HeartbeatMeter exposes the background meter heartbeat probes charge
+// (CatHeartbeat); nil until leases are enabled.
+func (k *Kernel) HeartbeatMeter() *simtime.Meter { return k.hbMeter }
+
+// LeaseExpiries counts leases that aged out without crash evidence.
+func (k *Kernel) LeaseExpiries() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.leaseExpiries
+}
+
+// Failovers counts consumer mappings this kernel re-pointed at a replica.
+func (k *Kernel) Failovers() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.failovers
+}
+
+func (k *Kernel) lease(peer memsim.MachineID) *leaseState {
+	st, ok := k.leases[peer]
+	if !ok {
+		st = &leaseState{}
+		k.leases[peer] = st
+	}
+	return st
+}
+
+// RenewLease marks a successful probe of peer: its lease is fresh for
+// another TTL and any suspect state clears (death does not).
+func (k *Kernel) RenewLease(peer memsim.MachineID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.leaseTTL <= 0 {
+		return
+	}
+	st := k.lease(peer)
+	if st.dead {
+		return
+	}
+	st.expires = k.now() + simtime.Time(k.leaseTTL)
+	st.expired = false
+}
+
+// ProbeFailed records a failed probe of peer. ErrMachineCrashed proves
+// death (OnPeerDead fires once); any other failure merely lets the lease
+// age — when it passes the TTL the peer becomes suspect and
+// OnLeaseExpired fires once per expiry.
+func (k *Kernel) ProbeFailed(peer memsim.MachineID, err error) {
+	k.mu.Lock()
+	if k.leaseTTL <= 0 {
+		k.mu.Unlock()
+		return
+	}
+	st := k.lease(peer)
+	if st.dead {
+		k.mu.Unlock()
+		return
+	}
+	if errors.Is(err, memsim.ErrMachineCrashed) {
+		st.dead = true
+		cb := k.OnPeerDead
+		k.mu.Unlock()
+		if cb != nil {
+			cb(peer)
+		}
+		return
+	}
+	if !st.expired && k.now() >= st.expires {
+		st.expired = true
+		k.leaseExpiries++
+		cb := k.OnLeaseExpired
+		k.mu.Unlock()
+		if cb != nil {
+			cb(peer)
+		}
+		return
+	}
+	k.mu.Unlock()
+}
+
+// PeerDead reports whether a probe proved peer crashed.
+func (k *Kernel) PeerDead(peer memsim.MachineID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.leaseTTL <= 0 {
+		return false
+	}
+	st, ok := k.leases[peer]
+	return ok && st.dead
+}
+
+// LeaseSuspect reports whether peer's lease has aged out without crash
+// evidence (reads must revalidate before trusting the mapping).
+func (k *Kernel) LeaseSuspect(peer memsim.MachineID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.leaseTTL <= 0 {
+		return false
+	}
+	st, ok := k.leases[peer]
+	return ok && !st.dead && st.expired
+}
+
+// Heartbeat probes peer once on this kernel's transport, charging the
+// background heartbeat meter under CatHeartbeat, and updates the lease
+// table from the outcome. The platform's failure detector calls it every
+// HeartbeatPeriod; kernel tests may drive it by hand.
+func (k *Kernel) Heartbeat(peer memsim.MachineID) error {
+	k.mu.Lock()
+	m := k.hbMeter
+	enabled := k.leaseTTL > 0
+	k.mu.Unlock()
+	if !enabled || peer == k.machine.ID() {
+		return nil
+	}
+	_, err := k.callCat(m, simtime.CatHeartbeat, peer, LeaseEndpoint, nil)
+	if err != nil {
+		k.ProbeFailed(peer, err)
+		return err
+	}
+	k.RenewLease(peer)
+	return nil
+}
+
+// lease response: gen u64 — the probed machine's current registration
+// generation, proof of liveness and a cheap staleness hint.
+func (k *Kernel) handleLease(m *simtime.Meter, req []byte) ([]byte, error) {
+	if k.machine.Crashed() {
+		return nil, fmt.Errorf("%w: machine %d", memsim.ErrMachineCrashed, k.machine.ID())
+	}
+	k.mu.Lock()
+	gen := k.memGen
+	k.mu.Unlock()
+	resp := make([]byte, 8)
+	binary.LittleEndian.PutUint64(resp, gen)
+	return resp, nil
+}
+
+// callCat routes an RPC through the transport's category-attributed fast
+// path when available (preserved by the chaos wrappers).
+func (k *Kernel) callCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	if cc, ok := k.transport.(interface {
+		CallCat(*simtime.Meter, simtime.Category, memsim.MachineID, string, []byte) ([]byte, error)
+	}); ok {
+		return cc.CallCat(m, cat, target, endpoint, req)
+	}
+	return k.transport.Call(m, target, endpoint, req)
+}

@@ -59,6 +59,19 @@ type Mapping struct {
 	// entries for this mapping's pages.
 	gen uint64
 
+	// Failover state. target stays the LOGICAL producer — it keys the page
+	// cache, so entries fetched before a crash remain valid hits after —
+	// while readTarget is the machine fabric reads actually go to. After a
+	// failover readTarget is a backup and physPT maps vpn → backup frame;
+	// until then physPT is nil and reads use remotePT on readTarget.
+	id         FuncID
+	key        Key
+	consumer   FuncID
+	backups    []memsim.MachineID
+	readTarget memsim.MachineID
+	physPT     map[memsim.VPN]memsim.PFN
+	failedOver bool
+
 	// Adaptive readahead state: raWindow is the current window in pages
 	// (doubled on sequential faults, reset to 1 on a stride break, capped
 	// at Kernel.raMax); raNext is the predicted next sequential fault.
@@ -84,10 +97,35 @@ func (k *Kernel) RmapMode(as *memsim.AddressSpace, mac memsim.MachineID, id Func
 // the registration's ACL (connection-based permission control, §4.1).
 // Consumer 0 is anonymous and passes only ACL-free registrations.
 func (k *Kernel) RmapAs(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID, key Key, start, end uint64, consumer FuncID, mode PagingMode) (*Mapping, error) {
+	return k.rmapFull(as, mac, id, key, start, end, consumer, mode, nil)
+}
+
+// RmapMeta is RmapAs driven by a registration's VMMeta, which carries the
+// backup machine list: with it the consumer can fail over to a replica
+// even when the producer is already dead at rmap time (the auth RPC that
+// would have named the backups can no longer be answered).
+func (k *Kernel) RmapMeta(as *memsim.AddressSpace, meta VMMeta, consumer FuncID, mode PagingMode) (*Mapping, error) {
+	return k.rmapFull(as, meta.Machine, meta.ID, meta.Key, meta.Start, meta.End, consumer, mode, meta.Backups)
+}
+
+func (k *Kernel) rmapFull(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID, key Key, start, end uint64, consumer FuncID, mode PagingMode, backups []memsim.MachineID) (*Mapping, error) {
 	if as.Machine() != k.machine {
 		return nil, fmt.Errorf("kernel: address space not on machine %d", k.machine.ID())
 	}
 	meter := as.Meter()
+
+	mp := &Mapping{k: k, as: as, target: mac, Start: start, End: end, mode: mode,
+		id: id, key: key, consumer: consumer, readTarget: mac,
+		backups: append([]memsim.MachineID(nil), backups...)}
+
+	// A lease that already proved the producer dead skips the doomed auth
+	// RPC and goes straight to a replica.
+	if mode == PagingRDMA && len(mp.backups) > 0 && k.PeerDead(mac) {
+		if err := mp.failover(meter); err != nil {
+			return nil, err
+		}
+		return mp.finish(meter)
+	}
 
 	// Auth RPC, piggybacking the page-table fetch (§4.1 Fig 8 step 2).
 	req := make([]byte, 40)
@@ -98,33 +136,177 @@ func (k *Kernel) RmapAs(as *memsim.AddressSpace, mac memsim.MachineID, id FuncID
 	binary.LittleEndian.PutUint64(req[32:], uint64(consumer))
 	resp, err := k.transport.Call(meter, mac, AuthEndpoint, req)
 	if err != nil {
+		if mode == PagingRDMA && len(mp.backups) > 0 && errors.Is(err, memsim.ErrMachineCrashed) {
+			k.ProbeFailed(mac, err)
+			if ferr := mp.failover(meter); ferr != nil {
+				return nil, ferr
+			}
+			return mp.finish(meter)
+		}
 		return nil, err
 	}
-	if len(resp) < 12 {
+	if len(resp) < 14 {
 		return nil, fmt.Errorf("kernel: bad auth response")
 	}
 	count := int(binary.LittleEndian.Uint32(resp))
 	gen := binary.LittleEndian.Uint64(resp[4:])
-	if len(resp) != 12+16*count {
+	nback := int(binary.LittleEndian.Uint16(resp[12:]))
+	hdr := 14 + 8*nback
+	if len(resp) != hdr+16*count {
 		return nil, fmt.Errorf("kernel: bad auth response length")
+	}
+	if nback > 0 {
+		// The producer's own backup list is authoritative.
+		mp.backups = make([]memsim.MachineID, nback)
+		for i := 0; i < nback; i++ {
+			mp.backups[i] = memsim.MachineID(binary.LittleEndian.Uint64(resp[14+8*i:]))
+		}
 	}
 	pt := make(map[memsim.VPN]memsim.PFN, count)
 	for i := 0; i < count; i++ {
-		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[12+i*16:]))
-		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[12+i*16+8:]))
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[hdr+i*16:]))
+		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[hdr+i*16+8:]))
 		pt[vpn] = pfn
 	}
+	mp.remotePT = pt
+	mp.gen = gen
+	return mp.finish(meter)
+}
 
-	mp := &Mapping{k: k, as: as, target: mac, Start: start, End: end, remotePT: pt, mode: mode, gen: gen}
+// finish installs the remote-backed VMA once the page table (producer's or
+// a replica's) is in hand.
+func (mp *Mapping) finish(meter *simtime.Meter) (*Mapping, error) {
 	vma := &memsim.VMA{
-		Start: start, End: end, Kind: memsim.SegRmap, Writable: true,
+		Start: mp.Start, End: mp.End, Kind: memsim.SegRmap, Writable: true,
 		Fault: mp.fault,
 	}
-	if err := as.AddVMA(vma); err != nil {
+	if err := mp.as.AddVMA(vma); err != nil {
 		return nil, err
 	}
-	meter.Charge(simtime.CatMap, k.cm.VMACreate)
+	meter.Charge(simtime.CatMap, mp.k.cm.VMACreate)
 	return mp, nil
+}
+
+// failover re-points the mapping at the first backup holding a complete
+// replica of the registration. The mapping's logical identity — target
+// machine, producer frame numbers, generation — is untouched, so page-cache
+// entries fetched before the crash stay valid hits; only readTarget and the
+// physical page table change. Generation fencing applies: a replica of a
+// different generation than the one this mapping was authorized for is
+// useless (ErrStaleGeneration). When every backup fails, the returned error
+// wraps ErrMachineCrashed so the platform's ladder falls back to
+// re-execution.
+func (mp *Mapping) failover(meter *simtime.Meter) error {
+	var lastErr error = ErrReplicaIncomplete
+	for _, b := range mp.backups {
+		if b == mp.target {
+			continue
+		}
+		gen, complete, logical, phys, err := mp.k.replicaAuthCall(
+			meter, b, mp.target, mp.id, mp.key, mp.Start, mp.End, mp.consumer)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if mp.remotePT != nil && gen != mp.gen {
+			lastErr = ErrStaleGeneration
+			continue
+		}
+		if !complete {
+			lastErr = ErrReplicaIncomplete
+			continue
+		}
+		if mp.remotePT == nil {
+			// Rmap-time failover: the replica's view is the page table.
+			mp.remotePT = logical
+			mp.gen = gen
+		}
+		mp.physPT = phys
+		mp.readTarget = b
+		mp.failedOver = true
+		mp.k.mu.Lock()
+		mp.k.failovers++
+		mp.k.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("kernel: failover of [%#x,%#x) from machine %d failed (%w): %w",
+		mp.Start, mp.End, mp.target, lastErr, memsim.ErrMachineCrashed)
+}
+
+// tryFailover reacts to a failed fabric read: if the read target crashed
+// and a backup may hold a complete replica, re-point and tell the caller
+// to retry once.
+func (mp *Mapping) tryFailover(meter *simtime.Meter, err error) bool {
+	if mp.failedOver || mp.mode != PagingRDMA || len(mp.backups) == 0 {
+		return false
+	}
+	if !errors.Is(err, memsim.ErrMachineCrashed) {
+		return false
+	}
+	mp.k.ProbeFailed(mp.target, err)
+	return mp.failover(meter) == nil
+}
+
+// physPFN maps a vpn to the frame number to read over the fabric: the
+// backup's frame after a failover, the producer's otherwise.
+func (mp *Mapping) physPFN(vpn memsim.VPN) memsim.PFN {
+	if mp.physPT != nil {
+		return mp.physPT[vpn]
+	}
+	return mp.remotePT[vpn]
+}
+
+// ensureFresh applies the lease fence before trusting the mapping. A dead
+// producer triggers proactive failover (or a crash error, letting the
+// platform re-execute) instead of a doomed read; a suspect lease — aged
+// out with no crash evidence, e.g. a partition — revalidates the
+// registration's generation with the producer before any page is read. A
+// generation mismatch is terminal: frames of the old generation may
+// already be reclaimed or reused, so no read is attempted at all.
+func (mp *Mapping) ensureFresh(meter *simtime.Meter) error {
+	if mp.failedOver || !mp.k.LeasesEnabled() || mp.target == mp.as.Machine().ID() {
+		return nil
+	}
+	if mp.k.PeerDead(mp.target) {
+		if mp.mode == PagingRDMA && len(mp.backups) > 0 {
+			return mp.failover(meter)
+		}
+		return fmt.Errorf("kernel: producer machine %d dead: %w", mp.target, memsim.ErrMachineCrashed)
+	}
+	if mp.k.LeaseSuspect(mp.target) {
+		return mp.revalidate(meter)
+	}
+	return nil
+}
+
+// revalidate re-runs the auth RPC for a suspect producer and fences on
+// generation equality, charged to the heartbeat category on the
+// invocation's meter (it is liveness work, not paging work).
+func (mp *Mapping) revalidate(meter *simtime.Meter) error {
+	req := make([]byte, 40)
+	binary.LittleEndian.PutUint64(req, uint64(mp.id))
+	binary.LittleEndian.PutUint64(req[8:], uint64(mp.key))
+	binary.LittleEndian.PutUint64(req[16:], mp.Start)
+	binary.LittleEndian.PutUint64(req[24:], mp.End)
+	binary.LittleEndian.PutUint64(req[32:], uint64(mp.consumer))
+	resp, err := mp.k.callCat(meter, simtime.CatHeartbeat, mp.target, AuthEndpoint, req)
+	if err != nil {
+		mp.k.ProbeFailed(mp.target, err)
+		if errors.Is(err, memsim.ErrMachineCrashed) && mp.mode == PagingRDMA && len(mp.backups) > 0 {
+			return mp.failover(meter)
+		}
+		return err
+	}
+	if len(resp) < 14 {
+		return fmt.Errorf("kernel: bad auth response")
+	}
+	gen := binary.LittleEndian.Uint64(resp[4:])
+	if gen != mp.gen {
+		return fmt.Errorf("kernel: registration (%d,%d) on machine %d regenerated (gen %d, had %d): %w",
+			mp.id, mp.key, mp.target, gen, mp.gen, ErrStaleGeneration)
+	}
+	mp.k.RenewLease(mp.target)
+	return nil
 }
 
 // cacheable reports whether this mapping's pages go through the machine's
@@ -144,6 +326,9 @@ func (mp *Mapping) cacheable() bool {
 func (mp *Mapping) fault(as *memsim.AddressSpace, vaddr uint64, ft memsim.FaultType) error {
 	meter := as.Meter()
 	meter.Charge(simtime.CatFault, mp.k.cm.PageFault)
+	if err := mp.ensureFresh(meter); err != nil {
+		return err
+	}
 	vpn := memsim.PageOf(vaddr)
 	rpfn, remote := mp.remotePT[vpn]
 	if !remote {
@@ -206,11 +391,15 @@ func (mp *Mapping) collectWindow(vpn memsim.VPN, max int, useCache bool) []memsi
 	return window
 }
 
-// fetchSingle resolves one remote page with a single fabric read.
+// fetchSingle resolves one remote page with a single fabric read, failing
+// over to a replica and retrying once if the read target crashed.
 func (mp *Mapping) fetchSingle(meter *simtime.Meter, as *memsim.AddressSpace, vpn memsim.VPN, rpfn memsim.PFN, useCache bool) error {
 	local := as.Machine().AllocFrame()
 	buf := getPageBuf()
-	err := mp.readRemote(meter, rpfn, *buf)
+	err := mp.readRemote(meter, vpn, *buf)
+	if err != nil && mp.tryFailover(meter, err) {
+		err = mp.readRemote(meter, vpn, *buf)
+	}
 	if err == nil {
 		as.Machine().WriteFrame(local, 0, *buf)
 	}
@@ -228,15 +417,23 @@ func (mp *Mapping) fetchSingle(meter *simtime.Meter, as *memsim.AddressSpace, vp
 // doorbell-batched read, charged to the readahead category.
 func (mp *Mapping) fetchBatch(meter *simtime.Meter, as *memsim.AddressSpace, window []memsim.VPN, useCache bool) error {
 	mach := as.Machine()
-	reqs := make([]rdma.PageRead, len(window))
 	locals := make([]memsim.PFN, len(window))
 	bufs := make([]*[]byte, len(window))
-	for i, vpn := range window {
+	for i := range window {
 		locals[i] = mach.AllocFrame()
 		bufs[i] = getPageBuf()
-		reqs[i] = rdma.PageRead{PFN: mp.remotePT[vpn], Buf: *bufs[i]}
 	}
-	err := mp.readPages(meter, simtime.CatReadahead, reqs)
+	batch := func() []rdma.PageRead {
+		reqs := make([]rdma.PageRead, len(window))
+		for i, vpn := range window {
+			reqs[i] = rdma.PageRead{PFN: mp.physPFN(vpn), Buf: *bufs[i]}
+		}
+		return reqs
+	}
+	err := mp.readPages(meter, simtime.CatReadahead, batch())
+	if err != nil && mp.tryFailover(meter, err) {
+		err = mp.readPages(meter, simtime.CatReadahead, batch())
+	}
 	if err == nil {
 		for i := range window {
 			mach.WriteFrame(locals[i], 0, *bufs[i])
@@ -273,8 +470,14 @@ func (mp *Mapping) install(meter *simtime.Meter, as *memsim.AddressSpace, vpn me
 }
 
 // dropCrashed invalidates the producer machine's cache entries when a read
-// failed because that machine crashed — its frames are gone for good.
+// failed because that machine crashed and no replica could take over — its
+// frames are gone for good. After a successful failover the cached copies
+// remain the authoritative bytes of the dead producer's registration
+// (generation fencing keeps them honest), so they are kept.
 func (mp *Mapping) dropCrashed(err error) {
+	if mp.failedOver {
+		return
+	}
 	if mp.k.pcache != nil && errors.Is(err, memsim.ErrMachineCrashed) {
 		mp.k.pcache.InvalidateMachine(mp.target)
 	}
@@ -282,33 +485,24 @@ func (mp *Mapping) dropCrashed(err error) {
 
 func (mp *Mapping) readPages(meter *simtime.Meter, cat simtime.Category, reqs []rdma.PageRead) error {
 	if rp, ok := mp.k.transport.(readPagesCatTransport); ok {
-		return rp.ReadPagesCat(meter, cat, mp.target, reqs)
+		return rp.ReadPagesCat(meter, cat, mp.readTarget, reqs)
 	}
-	return mp.k.transport.ReadPages(meter, mp.target, reqs)
+	return mp.k.transport.ReadPages(meter, mp.readTarget, reqs)
 }
 
-func (mp *Mapping) readRemote(meter *simtime.Meter, pfn memsim.PFN, buf []byte) error {
+func (mp *Mapping) readRemote(meter *simtime.Meter, vpn memsim.VPN, buf []byte) error {
 	switch mp.mode {
 	case PagingRPC:
 		req := make([]byte, 8)
-		binary.LittleEndian.PutUint64(req, uint64(pfn))
-		nic, ok := mp.k.transport.(interface {
-			CallCat(*simtime.Meter, simtime.Category, memsim.MachineID, string, []byte) ([]byte, error)
-		})
-		var resp []byte
-		var err error
-		if ok {
-			resp, err = nic.CallCat(meter, simtime.CatFault, mp.target, PageEndpoint, req)
-		} else {
-			resp, err = mp.k.transport.Call(meter, mp.target, PageEndpoint, req)
-		}
+		binary.LittleEndian.PutUint64(req, uint64(mp.remotePT[vpn]))
+		resp, err := mp.k.callCat(meter, simtime.CatFault, mp.target, PageEndpoint, req)
 		if err != nil {
 			return err
 		}
 		copy(buf, resp)
 		return nil
 	default:
-		return mp.k.transport.Read(meter, mp.target, pfn, 0, buf)
+		return mp.k.transport.Read(meter, mp.readTarget, mp.physPFN(vpn), 0, buf)
 	}
 }
 
@@ -320,13 +514,15 @@ func (mp *Mapping) readRemote(meter *simtime.Meter, pfn memsim.PFN, buf []byte) 
 // pages are inserted for co-located consumers.
 func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 	meter := mp.as.Meter()
+	if err := mp.ensureFresh(meter); err != nil {
+		return err
+	}
 	useCache := mp.cacheable()
 	type slot struct {
 		vpn  memsim.VPN
 		pfn  memsim.PFN // local destination
 		rpfn memsim.PFN
 	}
-	var reqs []rdma.PageRead
 	var slots []slot
 	var bufs []*[]byte
 	for _, vpn := range vpns {
@@ -352,11 +548,9 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 		}
 		local := mp.as.Machine().AllocFrame()
 		slots = append(slots, slot{vpn, local, rpfn})
-		buf := getPageBuf()
-		bufs = append(bufs, buf)
-		reqs = append(reqs, rdma.PageRead{PFN: rpfn, Buf: *buf})
+		bufs = append(bufs, getPageBuf())
 	}
-	if len(reqs) == 0 {
+	if len(slots) == 0 {
 		return nil
 	}
 	release := func() {
@@ -364,7 +558,18 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 			putPageBuf(b)
 		}
 	}
-	if err := mp.k.transport.ReadPages(meter, mp.target, reqs); err != nil {
+	batch := func() []rdma.PageRead {
+		reqs := make([]rdma.PageRead, len(slots))
+		for i, s := range slots {
+			reqs[i] = rdma.PageRead{PFN: mp.physPFN(s.vpn), Buf: *bufs[i]}
+		}
+		return reqs
+	}
+	err := mp.k.transport.ReadPages(meter, mp.readTarget, batch())
+	if err != nil && mp.tryFailover(meter, err) {
+		err = mp.k.transport.ReadPages(meter, mp.readTarget, batch())
+	}
+	if err != nil {
 		for _, s := range slots {
 			mp.as.Machine().Unref(s.pfn)
 		}
@@ -373,7 +578,7 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 		return err
 	}
 	for i, s := range slots {
-		mp.as.Machine().WriteFrame(s.pfn, 0, reqs[i].Buf)
+		mp.as.Machine().WriteFrame(s.pfn, 0, *bufs[i])
 		mp.install(meter, mp.as, s.vpn, s.rpfn, s.pfn, useCache)
 	}
 	release()
@@ -399,8 +604,15 @@ func (mp *Mapping) Unmap() error {
 	return mp.as.Unmap(mp.Start, mp.End)
 }
 
-// Target returns the producer machine.
+// Target returns the logical producer machine (unchanged by failover).
 func (mp *Mapping) Target() memsim.MachineID { return mp.target }
+
+// ReadTarget returns the machine fabric reads currently go to: a backup
+// after a failover, the producer otherwise.
+func (mp *Mapping) ReadTarget() memsim.MachineID { return mp.readTarget }
+
+// FailedOver reports whether the mapping was re-pointed at a replica.
+func (mp *Mapping) FailedOver() bool { return mp.failedOver }
 
 // RemotePages reports how many remote pages the mapping knows about.
 func (mp *Mapping) RemotePages() int { return len(mp.remotePT) }

@@ -1,0 +1,445 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rmmap/internal/memsim"
+	"rmmap/internal/rdma"
+	"rmmap/internal/simtime"
+)
+
+// Async state replication (§6 fault tolerance extension).
+//
+// When replication is enabled, every register_mem schedules a background
+// job that copies the registration's shadow frames to the kernel's backup
+// machines: one prepare RPC allocates backup frames and records a replica
+// entry, then batches of one-sided doorbell writes push the page bytes
+// (bypassing the backup CPU, like reads), each followed by a small commit
+// RPC that advances the backup's watermark — one-sided writes are
+// invisible to the backup's kernel, so progress must be told, not seen.
+// All charges go to CatReplicate on a background meter: replication rides
+// behind the producer's invocation in virtual time, off its critical path.
+//
+// The watermark makes partial replication detectable: failover (see
+// mapping.go) is refused unless done == total, falling back to the
+// platform's re-execution rung. A producer crash mid-replication simply
+// stops the job — the stuck watermark is the refusal.
+
+// replBatchPages is how many pages one push batch carries.
+const replBatchPages = 64
+
+type replicaKey struct {
+	origin memsim.MachineID
+	id     FuncID
+	key    Key
+}
+
+type replicaPage struct {
+	vpn     memsim.VPN
+	prodPFN memsim.PFN // producer frame: the logical identity (cache keys)
+	local   memsim.PFN // backup frame holding the copy
+}
+
+// replicaEntry is one registration this machine backs up for a peer.
+type replicaEntry struct {
+	start, end uint64
+	gen        uint64
+	total      int
+	done       int // replication watermark, in pages
+	pages      []replicaPage
+}
+
+// replPage is a producer-side (vpn, pfn) pair, sorted by vpn so the push
+// order — and therefore the whole virtual-time schedule — is
+// deterministic despite map iteration.
+type replPage struct {
+	vpn memsim.VPN
+	pfn memsim.PFN
+}
+
+type replTarget struct {
+	mac    memsim.MachineID
+	locals []memsim.PFN // backup frames aligned with the job's pages
+	failed bool
+}
+
+type replJob struct {
+	id         FuncID
+	key        Key
+	gen        uint64
+	start, end uint64
+	pages      []replPage
+	targets    []*replTarget
+	next       int // pages pushed so far
+}
+
+// EnableReplication configures this kernel to asynchronously replicate
+// every registration to backups; sched schedules deferred virtual-time
+// work (the platform wires Sim.After). Empty backups or a nil sched
+// disables replication.
+func (k *Kernel) EnableReplication(backups []memsim.MachineID, sched func(d simtime.Duration, fn func())) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.replBackups = append([]memsim.MachineID(nil), backups...)
+	k.replSched = sched
+	if k.replMeter == nil {
+		k.replMeter = simtime.NewMeter()
+	}
+	if k.replicas == nil {
+		k.replicas = make(map[replicaKey]*replicaEntry)
+	}
+}
+
+// ReplicationMeter exposes the background meter replication charges
+// (CatReplicate); nil until replication is enabled.
+func (k *Kernel) ReplicationMeter() *simtime.Meter { return k.replMeter }
+
+// ReplicatedBytes counts page bytes this kernel pushed to backups.
+func (k *Kernel) ReplicatedBytes() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.replicatedBytes
+}
+
+// ReplicaWatermark reports the replication progress this machine holds
+// for a peer registration (backup role); ok is false without an entry.
+func (k *Kernel) ReplicaWatermark(origin memsim.MachineID, id FuncID, key Key) (done, total int, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.replicas[replicaKey{origin, id, key}]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.done, e.total, true
+}
+
+// scheduleReplicationLocked kicks off the async replication job for a
+// fresh registration. Caller holds k.mu.
+func (k *Kernel) scheduleReplicationLocked(rk regKey, e *regEntry) {
+	if len(e.backups) == 0 || k.replSched == nil || len(e.snapshot) == 0 {
+		return
+	}
+	pages := make([]replPage, 0, len(e.snapshot))
+	for vpn, pfn := range e.snapshot {
+		pages = append(pages, replPage{vpn, pfn})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].vpn < pages[j].vpn })
+	job := &replJob{
+		id: rk.id, key: rk.key, gen: e.gen,
+		start: e.start, end: e.end, pages: pages,
+	}
+	for _, b := range e.backups {
+		job.targets = append(job.targets, &replTarget{mac: b})
+	}
+	k.replSched(0, func() { k.replPrepare(job) })
+}
+
+// jobLive re-checks that the registration the job copies still exists at
+// the same generation: deregistration frees the shadow frames, and
+// re-registration supersedes the job with a fresh one.
+func (k *Kernel) jobLive(job *replJob) bool {
+	if k.machine.Crashed() {
+		return false
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.regs[regKey{job.id, job.key}]
+	return ok && e.gen == job.gen
+}
+
+// replPrepare sends the prepare RPC to every backup, then schedules the
+// first push batch after the virtual time the prepares took.
+func (k *Kernel) replPrepare(job *replJob) {
+	if !k.jobLive(job) {
+		return
+	}
+	m := k.replMeter
+	before := m.Total()
+	req := make([]byte, 52+16*len(job.pages))
+	binary.LittleEndian.PutUint64(req, uint64(k.machine.ID()))
+	binary.LittleEndian.PutUint64(req[8:], uint64(job.id))
+	binary.LittleEndian.PutUint64(req[16:], uint64(job.key))
+	binary.LittleEndian.PutUint64(req[24:], job.gen)
+	binary.LittleEndian.PutUint64(req[32:], job.start)
+	binary.LittleEndian.PutUint64(req[40:], job.end)
+	binary.LittleEndian.PutUint32(req[48:], uint32(len(job.pages)))
+	for i, p := range job.pages {
+		binary.LittleEndian.PutUint64(req[52+16*i:], uint64(p.vpn))
+		binary.LittleEndian.PutUint64(req[52+16*i+8:], uint64(p.pfn))
+	}
+	live := false
+	for _, t := range job.targets {
+		resp, err := k.callCat(m, simtime.CatReplicate, t.mac, ReplPrepareEndpoint, req)
+		if err != nil || len(resp) != 8*len(job.pages) {
+			t.failed = true
+			continue
+		}
+		t.locals = make([]memsim.PFN, len(job.pages))
+		for i := range t.locals {
+			t.locals[i] = memsim.PFN(binary.LittleEndian.Uint64(resp[8*i:]))
+		}
+		live = true
+	}
+	if !live {
+		return
+	}
+	k.replSched(m.Total()-before, func() { k.replStep(job) })
+}
+
+// replStep pushes one batch of pages to every live backup and commits the
+// new watermark, then schedules the next batch after this one's virtual
+// duration.
+func (k *Kernel) replStep(job *replJob) {
+	if !k.jobLive(job) {
+		return
+	}
+	m := k.replMeter
+	before := m.Total()
+	lo := job.next
+	hi := lo + replBatchPages
+	if hi > len(job.pages) {
+		hi = len(job.pages)
+	}
+	bufs := make([]*[]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		bufs[i-lo] = getPageBuf()
+		k.machine.ReadFrame(job.pages[i].pfn, 0, *bufs[i-lo])
+	}
+	commit := make([]byte, 28)
+	binary.LittleEndian.PutUint64(commit, uint64(k.machine.ID()))
+	binary.LittleEndian.PutUint64(commit[8:], uint64(job.id))
+	binary.LittleEndian.PutUint64(commit[16:], uint64(job.key))
+	binary.LittleEndian.PutUint32(commit[24:], uint32(hi))
+	live := false
+	for _, t := range job.targets {
+		if t.failed {
+			continue
+		}
+		reqs := make([]rdma.PageWrite, hi-lo)
+		for i := lo; i < hi; i++ {
+			reqs[i-lo] = rdma.PageWrite{PFN: t.locals[i], Data: *bufs[i-lo]}
+		}
+		if err := k.writePagesCat(m, simtime.CatReplicate, t.mac, reqs); err != nil {
+			t.failed = true
+			continue
+		}
+		if _, err := k.callCat(m, simtime.CatReplicate, t.mac, ReplCommitEndpoint, commit); err != nil {
+			t.failed = true
+			continue
+		}
+		k.mu.Lock()
+		k.replicatedBytes += int64((hi - lo) * memsim.PageSize)
+		k.mu.Unlock()
+		live = true
+	}
+	for _, b := range bufs {
+		putPageBuf(b)
+	}
+	job.next = hi
+	if live && job.next < len(job.pages) {
+		k.replSched(m.Total()-before, func() { k.replStep(job) })
+	}
+}
+
+// scheduleReplicaDrop asynchronously frees the replicas of a deregistered
+// registration on its backups (best-effort: a dead backup keeps nothing
+// anyone can reach).
+func (k *Kernel) scheduleReplicaDrop(id FuncID, key Key, backups []memsim.MachineID) {
+	if len(backups) == 0 || k.replSched == nil {
+		return
+	}
+	k.replSched(0, func() {
+		if k.machine.Crashed() {
+			return
+		}
+		req := make([]byte, 24)
+		binary.LittleEndian.PutUint64(req, uint64(k.machine.ID()))
+		binary.LittleEndian.PutUint64(req[8:], uint64(id))
+		binary.LittleEndian.PutUint64(req[16:], uint64(key))
+		for _, b := range backups {
+			_, _ = k.callCat(k.replMeter, simtime.CatReplicate, b, ReplDropEndpoint, req)
+		}
+	})
+}
+
+func (k *Kernel) writePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []rdma.PageWrite) error {
+	if wp, ok := k.transport.(interface {
+		WritePagesCat(*simtime.Meter, simtime.Category, memsim.MachineID, []rdma.PageWrite) error
+	}); ok {
+		return wp.WritePagesCat(m, cat, target, reqs)
+	}
+	return k.transport.WritePages(m, target, reqs)
+}
+
+// --- Backup-side handlers ---
+
+// prep request: origin u64 | id u64 | key u64 | gen u64 | start u64 |
+// end u64 | count u32 | count × (vpn u64, prodPFN u64)
+// prep response: count × (localPFN u64)
+func (k *Kernel) handleReplPrepare(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) < 52 {
+		return nil, fmt.Errorf("kernel: bad replica prepare request")
+	}
+	origin := memsim.MachineID(binary.LittleEndian.Uint64(req))
+	id := FuncID(binary.LittleEndian.Uint64(req[8:]))
+	key := Key(binary.LittleEndian.Uint64(req[16:]))
+	gen := binary.LittleEndian.Uint64(req[24:])
+	start := binary.LittleEndian.Uint64(req[32:])
+	end := binary.LittleEndian.Uint64(req[40:])
+	count := int(binary.LittleEndian.Uint32(req[48:]))
+	if len(req) != 52+16*count {
+		return nil, fmt.Errorf("kernel: bad replica prepare length")
+	}
+	e := &replicaEntry{start: start, end: end, gen: gen, total: count,
+		pages: make([]replicaPage, count)}
+	resp := make([]byte, 8*count)
+	for i := 0; i < count; i++ {
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(req[52+16*i:]))
+		prod := memsim.PFN(binary.LittleEndian.Uint64(req[52+16*i+8:]))
+		local := k.machine.AllocFrame()
+		e.pages[i] = replicaPage{vpn: vpn, prodPFN: prod, local: local}
+		binary.LittleEndian.PutUint64(resp[8*i:], uint64(local))
+	}
+	k.mu.Lock()
+	if k.replicas == nil {
+		k.replicas = make(map[replicaKey]*replicaEntry)
+	}
+	rk := replicaKey{origin, id, key}
+	old := k.replicas[rk]
+	k.replicas[rk] = e
+	k.mu.Unlock()
+	if old != nil {
+		for _, p := range old.pages {
+			k.machine.Unref(p.local)
+		}
+	}
+	return resp, nil
+}
+
+// commit request: origin u64 | id u64 | key u64 | done u32
+func (k *Kernel) handleReplCommit(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 28 {
+		return nil, fmt.Errorf("kernel: bad replica commit request")
+	}
+	origin := memsim.MachineID(binary.LittleEndian.Uint64(req))
+	id := FuncID(binary.LittleEndian.Uint64(req[8:]))
+	key := Key(binary.LittleEndian.Uint64(req[16:]))
+	done := int(binary.LittleEndian.Uint32(req[24:]))
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.replicas[replicaKey{origin, id, key}]
+	if !ok {
+		return nil, fmt.Errorf("%w: no replica for machine %d id %d", ErrNotRegistered, origin, id)
+	}
+	if done > e.total {
+		done = e.total
+	}
+	if done > e.done {
+		e.done = done
+	}
+	return []byte{1}, nil
+}
+
+// drop request: origin u64 | id u64 | key u64
+func (k *Kernel) handleReplDrop(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 24 {
+		return nil, fmt.Errorf("kernel: bad replica drop request")
+	}
+	origin := memsim.MachineID(binary.LittleEndian.Uint64(req))
+	id := FuncID(binary.LittleEndian.Uint64(req[8:]))
+	key := Key(binary.LittleEndian.Uint64(req[16:]))
+	k.mu.Lock()
+	rk := replicaKey{origin, id, key}
+	e := k.replicas[rk]
+	delete(k.replicas, rk)
+	k.mu.Unlock()
+	if e != nil {
+		for _, p := range e.pages {
+			k.machine.Unref(p.local)
+		}
+	}
+	return []byte{1}, nil
+}
+
+// replica auth request: origin u64 | id u64 | key u64 | consumer u64 |
+// start u64 | end u64
+// replica auth response: gen u64 | complete u8 | count u32 |
+// count × (vpn u64, prodPFN u64, localPFN u64)
+//
+// Like the producer's auth RPC, possession of (id, key) is the
+// credential; the producer's ACL is not replicated, so ACL-restricted
+// registrations simply fence to re-execution if their producer dies.
+func (k *Kernel) handleReplicaAuth(m *simtime.Meter, req []byte) ([]byte, error) {
+	if len(req) != 48 {
+		return nil, fmt.Errorf("kernel: bad replica auth request")
+	}
+	origin := memsim.MachineID(binary.LittleEndian.Uint64(req))
+	id := FuncID(binary.LittleEndian.Uint64(req[8:]))
+	key := Key(binary.LittleEndian.Uint64(req[16:]))
+	start := binary.LittleEndian.Uint64(req[32:])
+	end := binary.LittleEndian.Uint64(req[40:])
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.replicas[replicaKey{origin, id, key}]
+	if !ok {
+		return nil, fmt.Errorf("%w: no replica for machine %d id %d", ErrAuth, origin, id)
+	}
+	if start < e.start || end > e.end {
+		return nil, fmt.Errorf("%w: [%#x,%#x) not within [%#x,%#x)",
+			ErrRangeOutside, start, end, e.start, e.end)
+	}
+	resp := make([]byte, 13, 13+24*len(e.pages))
+	binary.LittleEndian.PutUint64(resp, e.gen)
+	if e.done == e.total {
+		resp[8] = 1
+	}
+	count := 0
+	for _, p := range e.pages {
+		if p.vpn.Base() >= start && p.vpn.Base() < end {
+			var rec [24]byte
+			binary.LittleEndian.PutUint64(rec[:], uint64(p.vpn))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(p.prodPFN))
+			binary.LittleEndian.PutUint64(rec[16:], uint64(p.local))
+			resp = append(resp, rec[:]...)
+			count++
+		}
+	}
+	binary.LittleEndian.PutUint32(resp[9:], uint32(count))
+	return resp, nil
+}
+
+// replicaAuthCall queries backup b for origin's replica page table,
+// returning the replica generation, completeness, and the logical
+// (producer) and physical (backup) page tables for [start, end).
+func (k *Kernel) replicaAuthCall(m *simtime.Meter, b, origin memsim.MachineID, id FuncID, key Key, start, end uint64, consumer FuncID) (gen uint64, complete bool, logical, phys map[memsim.VPN]memsim.PFN, err error) {
+	req := make([]byte, 48)
+	binary.LittleEndian.PutUint64(req, uint64(origin))
+	binary.LittleEndian.PutUint64(req[8:], uint64(id))
+	binary.LittleEndian.PutUint64(req[16:], uint64(key))
+	binary.LittleEndian.PutUint64(req[24:], uint64(consumer))
+	binary.LittleEndian.PutUint64(req[32:], start)
+	binary.LittleEndian.PutUint64(req[40:], end)
+	resp, err := k.callCat(m, simtime.CatMap, b, ReplicaEndpoint, req)
+	if err != nil {
+		return 0, false, nil, nil, err
+	}
+	if len(resp) < 13 {
+		return 0, false, nil, nil, fmt.Errorf("kernel: bad replica auth response")
+	}
+	gen = binary.LittleEndian.Uint64(resp)
+	complete = resp[8] == 1
+	count := int(binary.LittleEndian.Uint32(resp[9:]))
+	if len(resp) != 13+24*count {
+		return 0, false, nil, nil, fmt.Errorf("kernel: bad replica auth response length")
+	}
+	logical = make(map[memsim.VPN]memsim.PFN, count)
+	phys = make(map[memsim.VPN]memsim.PFN, count)
+	for i := 0; i < count; i++ {
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[13+24*i:]))
+		logical[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+8:]))
+		phys[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+16:]))
+	}
+	return gen, complete, logical, phys, nil
+}

@@ -166,6 +166,22 @@ func (m *Machine) ReadFrame(pfn PFN, off int, buf []byte) {
 	copy(buf, m.frameLocked(pfn).data[off:])
 }
 
+// WriteFrameErr is WriteFrame for remote access paths (replication
+// pushes): it fails with ErrMachineCrashed instead of mutating a dead
+// machine's frames.
+func (m *Machine) WriteFrameErr(pfn PFN, off int, data []byte) error {
+	if off < 0 || off+len(data) > PageSize {
+		panic(fmt.Sprintf("memsim: WriteFrame out of range off=%d len=%d", off, len(data)))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return fmt.Errorf("%w: machine %d", ErrMachineCrashed, m.id)
+	}
+	copy(m.frameLocked(pfn).data[off:], data)
+	return nil
+}
+
 // WriteFrame copies bytes into a frame (used by address spaces and the
 // CoW-break path).
 func (m *Machine) WriteFrame(pfn PFN, off int, data []byte) {

@@ -74,13 +74,18 @@ func chaosFanWorkflow(n int) *Workflow {
 // nil is the negative control (no recovery).
 func runChaos(t *testing.T, wf *Workflow, plan faults.Plan, rec *RecoveryPolicy) RunResult {
 	t.Helper()
+	return runChaosWith(t, wf, plan, Options{Trace: true, Recovery: rec})
+}
+
+// runChaosWith is runChaos with full Options control (replication knobs).
+func runChaosWith(t *testing.T, wf *Workflow, plan faults.Plan, opts Options) RunResult {
+	t.Helper()
 	retry := faults.DefaultRetryPolicy()
-	if rec != nil && rec.Retry.MaxAttempts > 0 {
-		retry = rec.Retry
+	if opts.Recovery != nil && opts.Recovery.Retry.MaxAttempts > 0 {
+		retry = opts.Recovery.Retry
 	}
 	cluster := NewChaosCluster(3, simtime.DefaultCostModel(), plan, retry)
-	e, err := NewEngineOn(cluster, wf, ModeRMMAPPrefetch,
-		Options{Trace: true, Recovery: rec}, 6)
+	e, err := NewEngineOn(cluster, wf, ModeRMMAPPrefetch, opts, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,6 +252,162 @@ func TestChaosPersistentFailureDegradesToMessaging(t *testing.T) {
 	ctl := runChaosFan(t, plan, nil)
 	if ctl.Err == nil || !faults.IsTransient(ctl.Err) {
 		t.Fatalf("negative control: err=%v, want injected fault in chain", ctl.Err)
+	}
+}
+
+// TestChaosFailover is the headline replication scenario: the producer's
+// machine crashes after replication completes; the consumer fails over to
+// the backup's replica and the workflow completes byte-identical with ZERO
+// re-executions — and in less virtual time than the same schedule forced
+// through the re-execution rung (NoReplication control).
+func TestChaosFailover(t *testing.T) {
+	opts := Options{Trace: true, Recovery: DefaultRecoveryPolicy(), Replicas: 1}
+
+	// Clean reference pins down where and when the producer runs, and that
+	// replication actually pushed bytes.
+	clean := runChaosWith(t, pipelineWorkflow(1000), faults.Plan{Seed: chaosSeed}, opts)
+	if clean.Err != nil || clean.Output != pipelineSum {
+		t.Fatalf("clean run: err=%v output=%v", clean.Err, clean.Output)
+	}
+	if clean.ReplicatedBytes == 0 {
+		t.Fatalf("Replicas=1 but no bytes replicated")
+	}
+	if clean.Failovers != 0 {
+		t.Fatalf("clean run failed over %d times", clean.Failovers)
+	}
+	prod := findSpan(t, clean.Trace, "produce#0")
+	crashAt := prod.Start.Add(prod.Duration() * 9 / 10)
+	plan := faults.Plan{
+		Seed:    chaosSeed,
+		Crashes: []faults.Crash{{Machine: memsim.MachineID(prod.Machine), At: crashAt}},
+	}
+
+	res := runChaosWith(t, pipelineWorkflow(1000), plan, opts)
+	if res.Err != nil {
+		t.Fatalf("failover run failed: %v", res.Err)
+	}
+	if res.Output != pipelineSum {
+		t.Fatalf("failover output = %v, want %v (byte-identical)", res.Output, pipelineSum)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("no failover recorded despite producer crash with a replica")
+	}
+	if res.Reexecs != 0 {
+		t.Fatalf("failover run re-executed %d times; replication should make re-execution unnecessary", res.Reexecs)
+	}
+	// Per-invocation failovers surface in the trace and sum to the total.
+	sum := 0
+	for _, s := range res.Trace {
+		sum += s.Failovers
+	}
+	if sum != res.Failovers {
+		t.Fatalf("trace failovers sum %d != request failovers %d", sum, res.Failovers)
+	}
+
+	// Control arm: the identical schedule with replication forced off must
+	// still recover — via re-execution — and pay more virtual time for it.
+	ctlOpts := opts
+	ctlOpts.NoReplication = true
+	ctl := runChaosWith(t, pipelineWorkflow(1000), plan, ctlOpts)
+	if ctl.Err != nil || ctl.Output != pipelineSum {
+		t.Fatalf("NoReplication control: err=%v output=%v", ctl.Err, ctl.Output)
+	}
+	if ctl.Reexecs < 1 {
+		t.Fatalf("NoReplication control recovered without re-execution (reexecs=%d)", ctl.Reexecs)
+	}
+	if ctl.Failovers != 0 || ctl.ReplicatedBytes != 0 {
+		t.Fatalf("NoReplication control replicated/failed over: %d/%d", ctl.ReplicatedBytes, ctl.Failovers)
+	}
+	if res.Latency >= ctl.Latency {
+		t.Fatalf("failover latency %v not below re-execution latency %v", res.Latency, ctl.Latency)
+	}
+
+	// Determinism: the whole failover path replays identically.
+	again := runChaosWith(t, pipelineWorkflow(1000), plan, opts)
+	if again.Latency != res.Latency || again.Failovers != res.Failovers ||
+		again.Reexecs != res.Reexecs || again.Output != res.Output ||
+		again.ReplicatedBytes != res.ReplicatedBytes {
+		t.Fatalf("failover run not deterministic:\n first: lat=%v fo=%d reexec=%d repl=%d out=%v\nsecond: lat=%v fo=%d reexec=%d repl=%d out=%v",
+			res.Latency, res.Failovers, res.Reexecs, res.ReplicatedBytes, res.Output,
+			again.Latency, again.Failovers, again.Reexecs, again.ReplicatedBytes, again.Output)
+	}
+}
+
+// TestChaosPartitionHeals: an asymmetric link partition between consumer
+// and producer is suspicion, not death — the ladder's partition rung parks
+// and retries the consumer until the window lifts, without failing over or
+// re-executing (the negative control for crash-vs-partition telling).
+func TestChaosPartitionHeals(t *testing.T) {
+	opts := Options{Trace: true, Recovery: DefaultRecoveryPolicy(), Replicas: 1}
+	clean := runChaosWith(t, chaosFanWorkflow(1000), faults.Plan{Seed: chaosSeed}, opts)
+	if clean.Err != nil || clean.Output != pipelineSum {
+		t.Fatalf("clean run: err=%v output=%v", clean.Err, clean.Output)
+	}
+	src := findSpan(t, clean.Trace, "src#0")
+	cons := Span{Machine: src.Machine}
+	for _, s := range clean.Trace {
+		if strings.HasPrefix(s.Node, "worker") && s.Machine != src.Machine {
+			cons = s
+			break
+		}
+	}
+	if cons.Machine == src.Machine {
+		t.Fatalf("no worker off the src machine; partition test needs a remote edge")
+	}
+	// Cut consumer → producer from the start until well after the consumer
+	// would have mapped, then let it heal.
+	lift := cons.Start.Add(600 * simtime.Microsecond)
+	plan := faults.Plan{Seed: chaosSeed, Partitions: []faults.Partition{
+		{From: memsim.MachineID(cons.Machine), To: memsim.MachineID(src.Machine), After: 0, Until: lift},
+	}}
+
+	res := runChaosWith(t, chaosFanWorkflow(1000), plan, opts)
+	if res.Err != nil {
+		t.Fatalf("partition run failed: %v", res.Err)
+	}
+	if res.Output != pipelineSum {
+		t.Fatalf("healed output = %v, want %v", res.Output, pipelineSum)
+	}
+	if res.PartitionWaits == 0 {
+		t.Fatalf("no partition waits despite a partition window over the consume")
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("partition (not crash) triggered %d failovers", res.Failovers)
+	}
+	if res.Reexecs != 0 {
+		t.Fatalf("partition consumed %d re-executions; the wait rung should carry it", res.Reexecs)
+	}
+	if res.LeaseExpiries == 0 {
+		t.Fatalf("blocked heartbeats never aged out a lease")
+	}
+	if res.Latency <= clean.Latency {
+		t.Fatalf("partitioned latency %v not above clean %v (waits must cost virtual time)",
+			res.Latency, clean.Latency)
+	}
+
+	// Determinism: partition windows are schedules, not draws.
+	again := runChaosWith(t, chaosFanWorkflow(1000), plan, opts)
+	if again.Latency != res.Latency || again.PartitionWaits != res.PartitionWaits ||
+		again.LeaseExpiries != res.LeaseExpiries || again.Output != res.Output {
+		t.Fatalf("partition run not deterministic:\n first: lat=%v waits=%d exp=%d out=%v\nsecond: lat=%v waits=%d exp=%d out=%v",
+			res.Latency, res.PartitionWaits, res.LeaseExpiries, res.Output,
+			again.Latency, again.PartitionWaits, again.LeaseExpiries, again.Output)
+	}
+
+	// A partition that never lifts exhausts the wait budget (bounded — no
+	// infinite parking) and hands the failure to the later rungs, which
+	// either repair it (re-execution / degradation) or fail the request.
+	forever := faults.Plan{Seed: chaosSeed, Partitions: []faults.Partition{
+		{From: memsim.MachineID(cons.Machine), To: memsim.MachineID(src.Machine), After: 0, Until: 0},
+	}}
+	fopts := opts
+	fopts.Recovery = &RecoveryPolicy{Retry: faults.DefaultRetryPolicy(), MaxPartitionWaits: 3}
+	stuck := runChaosWith(t, chaosFanWorkflow(1000), forever, fopts)
+	if stuck.PartitionWaits != 3 {
+		t.Fatalf("partition waits = %d, want exactly the budget of 3", stuck.PartitionWaits)
+	}
+	if stuck.Err == nil && stuck.Reexecs == 0 {
+		t.Fatalf("permanent partition succeeded without any later-rung repair")
 	}
 }
 

@@ -26,6 +26,13 @@ type Cluster struct {
 	// fault source every kernel's transport consults.
 	Injector *faults.Injector
 	retriers []*faults.RetryTransport
+
+	// retainCrashedPages keeps cluster caches' entries for a crashed
+	// machine's pages: with replication on, those cached bytes are still
+	// the authoritative content of the dead producer's registrations
+	// (generation fencing keeps them honest), so failed-over consumers
+	// keep hitting them. Without replication a crash invalidates.
+	retainCrashedPages bool
 }
 
 // NewCluster builds n machines, each with an RMMAP kernel serving RPC.
@@ -110,9 +117,13 @@ func NewChaosCluster(n int, cm *simtime.CostModel, plan faults.Plan, retry fault
 		mach := c.Machines[cr.Machine]
 		c.Sim.At(cr.At, func() {
 			mach.Crash()
-			// The crashed machine's frames are gone; cached copies of
-			// them cluster-wide are stale by definition.
-			c.invalidateMachine(mach.ID())
+			// The crashed machine's frames are gone; cached copies of them
+			// cluster-wide are stale by definition — unless replication
+			// retains them as authoritative (checked at fire time, since
+			// the engine wires replication after the cluster is built).
+			if !c.retainCrashedPages {
+				c.invalidateMachine(mach.ID())
+			}
 		})
 	}
 	return c
@@ -124,6 +135,34 @@ func (c *Cluster) Retries() int {
 	n := 0
 	for _, r := range c.retriers {
 		n += r.Retries()
+	}
+	return n
+}
+
+// Failovers reports cluster-wide consumer mappings re-pointed at replicas.
+func (c *Cluster) Failovers() int {
+	n := 0
+	for _, k := range c.Kernels {
+		n += int(k.Failovers())
+	}
+	return n
+}
+
+// ReplicatedBytes reports cluster-wide page bytes pushed to backups.
+func (c *Cluster) ReplicatedBytes() int64 {
+	var n int64
+	for _, k := range c.Kernels {
+		n += k.ReplicatedBytes()
+	}
+	return n
+}
+
+// LeaseExpiries reports cluster-wide leases that aged out without crash
+// evidence (partition or overload suspicion).
+func (c *Cluster) LeaseExpiries() int {
+	n := 0
+	for _, k := range c.Kernels {
+		n += int(k.LeaseExpiries())
 	}
 	return n
 }

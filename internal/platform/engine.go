@@ -64,6 +64,13 @@ type Engine struct {
 
 	autoscalerLive bool
 	scaleDowns     int
+
+	// Failure detector (leases + heartbeats, wired when replication is
+	// on): every HeartbeatPeriod each live kernel probes its peers so a
+	// crash or partition is learned proactively, not on the read path.
+	leasesOn     bool
+	detectorLive bool
+	inflight     int // requests submitted but not yet completed
 }
 
 type regRef struct {
@@ -148,12 +155,14 @@ type request struct {
 	spans     []Span
 
 	// Recovery state (see recovery.go).
-	reexecs   int
-	retries   int
-	fallbacks int
-	redoFor   map[nodeKey][]*invocation
-	edgeFails map[edgeKey]int
-	degraded  map[edgeKey]bool
+	reexecs        int
+	retries        int
+	fallbacks      int
+	failovers      int
+	partitionWaits int
+	redoFor        map[nodeKey][]*invocation
+	edgeFails      map[edgeKey]int
+	degraded       map[edgeKey]bool
 }
 
 // RunResult reports one request's outcome.
@@ -170,10 +179,18 @@ type RunResult struct {
 	// Trace holds per-invocation spans when Options.Trace is set.
 	Trace []Span
 	// Recovery accounting (nonzero only under faults): transport retry
-	// attempts, rmap→messaging degradations, and producer re-executions.
-	Retries   int
-	Fallbacks int
-	Reexecs   int
+	// attempts, rmap→messaging degradations, producer re-executions,
+	// replica failovers, and partition-wait retries.
+	Retries        int
+	Fallbacks      int
+	Reexecs        int
+	Failovers      int
+	PartitionWaits int
+	// Replication accounting (nonzero only with Options.Replicas):
+	// cluster-cumulative bytes pushed to backups and leases that aged out
+	// without crash evidence.
+	ReplicatedBytes int64
+	LeaseExpiries   int
 	// Cache snapshots the cluster's remote-page-cache and readahead
 	// counters at completion time (cumulative across the cluster's life;
 	// per-invocation deltas are on the trace spans).
@@ -235,6 +252,27 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 			k.SetReadahead(0)
 		} else if opts.ReadaheadWindow > 0 {
 			k.SetReadahead(opts.ReadaheadWindow)
+		}
+	}
+	// Replication + leases: machine i replicates to the next reps machines
+	// (ring placement), every kernel tracks peer liveness, and a lease
+	// expiry broadcasts cache invalidation exactly like deregister_mem
+	// does — the suspect producer may have re-registered behind the
+	// partition. Crashed machines' cached pages are retained instead:
+	// with a replica holding the authoritative bytes, generation-fenced
+	// cache entries stay valid hits for failed-over consumers.
+	if reps := opts.replicas(len(cluster.Machines)); reps > 0 {
+		n := len(cluster.Machines)
+		cluster.retainCrashedPages = true
+		e.leasesOn = true
+		for i, k := range cluster.Kernels {
+			backups := make([]memsim.MachineID, 0, reps)
+			for j := 1; j <= reps; j++ {
+				backups = append(backups, memsim.MachineID((i+j)%n))
+			}
+			k.EnableReplication(backups, cluster.Sim.After)
+			k.EnableLeases(cm.LeaseTTL)
+			k.OnLeaseExpired = cluster.invalidateMachine
 		}
 	}
 	e.msg.ZeroCost = opts.ZeroNetwork
@@ -323,7 +361,9 @@ func (e *Engine) Submit(done func(RunResult)) {
 		edgeFails: make(map[edgeKey]int),
 		degraded:  make(map[edgeKey]bool),
 	}
+	e.inflight++
 	req.done = func(r *request) {
+		e.inflight--
 		if done == nil {
 			return
 		}
@@ -350,7 +390,46 @@ func (e *Engine) Submit(done func(RunResult)) {
 	if e.opts.AutoscaleIdle > 0 {
 		e.startAutoscaler()
 	}
+	if e.leasesOn {
+		e.startFailureDetector()
+	}
 	e.dispatch()
+}
+
+// startFailureDetector drives the kernels' heartbeat probes: every
+// HeartbeatPeriod each live machine probes every peer, renewing or aging
+// its lease. Probes ride the same (fault-wrapped) transport as real
+// traffic, so partitions block them and crashes fail them — exactly the
+// evidence the lease state machine wants. The loop stops once no request
+// is in flight so the simulator's event queue can drain; Submit re-arms.
+func (e *Engine) startFailureDetector() {
+	if e.detectorLive {
+		return
+	}
+	e.detectorLive = true
+	period := e.Cluster.CM.HeartbeatPeriod
+	if period <= 0 {
+		period = 25 * simtime.Microsecond
+	}
+	s := e.Cluster.Sim
+	s.Every(s.Now().Add(period), period, func() bool {
+		if e.inflight == 0 {
+			e.detectorLive = false
+			return false
+		}
+		for i, k := range e.Cluster.Kernels {
+			if e.Cluster.Machines[i].Crashed() {
+				continue
+			}
+			for j, peer := range e.Cluster.Machines {
+				if j == i {
+					continue
+				}
+				_ = k.Heartbeat(peer.ID())
+			}
+		}
+		return true
+	})
 }
 
 func (e *Engine) collect(r *request) RunResult {
@@ -361,11 +440,15 @@ func (e *Engine) collect(r *request) RunResult {
 		Output:      r.result,
 		Err:         r.err,
 		Trace:       r.spans,
-		Retries:     r.retries,
-		Fallbacks:   r.fallbacks,
-		Reexecs:     r.reexecs,
-		Cache:       e.Cluster.CacheStats(),
+		Retries:        r.retries,
+		Fallbacks:      r.fallbacks,
+		Reexecs:        r.reexecs,
+		Failovers:      r.failovers,
+		PartitionWaits: r.partitionWaits,
+		Cache:          e.Cluster.CacheStats(),
 	}
+	res.ReplicatedBytes = e.Cluster.ReplicatedBytes()
+	res.LeaseExpiries = e.Cluster.LeaseExpiries()
 	for node, m := range r.meters {
 		res.Meter.AddAll(m)
 		agg := res.PerFunction[node.fn]
@@ -589,15 +672,18 @@ func (e *Engine) execute(inv *invocation, pod *Pod) {
 	var err error
 	retryBase := e.Cluster.Retries()
 	cacheBase := e.Cluster.CacheStats()
+	failBase := e.Cluster.Failovers()
 	if req.err == nil {
 		out, err = e.invoke(inv, pod, meter, req.inputs[inv.node])
 	}
 	// The simulator is single-threaded and invoke runs synchronously, so
 	// the retry-counter delta is exactly this invocation's attempts (and
-	// likewise for the cache-counter delta).
+	// likewise for the cache- and failover-counter deltas).
 	retries := e.Cluster.Retries() - retryBase
 	cacheDelta := e.Cluster.CacheStats().Sub(cacheBase)
+	failovers := e.Cluster.Failovers() - failBase
 	req.retries += retries
+	req.failovers += failovers
 	started := e.Cluster.Sim.Now()
 	d := meter.Total()
 	e.Cluster.Sim.After(d, func() {
@@ -620,9 +706,10 @@ func (e *Engine) execute(inv *invocation, pod *Pod) {
 				Node: inv.node.String(), Pod: pod.ID, Machine: int(pod.Machine.ID()),
 				Start: started, End: e.Cluster.Sim.Now(),
 				Breakdown: meter.Snapshot(),
-				Retries:   retries, Redo: inv.redo, Err: errText,
+				Retries: retries, Redo: inv.redo, Err: errText,
 				CacheHits: cacheDelta.Hits, CacheMisses: cacheDelta.Misses,
 				ReadaheadPages: cacheDelta.ReadaheadPages,
+				Failovers:      failovers,
 			})
 		}
 		if err != nil && req.err == nil {
@@ -905,8 +992,10 @@ func (e *Engine) consume(c *Container, pod *Pod, meter *simtime.Meter, p *stateP
 		}
 		return e.unpickleWithBuffer(c, pod, meter, data)
 	case ModeRMMAP, ModeRMMAPPrefetch:
-		mp, err := pod.Kernel.RmapAs(c.AS, p.meta.Machine, p.meta.ID, p.meta.Key,
-			p.meta.Start, p.meta.End, typeID(c.Slot.Function), e.opts.PagingMode)
+		// RmapMeta (not RmapAs) so the mapping knows the registration's
+		// backup machines: if the producer is already dead the consumer
+		// fails over at rmap time instead of failing outright.
+		mp, err := pod.Kernel.RmapMeta(c.AS, p.meta, typeID(c.Slot.Function), e.opts.PagingMode)
 		if err != nil {
 			return objrt.Obj{}, err
 		}

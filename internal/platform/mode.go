@@ -109,6 +109,16 @@ type Options struct {
 	// re-execution, see RecoveryPolicy). nil means any transfer failure
 	// fails the request — the negative control for the chaos experiments.
 	Recovery *RecoveryPolicy
+	// Replicas asynchronously replicates every registration's shadow
+	// frames to this many backup machines (clipped to machines-1) and
+	// turns on lease-based liveness tracking: consumers of a crashed
+	// producer fail over to a replica instead of waiting for
+	// re-execution. 0 disables replication (the seed behaviour).
+	Replicas int
+	// NoReplication forces replication and leases off even when Replicas
+	// is set — the control arm of the abl-failover experiment, which must
+	// recover via re-execution alone.
+	NoReplication bool
 	// NoPageCache disables the machine-level remote page cache (the
 	// fan-out ablation's negative control); default is enabled with
 	// kernel.DefaultPageCacheBytes.
@@ -136,6 +146,18 @@ func (o Options) smallThreshold() int {
 		return o.SmallStateFallback
 	}
 	return DefaultSmallState
+}
+
+// replicas resolves the effective backup count on an n-machine cluster.
+func (o Options) replicas(machines int) int {
+	if o.NoReplication || o.Replicas <= 0 {
+		return 0
+	}
+	r := o.Replicas
+	if r > machines-1 {
+		r = machines - 1
+	}
+	return r
 }
 
 func (o Options) textPages() int {

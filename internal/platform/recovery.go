@@ -5,20 +5,29 @@ import (
 
 	"rmmap/internal/faults"
 	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
 )
 
 // RecoveryPolicy is the platform's failure-handling ladder (§6 fault
-// tolerance). With a policy set, transfer failures climb three rungs:
+// tolerance). With a policy set, transfer failures climb the rungs:
 //
 //  1. transport retries — transient faults are retried with capped
 //     exponential backoff inside the chaos cluster's retry transport,
 //     charged to simtime.CatRetry (configured by Retry, applied by
 //     NewChaosCluster);
-//  2. re-execution — a consumer that cannot reach its input state parks
-//     while the coordinator re-runs the producer (the MITOSIS-style
-//     re-fork: handlers are deterministic, so the rebuilt state is
-//     byte-identical), bounded by MaxReexecutions per request;
-//  3. degradation — an edge whose rmap keeps failing for reasons other
+//  2. partition wait — a transfer that failed because the link is
+//     partitioned (faults.ErrPartitioned) parks the whole invocation and
+//     retries it after PartitionWait: the state is unreachable, not lost,
+//     so neither the payload nor the re-execution budget is spent;
+//  3. failover — with replication enabled (Options.Replicas), a consumer
+//     whose producer machine crashed re-points its mapping at a backup's
+//     replica inside the kernel and continues; it never surfaces here;
+//  4. re-execution — a consumer that cannot reach its input state (crash
+//     without a complete replica) parks while the coordinator re-runs the
+//     producer (the MITOSIS-style re-fork: handlers are deterministic, so
+//     the rebuilt state is byte-identical), bounded by MaxReexecutions
+//     per request;
+//  5. degradation — an edge whose rmap keeps failing for reasons other
 //     than a machine crash switches to messaging after DegradeAfter
 //     failures, trading zero-copy for liveness.
 //
@@ -33,12 +42,20 @@ type RecoveryPolicy struct {
 	// DegradeAfter is the number of non-crash transfer failures on one
 	// edge before it falls back to messaging; 0 = DefaultDegradeAfter.
 	DegradeAfter int
+	// PartitionWait is how long an invocation parks before retrying after
+	// a partitioned transfer; 0 = DefaultPartitionWait.
+	PartitionWait simtime.Duration
+	// MaxPartitionWaits caps partition retries per request (a never-lifting
+	// partition must not spin forever); 0 = DefaultMaxPartitionWaits.
+	MaxPartitionWaits int
 }
 
 // Recovery ladder defaults.
 const (
-	DefaultMaxReexecutions = 4
-	DefaultDegradeAfter    = 2
+	DefaultMaxReexecutions   = 4
+	DefaultDegradeAfter      = 2
+	DefaultPartitionWait     = 50 * simtime.Microsecond
+	DefaultMaxPartitionWaits = 256
 )
 
 // DefaultRecoveryPolicy is the policy the chaos experiments run under.
@@ -58,6 +75,20 @@ func (p *RecoveryPolicy) degradeAfter() int {
 		return p.DegradeAfter
 	}
 	return DefaultDegradeAfter
+}
+
+func (p *RecoveryPolicy) partitionWait() simtime.Duration {
+	if p.PartitionWait > 0 {
+		return p.PartitionWait
+	}
+	return DefaultPartitionWait
+}
+
+func (p *RecoveryPolicy) maxPartitionWaits() int {
+	if p.MaxPartitionWaits > 0 {
+		return p.MaxPartitionWaits
+	}
+	return DefaultMaxPartitionWaits
 }
 
 // transferError marks an invocation failure attributable to one input
@@ -89,6 +120,20 @@ func (e *Engine) repair(req *request, inv *invocation, err error) bool {
 	if !errors.As(err, &te) {
 		return false
 	}
+
+	// Partition rung: the input state is unreachable, not lost. Keep the
+	// payload (the registration is intact on the other side of the cut),
+	// park the invocation, and retry it wholesale once the window has had
+	// time to lift. No re-execution budget is consumed.
+	if errors.Is(err, faults.ErrPartitioned) && req.partitionWaits < pol.maxPartitionWaits() {
+		req.partitionWaits++
+		e.Cluster.Sim.After(pol.partitionWait(), func() {
+			e.queue = append(e.queue, inv)
+			e.dispatch()
+		})
+		return true
+	}
+
 	if req.reexecs >= pol.maxReexecutions() {
 		return false
 	}

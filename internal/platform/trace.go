@@ -26,6 +26,9 @@ type Span struct {
 	CacheHits      int64
 	CacheMisses    int64
 	ReadaheadPages int64
+	// Failovers counts consumer mappings this invocation re-pointed at a
+	// replica (cluster-wide failover-counter delta over the span).
+	Failovers int
 	// Redo marks a producer re-execution scheduled by the recovery ladder.
 	Redo bool
 	// Err is the invocation's failure, if any ("" = success).
@@ -49,7 +52,7 @@ func WriteTrace(w io.Writer, spans []Span) {
 		return sorted[i].Node < sorted[j].Node
 	})
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tretries\tcache h/m/ra\tbreakdown")
+	fmt.Fprintln(tw, "node\tpod\tstart\tend\tduration\tretries\tfailovers\tcache h/m/ra\tbreakdown")
 	for _, s := range sorted {
 		node := s.Node
 		if s.Redo {
@@ -58,10 +61,10 @@ func WriteTrace(w io.Writer, spans []Span) {
 		if s.Err != "" {
 			node += " !"
 		}
-		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%d\t%d/%d/%d\t%v\n",
+		fmt.Fprintf(tw, "%s\tpod%d@m%d\t%v\t%v\t%v\t%d\t%d\t%d/%d/%d\t%v\n",
 			node, s.Pod, s.Machine,
 			simtime.Duration(s.Start), simtime.Duration(s.End), s.Duration(),
-			s.Retries, s.CacheHits, s.CacheMisses, s.ReadaheadPages, s.Breakdown)
+			s.Retries, s.Failovers, s.CacheHits, s.CacheMisses, s.ReadaheadPages, s.Breakdown)
 	}
 	tw.Flush()
 }

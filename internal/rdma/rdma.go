@@ -37,6 +37,12 @@ type PageRead struct {
 	Buf []byte // destination, at most one page
 }
 
+// PageWrite names one page-sized write within a doorbell batch.
+type PageWrite struct {
+	PFN  memsim.PFN
+	Data []byte // source, at most one page
+}
+
 // Handler serves an RPC endpoint. It may charge the caller's meter to model
 // remote CPU time that sits on the caller's critical path.
 type Handler func(m *simtime.Meter, req []byte) ([]byte, error)
@@ -51,6 +57,9 @@ type Transport interface {
 	// ReadPages performs a doorbell-batched read of several remote frames
 	// in one fabric roundtrip.
 	ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error
+	// WritePages performs a doorbell-batched one-sided write of several
+	// remote frames in one fabric roundtrip (the replication push path).
+	WritePages(m *simtime.Meter, target memsim.MachineID, reqs []PageWrite) error
 	// Call performs an RPC to a named endpoint on the target machine.
 	Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error)
 }
@@ -70,11 +79,14 @@ type SimFabric struct {
 	handlers map[memsim.MachineID]map[string]Handler
 
 	// Telemetry for the factor analysis and ablations.
-	reads      int
-	batchReads int
-	batchPages int
-	rpcs       int
-	bytesRead  int64
+	reads        int
+	batchReads   int
+	batchPages   int
+	rpcs         int
+	bytesRead    int64
+	batchWrites  int
+	writePages   int
+	bytesWritten int64
 }
 
 // NewSimFabric returns an empty fabric charging from cm.
@@ -119,11 +131,20 @@ func (f *SimFabric) BatchPages() int {
 	return f.batchPages
 }
 
+// WriteStats reports cumulative one-sided write activity: doorbell write
+// batches, pages carried inside them, and total bytes pushed.
+func (f *SimFabric) WriteStats() (batches, pages int, bytesWritten int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.batchWrites, f.writePages, f.bytesWritten
+}
+
 // ResetStats zeroes the telemetry counters.
 func (f *SimFabric) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.reads, f.batchReads, f.batchPages, f.rpcs, f.bytesRead = 0, 0, 0, 0, 0
+	f.batchWrites, f.writePages, f.bytesWritten = 0, 0, 0
 }
 
 func (f *SimFabric) machine(id memsim.MachineID) (*memsim.Machine, error) {
@@ -245,6 +266,58 @@ func (n *NIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim
 			}
 		} else {
 			mach.ReadFrame(r.PFN, 0, r.Buf)
+		}
+	}
+	return nil
+}
+
+// WritePages implements Transport: one doorbell-batched roundtrip pushing
+// many pages — the one-sided replication path. Like reads, writes bypass
+// the remote CPU; a crashed target rejects the bytes at the frame table.
+func (n *NIC) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []PageWrite) error {
+	return n.WritePagesCat(m, simtime.CatReplicate, target, reqs)
+}
+
+// WritePagesCat is WritePages with an explicit charge category.
+func (n *NIC) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageWrite) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	mach, err := n.fabric.machine(target)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Data)
+	}
+	if target != n.owner {
+		n.connect(m, target)
+		cm := n.fabric.cm
+		base := cm.RDMAPageWrite - simtime.Bytes(memsim.PageSize, cm.RDMAPerByte)
+		if base < 0 {
+			base = 0
+		}
+		m.Charge(cat,
+			base+
+				simtime.Scale(cm.DoorbellPerPage, len(reqs))+
+				simtime.Bytes(total, cm.RDMAPerByte))
+		n.fabric.mu.Lock()
+		n.fabric.batchWrites++
+		n.fabric.writePages += len(reqs)
+		n.fabric.bytesWritten += int64(total)
+		n.fabric.mu.Unlock()
+	}
+	for _, r := range reqs {
+		if len(r.Data) > memsim.PageSize {
+			return fmt.Errorf("rdma: write batch entry exceeds page size: %d", len(r.Data))
+		}
+		if target != n.owner {
+			if err := mach.WriteFrameErr(r.PFN, 0, r.Data); err != nil {
+				return err
+			}
+		} else {
+			mach.WriteFrame(r.PFN, 0, r.Data)
 		}
 	}
 	return nil

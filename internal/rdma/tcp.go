@@ -26,6 +26,7 @@ import (
 //	  op=1 (read):  pfn u64, off u32, n u32
 //	  op=2 (batch): count u32, then count × (pfn u64, n u32)
 //	  op=3 (rpc):   epLen u16, endpoint, payload
+//	  op=4 (write): count u32, then count × (pfn u64, n u32, n bytes)
 //	response: status u8 (0 ok, 1 error) | payload-or-error-text
 type TCPFabric struct {
 	cm *simtime.CostModel
@@ -38,12 +39,18 @@ type TCPFabric struct {
 
 	mu    sync.Mutex
 	addrs map[memsim.MachineID]string
+	// epochs counts how many times each machine ID has been (re)served.
+	// NICs stamp cached connections with the epoch they dialed under, so a
+	// crashed-then-replaced machine ID can never be served by a stale
+	// socket that still reaches the old incarnation.
+	epochs map[memsim.MachineID]uint64
 }
 
 const (
 	opRead  = 1
 	opBatch = 2
 	opRPC   = 3
+	opWrite = 4
 
 	defaultDialTimeout = 5 * time.Second
 	defaultIOTimeout   = 10 * time.Second
@@ -56,7 +63,11 @@ var ErrRemote = errors.New("rdma/tcp: remote error")
 
 // NewTCPFabric returns a fabric whose charges come from cm.
 func NewTCPFabric(cm *simtime.CostModel) *TCPFabric {
-	return &TCPFabric{cm: cm, addrs: make(map[memsim.MachineID]string)}
+	return &TCPFabric{
+		cm:     cm,
+		addrs:  make(map[memsim.MachineID]string),
+		epochs: make(map[memsim.MachineID]uint64),
+	}
 }
 
 func (f *TCPFabric) dialTimeout() time.Duration {
@@ -100,6 +111,7 @@ func (f *TCPFabric) Serve(m *memsim.Machine, addr string) (*TCPServer, error) {
 	}
 	f.mu.Lock()
 	f.addrs[m.ID()] = ln.Addr().String()
+	f.epochs[m.ID()]++
 	f.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -249,6 +261,31 @@ func (s *TCPServer) dispatch(req []byte) ([]byte, error) {
 			out = append(out, buf...)
 		}
 		return out, nil
+	case opWrite:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("rdma/tcp: bad write request")
+		}
+		count := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		for i := 0; i < count; i++ {
+			if len(body) < 12 {
+				return nil, fmt.Errorf("rdma/tcp: bad write body")
+			}
+			pfn := memsim.PFN(binary.LittleEndian.Uint64(body))
+			n := int(binary.LittleEndian.Uint32(body[8:]))
+			body = body[12:]
+			if n < 0 || n > memsim.PageSize || len(body) < n {
+				return nil, fmt.Errorf("rdma/tcp: write entry too large")
+			}
+			if err := s.machine.WriteFrameErr(pfn, 0, body[:n]); err != nil {
+				return nil, err
+			}
+			body = body[n:]
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("rdma/tcp: trailing write bytes")
+		}
+		return nil, nil
 	case opRPC:
 		if len(body) < 2 {
 			return nil, fmt.Errorf("rdma/tcp: bad rpc request")
@@ -309,10 +346,11 @@ type TCPNIC struct {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu    sync.Mutex
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	epoch uint64 // fabric epoch of the target when this conn was dialed
 }
 
 // NewTCPNIC returns a NIC for machine local on fabric f.
@@ -339,12 +377,20 @@ func (n *TCPNIC) Close() {
 func (n *TCPNIC) conn(target memsim.MachineID) (c *tcpConn, fresh bool, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if c, ok := n.conns[target]; ok {
-		return c, false, nil
-	}
 	n.fabric.mu.Lock()
 	addr, ok := n.fabric.addrs[target]
+	epoch := n.fabric.epochs[target]
 	n.fabric.mu.Unlock()
+	if c, ok := n.conns[target]; ok {
+		if c.epoch == epoch {
+			return c, false, nil
+		}
+		// The machine ID was re-served since this socket was dialed: the
+		// cached connection may still reach the old incarnation (which can
+		// even be answering, with stale frames). Never reuse it.
+		delete(n.conns, target)
+		c.conn.Close()
+	}
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %d", ErrNoMachine, target)
 	}
@@ -352,7 +398,7 @@ func (n *TCPNIC) conn(target memsim.MachineID) (c *tcpConn, fresh bool, err erro
 	if err != nil {
 		return nil, false, err
 	}
-	c = &tcpConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+	c = &tcpConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw), epoch: epoch}
 	n.conns[target] = c
 	return c, true, nil
 }
@@ -484,6 +530,49 @@ func (n *TCPNIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target mem
 	cm := n.fabric.cm
 	m.Charge(cat,
 		cm.DoorbellBase+simtime.Scale(cm.DoorbellPerPage, len(reqs))+simtime.Bytes(total, cm.RDMAPerByte))
+	return nil
+}
+
+// WritePages implements Transport over TCP with one roundtrip.
+func (n *TCPNIC) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []PageWrite) error {
+	return n.WritePagesCat(m, simtime.CatReplicate, target, reqs)
+}
+
+// WritePagesCat is WritePages with an explicit charge category.
+func (n *TCPNIC) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageWrite) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if target == n.owner {
+		for _, r := range reqs {
+			n.local.WriteFrame(r.PFN, 0, r.Data)
+		}
+		return nil
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Data)
+	}
+	req := make([]byte, 5, 5+12*len(reqs)+total)
+	req[0] = opWrite
+	binary.LittleEndian.PutUint32(req[1:], uint32(len(reqs)))
+	var hdr [12]byte
+	for _, r := range reqs {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(r.PFN))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
+		req = append(req, hdr[:]...)
+		req = append(req, r.Data...)
+	}
+	if _, err := n.roundtrip(target, req); err != nil {
+		return err
+	}
+	cm := n.fabric.cm
+	base := cm.RDMAPageWrite - simtime.Bytes(memsim.PageSize, cm.RDMAPerByte)
+	if base < 0 {
+		base = 0
+	}
+	m.Charge(cat,
+		base+simtime.Scale(cm.DoorbellPerPage, len(reqs))+simtime.Bytes(total, cm.RDMAPerByte))
 	return nil
 }
 

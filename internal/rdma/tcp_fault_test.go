@@ -206,3 +206,51 @@ func TestTCPServerCrashSurfacesToClient(t *testing.T) {
 		t.Fatalf("read from crashed machine: want ErrRemote, got %v", err)
 	}
 }
+
+// TestTCPEpochEvictsStaleConnAfterReServe: when a machine ID is re-served
+// (crashed node replaced at a new address), cached connections dialed
+// under the old epoch must be evicted — the NIC redials the replacement
+// instead of talking to the dead node's socket.
+func TestTCPEpochEvictsStaleConnAfterReServe(t *testing.T) {
+	fabric, remote, srv, nic := newTCPPair(t)
+	pfn := remote.AllocFrame()
+	remote.WriteFrame(pfn, 0, []byte("old-node"))
+
+	buf := make([]byte, 8)
+	if err := nic.Read(simtime.NewMeter(), 1, pfn, 0, buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	nic.mu.Lock()
+	cached := nic.conns[1]
+	nic.mu.Unlock()
+	if cached == nil {
+		t.Fatalf("no cached connection after successful read")
+	}
+
+	// Replace machine 1: a new machine under the same ID, served at a new
+	// address. The old server's socket is still listening — a stale cached
+	// connection would happily keep answering with the dead node's memory.
+	replacement := memsim.NewMachine(1)
+	rpfn := replacement.AllocFrame()
+	replacement.WriteFrame(rpfn, 0, []byte("new-node"))
+	srv2, err := fabric.Serve(replacement, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	clear(buf)
+	if err := nic.Read(simtime.NewMeter(), 1, rpfn, 0, buf); err != nil {
+		t.Fatalf("read after re-serve: %v", err)
+	}
+	if string(buf) != "new-node" {
+		t.Fatalf("read %q after re-serve, want %q (stale socket reused)", buf, "new-node")
+	}
+	nic.mu.Lock()
+	fresh := nic.conns[1]
+	nic.mu.Unlock()
+	if fresh == cached {
+		t.Fatalf("epoch bump did not evict the stale connection")
+	}
+	_ = srv
+}

@@ -104,6 +104,18 @@ type CostModel struct {
 	// when an insert exceeds the cache's byte budget.
 	CacheEvictPerPage Duration
 
+	// --- Leases and replication (§6 fault tolerance) ---
+
+	// RDMAPageWrite is the base cost of pushing one 4 KB page to a remote
+	// machine with a one-sided RDMA WRITE (same NIC path as a READ; the
+	// per-byte wire cost is RDMAPerByte on top).
+	RDMAPageWrite Duration
+	// HeartbeatPeriod is the failure detector's probe interval.
+	HeartbeatPeriod Duration
+	// LeaseTTL is how long a lease stays fresh without a successful probe
+	// before the peer becomes suspect and reads must be revalidated.
+	LeaseTTL Duration
+
 	// --- Memory (local) ---
 
 	// MemcpyPerByte is a plain local copy at DRAM-ish single-thread
@@ -152,6 +164,10 @@ func DefaultCostModel() *CostModel {
 
 		CacheHitInstall:   300 * Nanosecond,
 		CacheEvictPerPage: 100 * Nanosecond,
+
+		RDMAPageWrite:   2 * Microsecond,
+		HeartbeatPeriod: 25 * Microsecond,
+		LeaseTTL:        100 * Microsecond,
 
 		MemcpyPerByte:  0.2, // 5 GB/s single-thread copy
 		ComputePerByte: 1.5,

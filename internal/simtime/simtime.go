@@ -92,6 +92,12 @@ const (
 	// CatReadahead is fault-coalescing readahead: doorbell-batched reads
 	// issued beyond the demand page.
 	CatReadahead
+	// CatHeartbeat is failure-detector traffic: lease probes and the
+	// consumer-side lease revalidation RPCs issued after an expiry.
+	CatHeartbeat
+	// CatReplicate is async state replication: shadow-frame pushes to a
+	// backup machine plus the prepare/commit control RPCs.
+	CatReplicate
 	numCategories
 )
 
@@ -108,6 +114,8 @@ var categoryNames = [...]string{
 	CatRetry:       "retry",
 	CatCache:       "cache",
 	CatReadahead:   "readahead",
+	CatHeartbeat:   "heartbeat",
+	CatReplicate:   "replicate",
 }
 
 func (c Category) String() string {
