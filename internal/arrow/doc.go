@@ -1,0 +1,22 @@
+// Package arrow implements an Apache-Arrow-style columnar interchange
+// format for dataframes, the "specialized library for exchanging objects"
+// the paper discusses in §6. Arrow's receive side is zero-copy — a
+// consumer reads column buffers in place with no per-object
+// reconstruction — but the send side must still *transform* runtime
+// objects into the columnar layout (and back for object columns), which is
+// exactly the cost RMMAP eliminates. The abl-arrow experiment quantifies
+// the resulting ordering: pickle < arrow < rmmap.
+//
+// Wire format (little endian):
+//
+//	magic "ARRW1"
+//	rows u32 | cols u32
+//	per column: kind u8 | nameLen u16 | name |
+//	  kind=float64: rows × f64
+//	  kind=string:  (rows+1) × u32 offsets | bytes
+//
+// Invariants: encode/decode round-trips are exact; encode charges
+// serialize-category virtual time per transformed cell while decode of
+// numeric columns charges nothing (zero-copy receive), matching Arrow's
+// asymmetry.
+package arrow

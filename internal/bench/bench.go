@@ -1,9 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation (§5) plus the motivation figures (§2.3) and four design
-// ablations. Each experiment prints the same rows/series the paper
-// reports; EXPERIMENTS.md records the expected shapes and the measured
-// outcomes. cmd/rmmap-bench and bench_test.go are thin wrappers around
-// this package.
 package bench
 
 import (

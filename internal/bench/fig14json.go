@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"rmmap/internal/obs"
 	"rmmap/internal/platform"
 	"rmmap/internal/simtime"
 )
@@ -23,6 +24,11 @@ type Fig14Row struct {
 	CacheMisses         int64   `json:"cache_misses"`
 	CacheHitRate        float64 `json:"cache_hit_rate"`
 	ReadaheadPages      int64   `json:"readahead_pages"`
+	// BreakdownNs is the run's total virtual time per simtime category
+	// (compute, serialize, fault, …) — the per-category cost attribution
+	// behind the latency number. Keys are canonical category names;
+	// encoding/json sorts them, so output is deterministic.
+	BreakdownNs map[string]int64 `json:"simtime_breakdown_ns"`
 }
 
 // Fig14Report is what `rmmap-bench -json` writes to BENCH_fig14.json.
@@ -32,6 +38,10 @@ type Fig14Report struct {
 	Scale    float64       `json:"scale"`
 	Rows     []Fig14Row    `json:"rows"`
 	Failover []FailoverRow `json:"failover,omitempty"`
+	// MetricAliases maps this report's historical JSON keys (and the
+	// RunResult fields they came from) to the canonical obs metric names —
+	// the migration table for consumers of this file.
+	MetricAliases map[string]string `json:"metric_aliases"`
 }
 
 // CollectFig14 reruns the Fig 14 grid (every evaluated workflow × every
@@ -52,6 +62,10 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 				return rep, err
 			}
 			reads, batches, _, bytesRead := cl.Fabric.Stats()
+			breakdown := make(map[string]int64)
+			res.Meter.Each(func(c simtime.Category, d simtime.Duration) {
+				breakdown[c.String()] = int64(d)
+			})
 			rep.Rows = append(rep.Rows, Fig14Row{
 				Workflow:            wfb.Name,
 				Mode:                mode.String(),
@@ -64,10 +78,12 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 				CacheMisses:         res.Cache.Misses,
 				CacheHitRate:        res.Cache.HitRate(),
 				ReadaheadPages:      res.Cache.ReadaheadPages,
+				BreakdownNs:         breakdown,
 			})
 		}
 	}
 	rep.Failover = CollectFailover(scale)
+	rep.MetricAliases = obs.FieldAliases()
 	return rep, nil
 }
 

@@ -12,11 +12,16 @@ import (
 
 // Workflow-level experiments: Fig 3, 5, 12, 13, 14, 16a.
 
-// wfBuilders returns the four evaluated workflows at the given scale.
-func wfBuilders(scale float64) []struct {
+// WorkflowBuilder names one evaluated workflow and builds fresh instances
+// of it (a workflow is single-use; each run needs its own).
+type WorkflowBuilder struct {
 	Name  string
 	Build func() *platform.Workflow
-} {
+}
+
+// Workflows returns the four evaluated workflows (§5.1) at the given
+// scale — the registry cmd/rmmap-trace and the fig14 grid both draw from.
+func Workflows(scale float64) []WorkflowBuilder {
 	finra := workloads.DefaultFINRA()
 	finra.Rows = scaleInt(finra.Rows, scale)
 	finra.Rules = scaleInt(finra.Rules, scale*0.25+0.75) // keep fan-out meaningful
@@ -29,16 +34,16 @@ func wfBuilders(scale float64) []struct {
 	mlp.Images = scaleInt(mlp.Images, scale)
 	wc := workloads.DefaultWordCount()
 	wc.BookBytes = scaleInt(wc.BookBytes, scale)
-	return []struct {
-		Name  string
-		Build func() *platform.Workflow
-	}{
+	return []WorkflowBuilder{
 		{"FINRA", func() *platform.Workflow { return workloads.FINRA(finra) }},
 		{"ML-training", func() *platform.Workflow { return workloads.MLTrain(mlt) }},
 		{"ML-prediction", func() *platform.Workflow { return workloads.MLPredict(mlp) }},
 		{"WordCount", func() *platform.Workflow { return workloads.WordCount(wc) }},
 	}
 }
+
+// wfBuilders is the historical internal name for Workflows.
+func wfBuilders(scale float64) []WorkflowBuilder { return Workflows(scale) }
 
 func benchCluster() platform.ClusterConfig { return platform.ClusterConfig{Machines: 10, Pods: 80} }
 

@@ -1,0 +1,18 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// reproduction's §6 fault-tolerance story. A fault Plan names injection
+// sites (one-sided RDMA reads, doorbell batches, kernel RPCs, TCP
+// dial/roundtrip), schedules (virtual-time windows), probabilities, and
+// whole-machine crashes at virtual-time instants. An Injector evaluates the
+// plan with a seeded PRNG against the cluster's virtual clock, so every
+// fault schedule — and therefore every failure and recovery — reproduces
+// bit-for-bit from the seed.
+//
+// The injector never touches the transports directly: FaultFabric (see
+// transport.go) wraps any rdma.Transport (SimFabric NICs and TCPFabric
+// NICs alike, unmodified) and consults the injector before each operation.
+//
+// Invariants: injected faults are observation points for the recovery
+// ladder in platform — they change *when* operations fail, never what a
+// successful operation returns; and a Plan with zero probability is
+// behaviorally identical to no injector at all.
+package faults

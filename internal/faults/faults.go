@@ -1,15 +1,3 @@
-// Package faults is the deterministic fault-injection subsystem of the
-// reproduction's §6 fault-tolerance story. A fault Plan names injection
-// sites (one-sided RDMA reads, doorbell batches, kernel RPCs, TCP
-// dial/roundtrip), schedules (virtual-time windows), probabilities, and
-// whole-machine crashes at virtual-time instants. An Injector evaluates the
-// plan with a seeded PRNG against the cluster's virtual clock, so every
-// fault schedule — and therefore every failure and recovery — reproduces
-// bit-for-bit from the seed.
-//
-// The injector never touches the transports directly: FaultFabric (see
-// transport.go) wraps any rdma.Transport (SimFabric NICs and TCPFabric
-// NICs alike, unmodified) and consults the injector before each operation.
 package faults
 
 import (

@@ -1,13 +1,3 @@
-// Package kernel implements the RMMAP OS primitive (§4.1, Table 1):
-// register_mem, rmap, deregister_mem and set_segment, plus the remote
-// page-fault path and the shadow-copy lifecycle management.
-//
-// One Kernel instance runs per machine. register_mem CoW-marks the caller's
-// pages and takes shadow references so the registered memory outlives the
-// producer container. rmap issues the auth/page-table RPC to the producer's
-// kernel, then installs a VMA whose fault handler reads remote physical
-// frames with one-sided RDMA; Prefetch reads many pages in one
-// doorbell-batched request (§4.4).
 package kernel
 
 import (

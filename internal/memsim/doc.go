@@ -1,0 +1,21 @@
+// Package memsim simulates the virtual-memory substrate RMMAP is built on:
+// machines with pools of 4 KB physical frames, per-container address spaces
+// with page tables and VMAs, copy-on-write, and pluggable page-fault
+// handlers. It reproduces exactly the page-table state machine the paper's
+// kernel module manipulates (§4.1), with real bytes behind every frame.
+//
+// Invariants the rest of the stack relies on:
+//
+//   - Every mapped virtual page resolves to exactly one physical frame on
+//     exactly one machine; frames are reference-counted and a frame is
+//     recycled only when its count reaches zero.
+//   - Copy-on-write is observable: a write to a CoW page allocates a new
+//     frame and copies the old bytes before the store lands, so shadow
+//     copies taken by register_mem (see the kernel package) are immutable.
+//   - Page faults are the only way an unmapped access proceeds — the VMA's
+//     fault handler either installs a frame or the access fails. This is
+//     the hook kernel.Kernel uses to fetch remote pages lazily.
+//   - All sizes are page-granular; addresses are plain uint64 virtual
+//     addresses, which is what lets objrt store raw pointers in object
+//     fields and dereference them after an rmap.
+package memsim

@@ -1,8 +1,3 @@
-// Package memsim simulates the virtual-memory substrate RMMAP is built on:
-// machines with pools of 4 KB physical frames, per-container address spaces
-// with page tables and VMAs, copy-on-write, and pluggable page-fault
-// handlers. It reproduces exactly the page-table state machine the paper's
-// kernel module manipulates (§4.1), with real bytes behind every frame.
 package memsim
 
 import (

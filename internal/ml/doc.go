@@ -1,0 +1,16 @@
+// Package ml provides the machine-learning substrate the ML training and
+// prediction workflows run on (§5.1): PCA feature extraction via power
+// iteration, CART decision trees, and random forests (standing in for
+// LightGBM). Everything is deterministic given a seed.
+//
+// Invariants:
+//
+//   - No floating-point nondeterminism leaks into the experiments: given
+//     the same seed and inputs, training produces the identical forest
+//     (same splits, same order), which the golden-file tests depend on.
+//   - Models are objrt object graphs, not Go-native values — the point of
+//     the ML workflows is that the trained model is *state transferred*
+//     between functions, so it must live in simulated memory.
+//   - Compute is charged to the Meter per arithmetic-heavy step, keeping
+//     the compute column of Fig 14 honest relative to transfer costs.
+package ml

@@ -1,7 +1,3 @@
-// Package ml provides the machine-learning substrate the ML training and
-// prediction workflows run on (§5.1): PCA feature extraction via power
-// iteration, CART decision trees, and random forests (standing in for
-// LightGBM). Everything is deterministic given a seed.
 package ml
 
 import (

@@ -1,0 +1,18 @@
+// Package naos models Naos (USENIX ATC'21), a Java library that sends
+// object graphs over RDMA without a classic serializer: it still traverses
+// the graph and rewrites every pointer into a relocated contiguous buffer,
+// then issues one RDMA write; the receiver can use the objects in place.
+// The paper compares against it in §5.7 (Fig 16b): RMMAP wins 42–64%
+// because it eliminates even the traversal/pointer-fixup step.
+//
+// The implementation here transfers real objects between two runtimes: it
+// walks the source graph, copies each object into a send buffer while
+// rewriting pointers to their relocated target addresses, "writes" the
+// buffer into the destination heap (RDMA write at line rate), and returns
+// the received root. No receiver-side work is modeled, matching Naos's
+// receive-side zero-copy design.
+//
+// Invariants: the transferred graph is deep-equal to the source at its new
+// addresses; send-side cost scales with objects visited (traversal) plus
+// pointers rewritten (fixup), never with receiver-side object count.
+package naos

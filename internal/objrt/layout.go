@@ -1,15 +1,3 @@
-// Package objrt is the high-level-language runtime of the reproduction: a
-// managed object heap living *inside* a simulated address space, with
-// 8-byte virtual-address pointers between objects. It plays the role the
-// paper's extended CPython/JVM plays (§4.3): it provides pickle-style
-// (de)serialization for the baselines, reachability traversal for
-// semantic-aware prefetching (§4.4), a hybrid GC for remote heaps, and
-// CDS-style shared type metadata for the statically-typed ("Java") mode.
-//
-// Because objects are real pointer graphs in simulated memory, a consumer
-// that rmaps the producer's heap can dereference the producer's pointers
-// directly — which is exactly the paper's claim, and it only works because
-// the platform's address plan keeps heaps disjoint.
 package objrt
 
 import (

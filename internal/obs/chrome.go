@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rmmap/internal/simtime"
+)
+
+// Chrome trace-event export. The output loads in chrome://tracing and
+// Perfetto: machines render as processes, pods as threads, invocations as
+// complete ("X") events with their per-category breakdown in args.
+//
+// Byte stability is a hard requirement (golden tests pin it), so the
+// emitter writes JSON by hand: field order is fixed, span args preserve
+// their declared order, and timestamps are formatted with integer
+// arithmetic (Chrome wants µs; virtual time is ns, so values print as
+// "<µs>.<3-digit frac>").
+
+// ChromeTrace writes spans as a Chrome trace-event JSON object. Spans are
+// exported in canonical order (SortSpans) after metadata events naming
+// each process and thread.
+func ChromeTrace(w io.Writer, spans []Span) error {
+	sorted := SortSpans(spans)
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+
+	// Metadata: name every process (machine) and thread (pod), sorted.
+	pids := map[int]bool{}
+	type pt struct{ pid, tid int }
+	tids := map[pt]bool{}
+	for _, s := range sorted {
+		pids[s.Pid] = true
+		tids[pt{s.Pid, s.Tid}] = true
+	}
+	pidList := make([]int, 0, len(pids))
+	for p := range pids {
+		pidList = append(pidList, p)
+	}
+	sort.Ints(pidList)
+	for _, p := range pidList {
+		if err := emit(fmt.Sprintf(
+			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine %d"}}`, p, p)); err != nil {
+			return err
+		}
+	}
+	tidList := make([]pt, 0, len(tids))
+	for t := range tids {
+		tidList = append(tidList, t)
+	}
+	sort.Slice(tidList, func(i, j int) bool {
+		if tidList[i].pid != tidList[j].pid {
+			return tidList[i].pid < tidList[j].pid
+		}
+		return tidList[i].tid < tidList[j].tid
+	})
+	for _, t := range tidList {
+		if err := emit(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"pod %d"}}`, t.pid, t.tid, t.tid)); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range sorted {
+		name, err := json.Marshal(s.Name)
+		if err != nil {
+			return err
+		}
+		cat, err := json.Marshal(s.Cat)
+		if err != nil {
+			return err
+		}
+		args, err := encodeArgs(s.Args)
+		if err != nil {
+			return err
+		}
+		if err := emit(fmt.Sprintf(
+			`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
+			name, cat, micros(simtime.Duration(s.Start)), micros(s.Duration()),
+			s.Pid, s.Tid, args)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// WriteSpansJSONL writes spans as one JSON object per line (canonical
+// order): a flat form for jq/awk-style analysis where Chrome's event
+// envelope is in the way.
+func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	for _, s := range SortSpans(spans) {
+		name, err := json.Marshal(s.Name)
+		if err != nil {
+			return err
+		}
+		cat, err := json.Marshal(s.Cat)
+		if err != nil {
+			return err
+		}
+		args, err := encodeArgs(s.Args)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			`{"name":%s,"cat":%s,"machine":%d,"pod":%d,"start_ns":%d,"end_ns":%d,"dur_ns":%d,"args":%s}`+"\n",
+			name, cat, s.Pid, s.Tid, int64(s.Start), int64(s.End), int64(s.Duration()), args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeArgs renders ordered args as a JSON object, preserving order.
+func encodeArgs(args []Arg) (string, error) {
+	if len(args) == 0 {
+		return "{}", nil
+	}
+	out := []byte{'{'}
+	for i, a := range args {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		k, err := json.Marshal(a.Key)
+		if err != nil {
+			return "", err
+		}
+		v, err := json.Marshal(a.Val)
+		if err != nil {
+			return "", fmt.Errorf("obs: span arg %q: %w", a.Key, err)
+		}
+		out = append(out, k...)
+		out = append(out, ':')
+		out = append(out, v...)
+	}
+	out = append(out, '}')
+	return string(out), nil
+}
+
+// micros formats a ns quantity as Chrome's µs with exactly three fractional
+// digits, using integer arithmetic only (float formatting is not trusted
+// for byte-stable output).
+func micros(d simtime.Duration) string {
+	n := int64(d)
+	neg := ""
+	if n < 0 {
+		neg, n = "-", -n
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, n/1000, n%1000)
+}

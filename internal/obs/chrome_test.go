@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{
+			Name: "count#1", Cat: "invocation", Pid: 1, Tid: 3,
+			Start: simtime.Time(2500), End: simtime.Time(10500),
+			Args: []Arg{{Key: "compute_ns", Val: int64(8000)}, {Key: "cache_hits", Val: int64(2)}},
+		},
+		{
+			Name: "gen#0", Cat: "invocation", Pid: 0, Tid: 0,
+			Start: simtime.Time(0), End: simtime.Time(2500),
+			Args: []Arg{{Key: "compute_ns", Val: int64(2500)}},
+		},
+		{
+			Name: "gen#0", Cat: "redo", Pid: 0, Tid: 0,
+			Start: simtime.Time(11000), End: simtime.Time(12000),
+			Args: []Arg{{Key: "error", Val: "boom"}},
+		},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"machine 0"}},
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"machine 1"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"pod 0"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"pod 3"}},
+{"name":"gen#0","cat":"invocation","ph":"X","ts":0.000,"dur":2.500,"pid":0,"tid":0,"args":{"compute_ns":2500}},
+{"name":"count#1","cat":"invocation","ph":"X","ts":2.500,"dur":8.000,"pid":1,"tid":3,"args":{"compute_ns":8000,"cache_hits":2}},
+{"name":"gen#0","cat":"redo","ph":"X","ts":11.000,"dur":1.000,"pid":0,"tid":0,"args":{"error":"boom"}}
+],"displayTimeUnit":"ms"}
+`
+	if buf.String() != want {
+		t.Fatalf("chrome trace mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// The output must be valid JSON with the right event count.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(parsed.TraceEvents))
+	}
+}
+
+func TestChromeTraceByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := ChromeTrace(&a, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ChromeTrace(&b, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same spans differ")
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	// Sorted by start: gen#0 first.
+	var first struct {
+		Name    string `json:"name"`
+		StartNs int64  `json:"start_ns"`
+		DurNs   int64  `json:"dur_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 invalid JSON: %v", err)
+	}
+	if first.Name != "gen#0" || first.StartNs != 0 || first.DurNs != 2500 {
+		t.Fatalf("first line wrong: %+v", first)
+	}
+}
+
+func TestSortSpansDoesNotMutate(t *testing.T) {
+	spans := sampleSpans()
+	origFirst := spans[0].Name
+	_ = SortSpans(spans)
+	if spans[0].Name != origFirst {
+		t.Fatal("SortSpans reordered the caller's slice")
+	}
+}
+
+func TestMicrosFormatting(t *testing.T) {
+	cases := map[simtime.Duration]string{
+		0:        "0.000",
+		1:        "0.001",
+		999:      "0.999",
+		1000:     "1.000",
+		1234567:  "1234.567",
+		-2500:    "-2.500",
+		10500000: "10500.000",
+	}
+	for in, want := range cases {
+		if got := micros(in); got != want {
+			t.Errorf("micros(%d) = %s, want %s", int64(in), got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram counts observations into fixed buckets. Bounds are strictly
+// increasing finite upper edges; observations above the last bound land in
+// an implicit overflow bucket. Fixed buckets (rather than exact samples)
+// keep snapshots small and byte-stable regardless of run length.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is overflow
+	count  int64
+	sum    float64
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram bounds not sorted: %v", bounds))
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
+// inside the bucket holding the rank. Observations in the overflow bucket
+// report the last finite bound — quantiles saturate rather than extrapolate.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencyBucketsNs returns the standard exponential latency buckets in
+// nanoseconds: 1 µs doubling up to ~68 s. Every latency report in the repo
+// uses the same edges so histograms are comparable across runs and modes.
+func LatencyBucketsNs() []float64 {
+	const buckets = 27 // 2^10 ns (=1.024 µs) … 2^36 ns (~68.7 s)
+	out := make([]float64, buckets)
+	for i := range out {
+		out[i] = float64(int64(1) << (10 + i))
+	}
+	return out
+}

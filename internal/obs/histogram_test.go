@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketsAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 9, 10, 11, 999, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{3, 1, 1, 1} // [0,10] (10,100] (100,1000] overflow
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], h.counts)
+		}
+	}
+	if h.Count() != 6 || h.Sum() != 1+9+10+11+999+5000 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// Uniform: one observation per bucket.
+	for _, v := range []float64{5, 15, 25, 35} {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("p0 = %g, want 0 (bottom of first bucket)", q)
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Errorf("p50 = %g, want 20", q)
+	}
+	if q := h.Quantile(1); q != 40 {
+		t.Errorf("p100 = %g, want 40", q)
+	}
+	// Overflow saturates at the last finite bound.
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(1e9)
+	if q := h2.Quantile(0.99); q != 10 {
+		t.Errorf("overflow quantile = %g, want 10 (saturated)", q)
+	}
+	// Empty histogram.
+	if q := NewHistogram([]float64{1}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestLatencyBucketsNs(t *testing.T) {
+	b := LatencyBucketsNs()
+	if b[0] != 1024 {
+		t.Fatalf("first bucket %g, want 1024 ns (~1µs)", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("buckets not doubling at %d: %g → %g", i, b[i-1], b[i])
+		}
+	}
+	if last := b[len(b)-1]; last < 60e9 || math.IsInf(last, 0) {
+		t.Fatalf("last bucket %g should be a finite ~minute-scale bound", last)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+// Canonical metric names. Every reporter in the repo (engine publishing,
+// BENCH_fig14.json breakdowns, rmmap-trace artifacts) uses these; the
+// historical RunResult field names survive only as deprecation aliases.
+//
+// Naming scheme: rmmap_<subsystem>_<quantity>_<unit-or-total>. Counters end
+// in _total (or _bytes_total/_ns_total for summed quantities); histograms
+// name their unit. Label keys: workflow, mode, function, category, rung.
+const (
+	// MetricSimtimeNs is virtual time charged per simtime category
+	// (label "category"; optionally "function" for per-function series).
+	MetricSimtimeNs = "rmmap_simtime_ns_total"
+	// MetricRunLatencyNs is the end-to-end request latency histogram.
+	MetricRunLatencyNs = "rmmap_run_latency_ns"
+	// MetricRuns counts completed requests (label "outcome": ok|error).
+	MetricRuns = "rmmap_runs_total"
+
+	// Recovery-ladder counters, one per rung (labelled "rung" where the
+	// rung is also carried as a label on shared reports).
+	MetricRetries        = "rmmap_recovery_retries_total"
+	MetricFallbacks      = "rmmap_recovery_fallbacks_total"
+	MetricReexecutions   = "rmmap_recovery_reexecutions_total"
+	MetricFailovers      = "rmmap_recovery_failovers_total"
+	MetricPartitionWaits = "rmmap_recovery_partition_waits_total"
+
+	// Remote-page-cache and readahead counters (kernel.CacheStats).
+	MetricCacheHits      = "rmmap_cache_hits_total"
+	MetricCacheMisses    = "rmmap_cache_misses_total"
+	MetricCacheInserts   = "rmmap_cache_inserts_total"
+	MetricCacheEvictions = "rmmap_cache_evictions_total"
+	MetricReadaheadPages = "rmmap_readahead_pages_total"
+
+	// Liveness and replication counters.
+	MetricReplicatedBytes = "rmmap_replication_bytes_total"
+	MetricLeaseExpiries   = "rmmap_lease_expiries_total"
+)
+
+// FieldAliases maps the deprecated, inconsistently named counters that
+// accreted on RunResult (and in bench JSON writers) to their canonical
+// metric names. The old Go fields and JSON keys keep working — this table
+// is how readers migrate. NewRegistry pre-registers these so every metrics
+// snapshot carries the mapping.
+func FieldAliases() map[string]string {
+	return map[string]string{
+		// RunResult fields.
+		"RunResult.Retries":         MetricRetries,
+		"RunResult.Fallbacks":       MetricFallbacks,
+		"RunResult.Reexecs":         MetricReexecutions,
+		"RunResult.Failovers":       MetricFailovers,
+		"RunResult.PartitionWaits":  MetricPartitionWaits,
+		"RunResult.ReplicatedBytes": MetricReplicatedBytes,
+		"RunResult.LeaseExpiries":   MetricLeaseExpiries,
+		// RunResult.Cache (kernel.CacheStats) fields.
+		"RunResult.Cache.Hits":           MetricCacheHits,
+		"RunResult.Cache.Misses":         MetricCacheMisses,
+		"RunResult.Cache.Inserts":        MetricCacheInserts,
+		"RunResult.Cache.Evictions":      MetricCacheEvictions,
+		"RunResult.Cache.ReadaheadPages": MetricReadaheadPages,
+		// BENCH_fig14.json row keys.
+		"fig14.cache_hits":      MetricCacheHits,
+		"fig14.cache_misses":    MetricCacheMisses,
+		"fig14.readahead_pages": MetricReadaheadPages,
+		"fig14.latency_ns":      MetricRunLatencyNs,
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rmmap/internal/simtime"
+)
+
+// Virtual-time profiles: the flamegraph view of a run. Every sample is
+// (path, category, duration) — path is a semicolon-joined span path (the
+// folded-stack convention of flamegraph tooling), category is the simtime
+// charge category. The folded output feeds flamegraph.pl / speedscope
+// directly; weights are nanoseconds, so they are exact integers.
+
+// ProfileEntry is one aggregated (path, category) cell.
+type ProfileEntry struct {
+	Path     string
+	Category string
+	Total    simtime.Duration
+}
+
+// Profile is a sorted set of aggregated entries.
+type Profile []ProfileEntry
+
+// ProfileBuilder accumulates samples into (path, category) cells.
+type ProfileBuilder struct {
+	cells map[profKey]simtime.Duration
+}
+
+type profKey struct {
+	path string
+	cat  string
+}
+
+// NewProfile returns an empty builder.
+func NewProfile() *ProfileBuilder {
+	return &ProfileBuilder{cells: make(map[profKey]simtime.Duration)}
+}
+
+// Add accumulates d under (path, category).
+func (b *ProfileBuilder) Add(path, category string, d simtime.Duration) {
+	b.cells[profKey{path, category}] += d
+}
+
+// Entries returns the aggregation sorted by (path, category).
+func (b *ProfileBuilder) Entries() Profile {
+	out := make(Profile, 0, len(b.cells))
+	for k, v := range b.cells {
+		out = append(out, ProfileEntry{Path: k.path, Category: k.cat, Total: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// WriteFolded writes the profile in folded-stack form, one cell per line:
+//
+//	path;category weight_ns
+//
+// Lines are sorted, weights are integer ns — byte-stable by construction.
+func (p Profile) WriteFolded(w io.Writer) error {
+	for _, e := range p {
+		stack := e.Category
+		if e.Path != "" {
+			stack = e.Path + ";" + e.Category
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, int64(e.Total)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ByCategory folds the profile down to per-category totals (the fig14-style
+// breakdown), sorted by category name.
+func (p Profile) ByCategory() Profile {
+	agg := map[string]simtime.Duration{}
+	for _, e := range p {
+		agg[e.Category] += e.Total
+	}
+	out := make(Profile, 0, len(agg))
+	for c, v := range agg {
+		out = append(out, ProfileEntry{Category: c, Total: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}
+
+// Total sums every cell.
+func (p Profile) Total() simtime.Duration {
+	var t simtime.Duration
+	for _, e := range p {
+		t += e.Total
+	}
+	return t
+}
+
+// String renders the per-category view compactly (debug/report helper).
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%v", p.Total())
+	for _, e := range p.ByCategory() {
+		fmt.Fprintf(&b, " %s=%v", e.Category, e.Total)
+	}
+	return b.String()
+}

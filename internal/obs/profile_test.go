@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestProfileAggregatesAndSorts(t *testing.T) {
+	b := NewProfile()
+	b.Add("wf;b#0", "fault", 100)
+	b.Add("wf;a#0", "compute", 50)
+	b.Add("wf;b#0", "fault", 25) // same cell, accumulates
+	b.Add("wf;a#0", "fault", 10)
+	p := b.Entries()
+	want := []ProfileEntry{
+		{"wf;a#0", "compute", 50},
+		{"wf;a#0", "fault", 10},
+		{"wf;b#0", "fault", 125},
+	}
+	if len(p) != len(want) {
+		t.Fatalf("got %d entries, want %d: %v", len(p), len(want), p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, p[i], want[i])
+		}
+	}
+	if p.Total() != 185 {
+		t.Errorf("total = %v, want 185", p.Total())
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	b := NewProfile()
+	b.Add("wf;node#0", "compute", simtime.Duration(2000))
+	b.Add("", "platform", simtime.Duration(500))
+	var buf bytes.Buffer
+	if err := b.Entries().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "platform 500\nwf;node#0;compute 2000\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	b := NewProfile()
+	b.Add("wf;a#0", "fault", 10)
+	b.Add("wf;b#0", "fault", 30)
+	b.Add("wf;a#0", "compute", 5)
+	by := b.Entries().ByCategory()
+	if len(by) != 2 {
+		t.Fatalf("got %d categories: %v", len(by), by)
+	}
+	if by[0].Category != "compute" || by[0].Total != 5 {
+		t.Errorf("compute row wrong: %+v", by[0])
+	}
+	if by[1].Category != "fault" || by[1].Total != 40 {
+		t.Errorf("fault row wrong: %+v", by[1])
+	}
+}

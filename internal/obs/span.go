@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sort"
+
+	"rmmap/internal/simtime"
+)
+
+// Span is one exportable interval of virtual time. It is deliberately
+// decoupled from platform.Span so obs stays below the platform in the
+// import graph; platform.ExportSpans converts.
+type Span struct {
+	// Name is the span's display name (e.g. "count#3", a node instance).
+	Name string
+	// Cat is the span's category ("invocation", "redo", …).
+	Cat string
+	// Pid/Tid map to Chrome's process/thread rows; the platform uses
+	// machine and pod IDs.
+	Pid, Tid int
+	Start    simtime.Time
+	End      simtime.Time
+	// Args are ordered key/value annotations (per-category breakdowns,
+	// retry counts, errors). Order is preserved verbatim in every export,
+	// so producers must emit a deterministic order.
+	Args []Arg
+}
+
+// Arg is one ordered span annotation. Val must be an int, int64, float64,
+// bool, or string.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() simtime.Duration { return s.End.Sub(s.Start) }
+
+// SortSpans orders spans by (Start, Pid, Tid, Name) — the canonical export
+// order. Sorting a copy leaves the caller's trace untouched.
+func SortSpans(spans []Span) []Span {
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+	return out
+}

@@ -458,6 +458,9 @@ func (e *Engine) collect(r *request) RunResult {
 		}
 		agg.AddAll(m)
 	}
+	if e.opts.Obs != nil {
+		PublishRun(e.opts.Obs, e.wf.Name, e.mode.String(), res)
+	}
 	return res
 }
 

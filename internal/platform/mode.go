@@ -2,6 +2,7 @@ package platform
 
 import (
 	"rmmap/internal/kernel"
+	"rmmap/internal/obs"
 	"rmmap/internal/simtime"
 )
 
@@ -87,6 +88,11 @@ type Options struct {
 	DisablePlan bool
 	// Trace records per-invocation spans into RunResult.Trace.
 	Trace bool
+	// Obs, when non-nil, receives every completed request's counters and
+	// virtual-time totals under canonical metric names (PublishRun). The
+	// engine only writes to it at collection time — observation, never
+	// behavior.
+	Obs *obs.Registry
 	// AutoscaleIdle enables Knative-style scale-down: a pod idle for
 	// longer than this window is deactivated (its warm containers and
 	// their memory released). Zero disables scale-down; pods then stay

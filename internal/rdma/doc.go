@@ -1,0 +1,22 @@
+// Package rdma simulates the networking substrate RMMAP co-designs with:
+// one-sided RDMA READ of remote physical pages, doorbell-batched reads
+// (§4.4), and Fasst-style RPC over the same fabric. Two transports are
+// provided: SimFabric charges a virtual-time cost model calibrated to the
+// paper (used by all experiments), and TCPFabric moves the same bytes over
+// real sockets (used by the networked demo).
+//
+// The defining property of one-sided reads is preserved by construction:
+// SimFabric copies straight out of the remote machine's frame table without
+// involving any remote execution context, mirroring CPU/OS bypass.
+//
+// Invariants:
+//
+//   - Both transports implement the same Transport interface and move the
+//     same bytes; only their cost accounting differs. Experiments never
+//     branch on which fabric is underneath.
+//   - A doorbell batch of N pages charges one base latency plus N per-page
+//     costs — the batching win of §4.4 falls out of the model, it is not
+//     hard-coded into the results.
+//   - Fault injection wraps a Transport (faults.FaultFabric) rather than
+//     modifying one, so the fabrics stay oblivious to failure schedules.
+package rdma

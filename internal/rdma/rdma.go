@@ -1,13 +1,3 @@
-// Package rdma simulates the networking substrate RMMAP co-designs with:
-// one-sided RDMA READ of remote physical pages, doorbell-batched reads
-// (§4.4), and Fasst-style RPC over the same fabric. Two transports are
-// provided: SimFabric charges a virtual-time cost model calibrated to the
-// paper (used by all experiments), and TCPFabric moves the same bytes over
-// real sockets (used by the networked demo).
-//
-// The defining property of one-sided reads is preserved by construction:
-// SimFabric copies straight out of the remote machine's frame table without
-// involving any remote execution context, mirroring CPU/OS bypass.
 package rdma
 
 import (

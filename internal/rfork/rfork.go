@@ -1,18 +1,3 @@
-// Package rfork implements a MITOSIS-style remote fork (OSDI'23, cited as
-// the paper's closest prior work): a child container on another machine
-// starts as a copy-on-write clone of the parent's entire address space,
-// fetched on demand over RDMA. Like RMMAP, fork eliminates
-// (de)serialization — the child sees the parent's objects at their
-// original addresses "for free".
-//
-// The limitation the paper calls out (§7) falls out of the construction:
-// a child has exactly ONE parent. A consumer that must read states from
-// several producers cannot be forked from all of them — their address
-// spaces occupy the same ranges (every instance of a function type is
-// built from the same image), so cloning a second parent collides. RMMAP's
-// per-instance address planning is precisely what removes that collision.
-// TestForkCannotMergeTwoParents and the abl-fork experiment demonstrate
-// both halves.
 package rfork
 
 import (

@@ -1,0 +1,20 @@
+// Package simtime provides the deterministic virtual-time substrate used by
+// the whole reproduction: a Time type, a Meter that accumulates charges with
+// a per-category breakdown, and the CostModel holding every calibrated
+// constant from the paper.
+//
+// Wall-clock measurement is impossible here (no RDMA NICs, no Knative
+// cluster), so every operation in the stack charges a Meter instead. The
+// experiments report virtual time, which makes them exactly reproducible.
+//
+// Invariants:
+//
+//   - Charges are non-negative and category-tagged; a Meter's total always
+//     equals the sum of its per-category breakdown (Each/Snapshot expose
+//     the same numbers the obs registry republishes).
+//   - Categories are a closed enum — new costs must pick an existing
+//     category or add one here, so "uncategorized time" cannot exist and
+//     Fig 14's stacked bars always sum to the run's total work.
+//   - CostModel constants are data, not logic: changing a constant rescales
+//     results but cannot change control flow or orderings.
+package simtime

@@ -1,11 +1,3 @@
-// Package simtime provides the deterministic virtual-time substrate used by
-// the whole reproduction: a Time type, a Meter that accumulates charges with
-// a per-category breakdown, and the CostModel holding every calibrated
-// constant from the paper.
-//
-// Wall-clock measurement is impossible here (no RDMA NICs, no Knative
-// cluster), so every operation in the stack charges a Meter instead. The
-// experiments report virtual time, which makes them exactly reproducible.
 package simtime
 
 import (
@@ -175,6 +167,18 @@ func (m *Meter) Reset() { m.byCat = [numCategories]Duration{} }
 func (m *Meter) AddAll(o *Meter) {
 	for i, d := range o.byCat {
 		m.byCat[i] += d
+	}
+}
+
+// Each calls f for every category with a nonzero total, in declaration
+// order. Reporters that need deterministic output (the obs registry, the
+// fig14 JSON breakdown, folded profiles) use this instead of ranging over
+// Snapshot's map.
+func (m *Meter) Each(f func(Category, Duration)) {
+	for i, d := range m.byCat {
+		if d != 0 {
+			f(Category(i), d)
+		}
 	}
 }
 

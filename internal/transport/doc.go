@@ -1,0 +1,17 @@
+// Package transport implements the state-transfer baselines RMMAP is
+// evaluated against (§5.1): cloudevents-style messaging through the
+// Knative component path, Pocket-style shared storage, and a DrTM-KV-style
+// RDMA-optimized store. All of them move real serialized bytes; their
+// protocol costs follow the calibrated model.
+//
+// Invariants:
+//
+//   - Every baseline round-trips the actual serialized payload through its
+//     store or broker — correctness is checked on bytes, not on the cost
+//     model, so a baseline cannot "win" by dropping work.
+//   - Serialization and deserialization are charged to their own simtime
+//     categories; the transfer itself charges network/storage. Fig 14's
+//     per-category breakdown depends on this separation.
+//   - Baselines share the producer/consumer API with RMMAP (see platform),
+//     so switching Mode changes the transfer mechanism and nothing else.
+package transport

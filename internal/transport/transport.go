@@ -1,8 +1,3 @@
-// Package transport implements the state-transfer baselines RMMAP is
-// evaluated against (§5.1): cloudevents-style messaging through the
-// Knative component path, Pocket-style shared storage, and a DrTM-KV-style
-// RDMA-optimized store. All of them move real serialized bytes; their
-// protocol costs follow the calibrated model.
 package transport
 
 import (

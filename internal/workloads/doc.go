@@ -1,0 +1,20 @@
+// Package workloads implements the four serverless workflows of the
+// paper's evaluation (§5.1) on top of the platform: FINRA trade
+// validation, ML training (ORION-style PCA + random forest), ML
+// prediction, and WordCount (FunctionBench MapReduce). Proprietary inputs
+// (FINRA trades, MNIST, the French Oliver Twist) are replaced by synthetic
+// generators with the same sizes and object shapes — the properties that
+// drive (de)serialization cost.
+//
+// Invariants:
+//
+//   - Generators are seeded and deterministic: the same scale produces the
+//     identical input objects, byte for byte, across runs and platforms.
+//   - Each workflow's handlers are transfer-agnostic — they read inputs
+//     through platform.Ctx views and never know whether bytes arrived via
+//     messaging, storage, or rmap. Output correctness is asserted against
+//     a mode-independent expected value.
+//   - A `scale` parameter shrinks inputs proportionally (tests and CI run
+//     at 0.02–0.05) without changing object shapes, so small runs exercise
+//     the same code paths as paper-sized ones.
+package workloads

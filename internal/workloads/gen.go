@@ -1,10 +1,3 @@
-// Package workloads implements the four serverless workflows of the
-// paper's evaluation (§5.1) on top of the platform: FINRA trade
-// validation, ML training (ORION-style PCA + random forest), ML
-// prediction, and WordCount (FunctionBench MapReduce). Proprietary inputs
-// (FINRA trades, MNIST, the French Oliver Twist) are replaced by synthetic
-// generators with the same sizes and object shapes — the properties that
-// drive (de)serialization cost.
 package workloads
 
 import (
