@@ -21,6 +21,8 @@
 // With -openloop R requests are submitted at R req/s of virtual time for
 // -duration; metrics then include the latency percentile histogram, but no
 // span artifacts are written (open-loop runs discard per-request traces).
+// If some open-loop requests fail, the -metrics snapshot is still written
+// for the completed ones before the failure sets the exit status.
 package main
 
 import (
@@ -110,17 +112,23 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	var spans []platform.Span
+	var runErr error
 	if cfg.openRate > 0 {
 		res := e.RunOpenLoop(cfg.openRate, simtime.Duration(cfg.duration.Nanoseconds()))
-		if res.Errors > 0 {
-			return fmt.Errorf("open loop: %d of %d requests failed", res.Errors, res.Errors+res.Completed)
-		}
-		h := res.LatencyHistogram()
 		fmt.Fprintf(out, "%s / %s open loop: %d requests at %.1f req/s, throughput %.1f req/s\n",
 			builder.Name, mode, res.Completed, cfg.openRate, res.Throughput())
-		fmt.Fprintf(out, "latency p50=%v p90=%v p99=%v\n",
-			simtime.Duration(h.Quantile(0.50)), simtime.Duration(h.Quantile(0.90)),
-			simtime.Duration(h.Quantile(0.99)))
+		if res.Errors > 0 {
+			// The registry already holds the completed requests' metrics;
+			// keep going so -metrics still captures them, and surface the
+			// failure as the exit status afterwards.
+			runErr = fmt.Errorf("open loop: %d of %d requests failed", res.Errors, res.Errors+res.Completed)
+		}
+		if res.Completed > 0 {
+			h := res.LatencyHistogram()
+			fmt.Fprintf(out, "latency p50=%v p90=%v p99=%v\n",
+				simtime.Duration(h.Quantile(0.50)), simtime.Duration(h.Quantile(0.90)),
+				simtime.Duration(h.Quantile(0.99)))
+		}
 		if cfg.chromePath != "" || cfg.jsonlPath != "" || cfg.profilePath != "" {
 			fmt.Fprintln(out, "note: span artifacts are not produced for open-loop runs")
 		}
@@ -155,7 +163,7 @@ func run(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", cfg.metricsPath)
 	}
-	return nil
+	return runErr
 }
 
 func writeSpanArtifacts(cfg config, workflow string, spans []platform.Span, out io.Writer) error {

@@ -179,7 +179,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, k := range keys {
 		m := r.names[k]
 		s.Counters = append(s.Counters, CounterPoint{
-			Name: m.name, Labels: m.labels, Value: r.counters[k].Get(),
+			Name: m.name, Labels: m.labels.clone(), Value: r.counters[k].Get(),
 		})
 	}
 	keys = keys[:0]
@@ -191,7 +191,7 @@ func (r *Registry) Snapshot() Snapshot {
 		m := r.names[k]
 		h := r.hists[k]
 		s.Histograms = append(s.Histograms, HistogramPoint{
-			Name: m.name, Labels: m.labels,
+			Name: m.name, Labels: m.labels.clone(),
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: append([]int64(nil), h.counts...),
 			Count:  h.count, Sum: h.sum,
@@ -223,17 +223,30 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		cum := int64(0)
-		for i, b := range h.Bounds {
-			cum += h.Counts[i]
+		bucketLine := func(le string, cum int64) error {
 			l := Labels(h.Labels).clone()
 			if l == nil {
 				l = Labels{}
 			}
-			l["le"] = formatBound(b)
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, l.encode(), cum); err != nil {
+			l["le"] = le
+			_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, l.encode(), cum)
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if err := bucketLine(formatBound(b), cum); err != nil {
 				return err
 			}
+		}
+		// The +Inf bucket closes the series: prometheus convention requires
+		// the last cumulative bucket to equal _count even when samples
+		// overflow the finite bounds.
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if err := bucketLine("+Inf", cum); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, Labels(h.Labels).encode(), h.Count); err != nil {
 			return err

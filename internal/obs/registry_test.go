@@ -102,12 +102,36 @@ func TestWriteText(t *testing.T) {
 		`x_total{m="a"} 7`,
 		`lat_ns_bucket{le="10"} 1`,
 		`lat_ns_bucket{le="100"} 2`,
+		// The 500 sample overflows the finite bounds; the +Inf bucket must
+		// still reach _count or bucket-based quantile math breaks.
+		`lat_ns_bucket{le="+Inf"} 3`,
 		"lat_ns_count 3",
 		"lat_ns_sum 555",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("text output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSnapshotLabelsIsolated: a snapshot is an export, so mutating its
+// label maps must not corrupt the live registry's series metadata.
+func TestSnapshotLabelsIsolated(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", Labels{"mode": "rmmap"}).Add(1)
+	r.Histogram("h_ns", Labels{"mode": "rmmap"}, []float64{10}).Observe(1)
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", s)
+	}
+	s.Counters[0].Labels["mode"] = "mutated"
+	s.Histograms[0].Labels["mode"] = "mutated"
+	again := r.Snapshot()
+	if again.Counters[0].Labels["mode"] != "rmmap" {
+		t.Errorf("counter labels corrupted via snapshot: %v", again.Counters[0].Labels)
+	}
+	if again.Histograms[0].Labels["mode"] != "rmmap" {
+		t.Errorf("histogram labels corrupted via snapshot: %v", again.Histograms[0].Labels)
 	}
 }
 

@@ -71,6 +71,17 @@ type Engine struct {
 	leasesOn     bool
 	detectorLive bool
 	inflight     int // requests submitted but not yet completed
+
+	// published remembers the cluster-cumulative counters (cache stats,
+	// replicated bytes, lease expiries) as of the last PublishRun, so
+	// collect publishes only each request's delta. Without it, every
+	// completed request would re-add the whole cluster lifetime into
+	// Options.Obs — quadratic inflation over sequential/open-loop runs.
+	published struct {
+		cache      kernel.CacheStats
+		replicated int64
+		leases     int
+	}
 }
 
 type regRef struct {
@@ -459,7 +470,18 @@ func (e *Engine) collect(r *request) RunResult {
 		agg.AddAll(m)
 	}
 	if e.opts.Obs != nil {
-		PublishRun(e.opts.Obs, e.wf.Name, e.mode.String(), res)
+		// RunResult carries cluster-lifetime cumulative totals for the
+		// cache/replication/lease counters; the registry accumulates
+		// across calls, so publish only this request's delta.
+		pub := res
+		pub.Cache = res.Cache.Sub(e.published.cache)
+		pub.Cache.LiveBytes = res.Cache.LiveBytes // gauge, not a delta
+		pub.ReplicatedBytes = res.ReplicatedBytes - e.published.replicated
+		pub.LeaseExpiries = res.LeaseExpiries - e.published.leases
+		e.published.cache = res.Cache
+		e.published.replicated = res.ReplicatedBytes
+		e.published.leases = res.LeaseExpiries
+		PublishRun(e.opts.Obs, e.wf.Name, e.mode.String(), pub)
 	}
 	return res
 }

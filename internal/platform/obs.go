@@ -63,6 +63,12 @@ func ExportSpans(spans []Span) []obs.Span {
 // workflow and mode; per-category time is additionally split per function.
 // Publishing the same result twice doubles the counters — registries are
 // per-report, like Meters are per-invocation.
+//
+// The cache, replication, and lease fields are published as given, so they
+// must be per-run deltas when the same registry spans several runs. The
+// engine handles this itself: Engine.collect subtracts the
+// cluster-cumulative totals it already published before calling here, even
+// though the RunResult handed back to callers keeps the cumulative values.
 func PublishRun(reg *obs.Registry, workflow, mode string, res RunResult) {
 	base := obs.Labels{"workflow": workflow, "mode": mode}
 	outcome := "ok"

@@ -66,6 +66,49 @@ func TestPublishRunMatchesMeter(t *testing.T) {
 	}
 }
 
+// TestPublishSequentialRunsDeltas: RunResult carries cluster-lifetime
+// cumulative cache/replication/lease totals, and the registry accumulates
+// across PublishRun calls — so over sequential requests the engine must
+// publish per-request deltas. After N runs the registry total must equal
+// the final cumulative value, not the sum of prefix sums.
+func TestPublishSequentialRunsDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	cl := NewCluster(2, simtime.DefaultCostModel())
+	e, err := NewEngineOn(cl, cacheFanWorkflow(4, 2048), ModeRMMAP, Options{Obs: reg}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last RunResult
+	for i := 0; i < 3; i++ {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if last.Cache.Hits == 0 || last.Cache.Misses == 0 {
+		t.Fatalf("workload produced no cache traffic (hits=%d, misses=%d); the test needs some",
+			last.Cache.Hits, last.Cache.Misses)
+	}
+	got := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		got[c.Name] += c.Value
+	}
+	for name, want := range map[string]int64{
+		obs.MetricCacheHits:       last.Cache.Hits,
+		obs.MetricCacheMisses:     last.Cache.Misses,
+		obs.MetricCacheInserts:    last.Cache.Inserts,
+		obs.MetricCacheEvictions:  last.Cache.Evictions,
+		obs.MetricReadaheadPages:  last.Cache.ReadaheadPages,
+		obs.MetricReplicatedBytes: last.ReplicatedBytes,
+		obs.MetricLeaseExpiries:   int64(last.LeaseExpiries),
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %d, want cluster-cumulative %d", name, got[name], want)
+		}
+	}
+}
+
 // TestOptionsObsAutoPublish checks the engine publishes into Options.Obs at
 // collection time without being asked again.
 func TestOptionsObsAutoPublish(t *testing.T) {
