@@ -28,7 +28,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "payload scale factor in (0,1]")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "write the Fig 14 grid to BENCH_fig14.json")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); results are identical, only wall time changes")
 	flag.Parse()
+	bench.Workers = *workers
 
 	if *list {
 		for _, e := range bench.All() {

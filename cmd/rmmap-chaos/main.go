@@ -41,6 +41,7 @@ func main() {
 	noReplication := flag.Bool("no-replication", false, "force replication off even with -replicas set")
 	machines := flag.Int("machines", 4, "cluster size")
 	pods := flag.Int("pods", 16, "warm pods")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); the fault schedule and outcome are identical at any setting")
 	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 		Recovery:      rec,
 		Replicas:      *replicas,
 		NoReplication: *noReplication,
+		Workers:       *workers,
 	}
 	if *noRecovery {
 		opts.Recovery = nil

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"rmmap/internal/platform"
 	"rmmap/internal/simtime"
 )
 
@@ -22,6 +23,15 @@ type Experiment struct {
 	// default documented in EXPERIMENTS.md.
 	Run func(w io.Writer, scale float64) error
 }
+
+// Workers is the engine worker-pool size every experiment runs with
+// (Options.Workers): 0 uses every core (GOMAXPROCS), 1 is the sequential
+// reference; rmmap-bench -workers overrides it. Results are byte-identical
+// at any setting — workers change wall-clock time only (DESIGN.md §10).
+var Workers = 0
+
+// benchOptions returns the Options experiments construct engines with.
+func benchOptions() platform.Options { return platform.Options{Workers: Workers} }
 
 var registry []Experiment
 

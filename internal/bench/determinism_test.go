@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rmmap/internal/faults"
+	"rmmap/internal/obs"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+	"rmmap/internal/workloads"
+)
+
+// Differential determinism suite: the parallel engine's acceptance
+// criterion is that every run artifact — exported spans, metrics
+// snapshots, BENCH_fig14.json rows — is byte-identical at any worker
+// count. These tests run each scenario at Workers ∈ {1, 4, 8} (1 being the
+// sequential behavioral reference) and compare the serialized artifacts
+// byte for byte. CI runs them under -race -count=2, so scheduling
+// nondeterminism that leaks into an artifact shows up as a diff here and
+// any unsynchronized engine state shows up as a race report.
+
+var diffWorkers = []int{1, 4, 8}
+
+// runArtifacts holds one run's serialized artifacts.
+type runArtifacts struct {
+	spans   []byte // canonical span JSONL (sorted, one span per line)
+	metrics []byte // obs registry snapshot JSON
+	row     []byte // the run's BENCH_fig14.json row
+}
+
+// spanJSONL serializes a trace in canonical order, one JSON span per line.
+func spanJSONL(t *testing.T, trace []platform.Span) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range obs.SortSpans(platform.ExportSpans(trace)) {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// fig14RowBytes builds the same row CollectFig14 would emit for this run.
+func fig14RowBytes(t *testing.T, name string, mode platform.Mode, e *platform.Engine, res platform.RunResult) []byte {
+	t.Helper()
+	reads, batches, _, bytesRead := e.Cluster.Fabric.Stats()
+	breakdown := make(map[string]int64)
+	res.Meter.Each(func(c simtime.Category, d simtime.Duration) {
+		breakdown[c.String()] = int64(d)
+	})
+	row := Fig14Row{
+		Workflow:            name,
+		Mode:                mode.String(),
+		LatencyNs:           int64(res.Latency),
+		FabricOneSidedReads: reads,
+		FabricBatches:       batches,
+		FabricBatchPages:    e.Cluster.Fabric.BatchPages(),
+		FabricBytesRead:     bytesRead,
+		CacheHits:           res.Cache.Hits,
+		CacheMisses:         res.Cache.Misses,
+		CacheHitRate:        res.Cache.HitRate(),
+		ReadaheadPages:      res.Cache.ReadaheadPages,
+		BreakdownNs:         breakdown,
+	}
+	b, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runFig14Cell(t *testing.T, builder WorkflowBuilder, mode platform.Mode, workers int) runArtifacts {
+	t.Helper()
+	reg := obs.NewRegistry()
+	e, err := platform.NewEngine(builder.Build(), mode,
+		platform.Options{Trace: true, Obs: reg, Workers: workers}, benchCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return runArtifacts{
+		spans:   spanJSONL(t, res.Trace),
+		metrics: metrics.Bytes(),
+		row:     fig14RowBytes(t, builder.Name, mode, e, res),
+	}
+}
+
+func diffArtifacts(t *testing.T, scenario string, ref, got runArtifacts, workers int) {
+	t.Helper()
+	if !bytes.Equal(ref.spans, got.spans) {
+		t.Errorf("%s: span JSONL differs between workers=1 and workers=%d", scenario, workers)
+	}
+	if !bytes.Equal(ref.metrics, got.metrics) {
+		t.Errorf("%s: metrics snapshot differs between workers=1 and workers=%d\n--- workers=1:\n%s\n--- workers=%d:\n%s",
+			scenario, workers, ref.metrics, workers, got.metrics)
+	}
+	if !bytes.Equal(ref.row, got.row) {
+		t.Errorf("%s: fig14 row differs between workers=1 and workers=%d\n--- workers=1:\n%s\n--- workers=%d:\n%s",
+			scenario, workers, ref.row, workers, got.row)
+	}
+}
+
+// TestDifferentialDeterminismFig14 runs every fig14 workflow under every
+// transfer mode at each worker count and requires byte-identical artifacts.
+func TestDifferentialDeterminismFig14(t *testing.T) {
+	for _, builder := range Workflows(goldenScale) {
+		for _, mode := range platform.AllModes() {
+			scenario := fmt.Sprintf("%s/%v", builder.Name, mode)
+			ref := runFig14Cell(t, builder, mode, 1)
+			if len(ref.spans) == 0 {
+				t.Fatalf("%s: reference run produced no spans", scenario)
+			}
+			for _, w := range diffWorkers[1:] {
+				diffArtifacts(t, scenario, ref, runFig14Cell(t, builder, mode, w), w)
+			}
+		}
+	}
+}
+
+// chaosScenario mirrors one rmmap-chaos CLI invocation of an example plan.
+type chaosScenario struct {
+	name string
+	plan string // path to the checked-in plan JSON
+	opts platform.Options
+}
+
+func chaosScenarios() []chaosScenario {
+	rec := platform.DefaultRecoveryPolicy()
+	return []chaosScenario{
+		// rmmap-chaos -workflow finra -small -replicas 1 -plan plans/crash-failover.json
+		{
+			name: "crash-failover",
+			plan: "../../cmd/rmmap-chaos/plans/crash-failover.json",
+			opts: platform.Options{Trace: true, Recovery: rec, Replicas: 1},
+		},
+		// rmmap-chaos -workflow finra -small -replicas 1 -plan plans/partition-heal.json
+		{
+			name: "partition-heal",
+			plan: "../../cmd/rmmap-chaos/plans/partition-heal.json",
+			opts: platform.Options{Trace: true, Recovery: rec, Replicas: 1},
+		},
+	}
+}
+
+func runChaosScenario(t *testing.T, sc chaosScenario, workers int) runArtifacts {
+	t.Helper()
+	plan, err := faults.LoadPlan(sc.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sc.opts
+	opts.Workers = workers
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	cluster := platform.NewChaosCluster(4, simtime.DefaultCostModel(), plan, opts.Recovery.Retry)
+	e, err := platform.NewEngineOn(cluster, workloads.FINRA(workloads.SmallFINRA()),
+		platform.ModeRMMAPPrefetch, opts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res platform.RunResult
+	e.Submit(func(out platform.RunResult) { res = out })
+	e.Cluster.Sim.Run()
+	if res.Err != nil {
+		t.Fatalf("%s (workers=%d): %v", sc.name, workers, res.Err)
+	}
+	var metrics bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := json.Marshal(map[string]any{
+		"latency_ns": int64(res.Latency),
+		"retries":    res.Retries,
+		"failovers":  res.Failovers,
+		"fallbacks":  res.Fallbacks,
+		"reexecs":    res.Reexecs,
+		"waits":      res.PartitionWaits,
+		"injected":   cluster.Injector.Total(),
+		"output":     fmt.Sprint(res.Output),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runArtifacts{
+		spans:   spanJSONL(t, res.Trace),
+		metrics: metrics.Bytes(),
+		row:     summary,
+	}
+}
+
+// TestDifferentialDeterminismChaosPlans replays both example chaos plans
+// (the crash-failover and partition-heal scenarios shipped with
+// rmmap-chaos) in-process at each worker count and requires byte-identical
+// artifacts: fault injection, failover, and partition waits must all land
+// on the same virtual-time instants regardless of parallelism.
+func TestDifferentialDeterminismChaosPlans(t *testing.T) {
+	for _, sc := range chaosScenarios() {
+		ref := runChaosScenario(t, sc, 1)
+		if len(ref.spans) == 0 {
+			t.Fatalf("%s: reference run produced no spans", sc.name)
+		}
+		for _, w := range diffWorkers[1:] {
+			diffArtifacts(t, sc.name, ref, runChaosScenario(t, sc, w), w)
+		}
+	}
+}

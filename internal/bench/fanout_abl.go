@@ -81,7 +81,7 @@ func runAblFanout(w io.Writer, scale float64) error {
 		label string
 		opts  platform.Options
 	}{
-		{"on/on", platform.Options{}},
+		{"on/on", benchOptions()},
 		{"on/off", platform.Options{NoReadahead: true}},
 		{"off/on", platform.Options{NoPageCache: true}},
 		{"off/off", platform.Options{NoPageCache: true, NoReadahead: true}},

@@ -38,6 +38,10 @@ type Fig14Report struct {
 	Scale    float64       `json:"scale"`
 	Rows     []Fig14Row    `json:"rows"`
 	Failover []FailoverRow `json:"failover,omitempty"`
+	// OpenLoop is the parallel-engine worker scaling section: the open-loop
+	// bench at Workers ∈ {1, 8}. Virtual-time fields are seeded and
+	// deterministic; wall_clock_ms and speedup depend on the host.
+	OpenLoop *OpenLoopReport `json:"openloop,omitempty"`
 	// MetricAliases maps this report's historical JSON keys (and the
 	// RunResult fields they came from) to the canonical obs metric names —
 	// the migration table for consumers of this file.
@@ -53,7 +57,7 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 	for _, wfb := range wfBuilders(scale) {
 		for _, mode := range platform.AllModes() {
 			cl := platform.NewCluster(cfg.Machines, simtime.DefaultCostModel())
-			e, err := platform.NewEngineOn(cl, wfb.Build(), mode, platform.Options{}, cfg.Pods)
+			e, err := platform.NewEngineOn(cl, wfb.Build(), mode, benchOptions(), cfg.Pods)
 			if err != nil {
 				return rep, err
 			}
@@ -83,6 +87,11 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 		}
 	}
 	rep.Failover = CollectFailover(scale)
+	ol, err := CollectOpenLoop(scale, []int{1, 8})
+	if err != nil {
+		return rep, err
+	}
+	rep.OpenLoop = &ol
 	rep.MetricAliases = obs.FieldAliases()
 	return rep, nil
 }

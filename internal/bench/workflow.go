@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"time"
+
 	"rmmap/internal/objrt"
 	"rmmap/internal/platform"
 	"rmmap/internal/simtime"
@@ -119,7 +121,7 @@ func runFig3(w io.Writer, scale float64) error {
 	t := newTable(w, "workflow", "approach", "E2E-work", "transfer", "func", "platform", "transfer-ratio")
 	for _, wfb := range wfBuilders(scale) {
 		for _, mode := range []platform.Mode{platform.ModeMessaging, platform.ModeStoragePocket} {
-			res, err := runOne(wfb.Build(), mode, platform.Options{})
+			res, err := runOne(wfb.Build(), mode, benchOptions())
 			if err != nil {
 				return fmt.Errorf("%s/%v: %w", wfb.Name, mode, err)
 			}
@@ -151,15 +153,21 @@ func runFig5(w io.Writer, scale float64) error {
 }
 
 func runFig14(w io.Writer, scale float64) error {
-	t := newTable(w, "workflow", "approach", "latency", "vs best baseline")
+	// The wall column is host time per cell — the only machine-dependent
+	// number in the table. latency (virtual time) is identical at every
+	// -workers setting; wall is what -workers improves.
+	t := newTable(w, "workflow", "approach", "latency", "wall", "vs best baseline")
 	for _, wfb := range wfBuilders(scale) {
 		lat := map[platform.Mode]simtime.Duration{}
+		wall := map[platform.Mode]time.Duration{}
 		for _, mode := range platform.AllModes() {
-			res, err := runOne(wfb.Build(), mode, platform.Options{})
+			start := time.Now()
+			res, err := runOne(wfb.Build(), mode, benchOptions())
 			if err != nil {
 				return fmt.Errorf("%s/%v: %w", wfb.Name, mode, err)
 			}
 			lat[mode] = res.Latency
+			wall[mode] = time.Since(start)
 		}
 		best := lat[platform.ModeMessaging]
 		for _, m := range []platform.Mode{platform.ModeStoragePocket, platform.ModeStorageDrTM} {
@@ -168,7 +176,8 @@ func runFig14(w io.Writer, scale float64) error {
 			}
 		}
 		for _, mode := range platform.AllModes() {
-			t.row(wfb.Name, mode, lat[mode], speedup(float64(best), float64(lat[mode])))
+			t.row(wfb.Name, mode, lat[mode], wall[mode].Round(time.Millisecond),
+				speedup(float64(best), float64(lat[mode])))
 		}
 	}
 	t.flush()
@@ -181,11 +190,11 @@ func runFig13a(w io.Writer, scale float64) error {
 		cfg := workloads.DefaultMLTrain()
 		cfg.Images = scaleInt(cfg.Images, scale)
 		cfg.Epochs = epochs
-		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, platform.Options{})
+		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, benchOptions())
 		if err != nil {
 			return err
 		}
-		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, platform.Options{})
+		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, benchOptions())
 		if err != nil {
 			return err
 		}
@@ -201,11 +210,11 @@ func runFig13b(w io.Writer, scale float64) error {
 	for _, images := range []int{500, 1000, 2000, 4000} {
 		cfg := workloads.DefaultMLTrain()
 		cfg.Images = scaleInt(images, scale)
-		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, platform.Options{})
+		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, benchOptions())
 		if err != nil {
 			return err
 		}
-		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, platform.Options{})
+		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, benchOptions())
 		if err != nil {
 			return err
 		}
@@ -222,11 +231,11 @@ func runFig13c(w io.Writer, scale float64) error {
 		cfg := workloads.DefaultMLTrain()
 		cfg.Images = scaleInt(cfg.Images, scale)
 		cfg.Trainers = width
-		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, platform.Options{})
+		stor, err := runOne(workloads.MLTrain(cfg), platform.ModeStorageDrTM, benchOptions())
 		if err != nil {
 			return err
 		}
-		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, platform.Options{})
+		rm, err := runOne(workloads.MLTrain(cfg), platform.ModeRMMAPPrefetch, benchOptions())
 		if err != nil {
 			return err
 		}
@@ -245,7 +254,7 @@ func runFig13d(w io.Writer, scale float64) error {
 	var rm simtime.Duration
 	results := map[platform.Mode]simtime.Duration{}
 	for _, mode := range platform.AllModes() {
-		res, err := runOne(workloads.WordCount(cfg), mode, platform.Options{})
+		res, err := runOne(workloads.WordCount(cfg), mode, benchOptions())
 		if err != nil {
 			return err
 		}
@@ -283,7 +292,7 @@ func runFig12(w io.Writer, scale float64) error {
 	t := newTable(w, "approach", "peak tput (req/s)", "p50", "p90", "p99", "avg busy pods")
 	peak := map[platform.Mode]float64{}
 	for _, mode := range platform.AllModes() {
-		e, err := platform.NewEngine(workloads.MLPredict(cfg), mode, platform.Options{}, benchCluster())
+		e, err := platform.NewEngine(workloads.MLPredict(cfg), mode, benchOptions(), benchCluster())
 		if err != nil {
 			return err
 		}
@@ -307,7 +316,7 @@ func runFig12(w io.Writer, scale float64) error {
 	}
 	t2 := newTable(w, "approach", fmt.Sprintf("tput @ %.1f req/s", rate), "activated pods", "avg busy", "p99")
 	for _, mode := range platform.AllModes() {
-		e, err := platform.NewEngine(workloads.MLPredict(cfg), mode, platform.Options{}, benchCluster())
+		e, err := platform.NewEngine(workloads.MLPredict(cfg), mode, benchOptions(), benchCluster())
 		if err != nil {
 			return err
 		}
@@ -337,7 +346,7 @@ func runFig16a(w io.Writer, scale float64) error {
 		}
 		cases := []cs{{"optimal (no transfer)", func() (int, error) {
 			wf := listLocalWorkflow(n)
-			e, err := platform.NewEngine(wf, platform.ModeMessaging, platform.Options{}, platform.ClusterConfig{Machines: 2, Pods: 2})
+			e, err := platform.NewEngine(wf, platform.ModeMessaging, benchOptions(), platform.ClusterConfig{Machines: 2, Pods: 2})
 			if err != nil {
 				return 0, err
 			}
@@ -350,7 +359,7 @@ func runFig16a(w io.Writer, scale float64) error {
 			mode := mode
 			cases = append(cases, cs{mode.String(), func() (int, error) {
 				wf := listTransferWorkflow(n)
-				e, err := platform.NewEngine(wf, mode, platform.Options{}, platform.ClusterConfig{Machines: 2, Pods: 2})
+				e, err := platform.NewEngine(wf, mode, benchOptions(), platform.ClusterConfig{Machines: 2, Pods: 2})
 				if err != nil {
 					return 0, err
 				}

@@ -125,18 +125,36 @@ type Plan struct {
 }
 
 // Injector evaluates a Plan deterministically. It is safe for concurrent
-// use, though determinism of the draw sequence requires a deterministic
-// caller order (the discrete-event simulator provides one).
+// use, and — unlike a single shared PRNG — its draw sequences are
+// order-independent: each (rule, target, requester) triple owns a
+// counter-based stream, so the nth operation a given requester issues at a
+// given site sees the same draw no matter how operations from other
+// machines interleave with it. That is what keeps chaos runs byte-identical
+// under the parallel engine, where worker goroutines from different
+// machines consult the injector concurrently.
+//
+// Rule.Max remains a global per-rule cap applied in arrival order; with
+// concurrent callers the set of operations a nearly-exhausted cap admits
+// can depend on scheduling. Plans that need exact parallel determinism
+// should express budgets via Prob/After/Until windows instead of Max.
 type Injector struct {
 	mu      sync.Mutex
 	rules   []Rule
 	fired   []int // per-rule injection counts
-	rng     uint64
+	seed    uint64
+	draws   map[streamKey]uint64 // per-stream operation counters
 	clock   func() simtime.Time
 	bySite  [numSites]int
 	total   int
 	crashes []Crash
 	parts   []Partition
+}
+
+// streamKey identifies one deterministic draw stream.
+type streamKey struct {
+	rule      int
+	target    memsim.MachineID
+	requester memsim.MachineID
 }
 
 // NewInjector builds an injector for plan; clock supplies the current
@@ -145,7 +163,8 @@ func NewInjector(plan Plan, clock func() simtime.Time) *Injector {
 	return &Injector{
 		rules:   append([]Rule(nil), plan.Rules...),
 		fired:   make([]int, len(plan.Rules)),
-		rng:     plan.Seed + 0x9e3779b97f4a7c15, // non-zero even for seed 0
+		seed:    plan.Seed + 0x9e3779b97f4a7c15, // non-zero even for seed 0
+		draws:   make(map[streamKey]uint64),
 		clock:   clock,
 		crashes: append([]Crash(nil), plan.Crashes...),
 		parts:   append([]Partition(nil), plan.Partitions...),
@@ -163,21 +182,31 @@ func (in *Injector) now() simtime.Time {
 	return in.clock()
 }
 
-// next is a SplitMix64 step returning a float64 uniform in [0, 1).
-func (in *Injector) next() float64 {
-	in.rng += 0x9e3779b97f4a7c15
-	z := in.rng
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return float64(z>>11) / (1 << 53)
+	return z ^ (z >> 31)
 }
 
-// Check consults the plan for one operation: it returns a wrapped
-// ErrInjected if any active rule fires, nil otherwise. Each matching active
-// rule consumes exactly one PRNG draw, in declaration order, so the fault
-// sequence is a pure function of (plan, operation sequence).
-func (in *Injector) Check(site Site, target memsim.MachineID, endpoint string) error {
+// streamDraw returns the nth uniform [0,1) draw of one stream: a pure
+// function of (seed, rule index, target, requester, n), independent of any
+// other stream's progress.
+func streamDraw(seed uint64, k streamKey, n uint64) float64 {
+	x := mix64(seed + uint64(k.rule)*0x9e3779b97f4a7c15)
+	x = mix64(x + uint64(int64(k.target))*0xbf58476d1ce4e5b9)
+	x = mix64(x + uint64(int64(k.requester))*0x94d049bb133111eb)
+	x = mix64(x + n*0x9e3779b97f4a7c15)
+	return float64(x>>11) / (1 << 53)
+}
+
+// Check consults the plan for one operation issued by requester against
+// target: it returns a wrapped ErrInjected if any active rule fires, nil
+// otherwise. Each matching active rule advances exactly one per-(rule,
+// target, requester) stream counter, so the fault decision for "requester
+// R's nth matching operation" is a pure function of the plan — the same
+// under any interleaving of other requesters' operations.
+func (in *Injector) Check(site Site, target, requester memsim.MachineID, endpoint string) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	now := in.now()
@@ -197,7 +226,10 @@ func (in *Injector) Check(site Site, target memsim.MachineID, endpoint string) e
 		if r.Max > 0 && in.fired[i] >= r.Max {
 			continue
 		}
-		if in.next() >= r.Prob {
+		k := streamKey{rule: i, target: target, requester: requester}
+		n := in.draws[k]
+		in.draws[k] = n + 1
+		if streamDraw(in.seed, k, n) >= r.Prob {
 			continue
 		}
 		in.fired[i]++

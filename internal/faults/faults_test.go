@@ -47,7 +47,7 @@ func (f *fakeTransport) Call(m *simtime.Meter, target memsim.MachineID, endpoint
 func faultPattern(in *Injector, n int) string {
 	out := ""
 	for i := 0; i < n; i++ {
-		if in.Check(SiteRDMARead, 1, "") != nil {
+		if in.Check(SiteRDMARead, 1, 0, "") != nil {
 			out += "X"
 		} else {
 			out += "."
@@ -87,25 +87,25 @@ func TestInjectorRuleFilters(t *testing.T) {
 	}}
 	in := NewInjector(plan, func() simtime.Time { return now })
 
-	if err := in.Check(SiteRPC, 2, "rmmap.auth"); err != nil {
+	if err := in.Check(SiteRPC, 2, 0, "rmmap.auth"); err != nil {
 		t.Fatalf("rule fired outside its window: %v", err)
 	}
 	now = 150
-	if err := in.Check(SiteRPC, 1, "rmmap.auth"); err != nil {
+	if err := in.Check(SiteRPC, 1, 0, "rmmap.auth"); err != nil {
 		t.Fatalf("rule fired for wrong target: %v", err)
 	}
-	if err := in.Check(SiteRPC, 2, "rmmap.dereg"); err != nil {
+	if err := in.Check(SiteRPC, 2, 0, "rmmap.dereg"); err != nil {
 		t.Fatalf("rule fired for wrong endpoint: %v", err)
 	}
-	if err := in.Check(SiteRDMARead, 2, ""); err != nil {
+	if err := in.Check(SiteRDMARead, 2, 0, ""); err != nil {
 		t.Fatalf("rule fired for wrong site: %v", err)
 	}
 	for i := 0; i < 2; i++ {
-		if err := in.Check(SiteRPC, 2, "rmmap.auth"); !IsTransient(err) {
+		if err := in.Check(SiteRPC, 2, 0, "rmmap.auth"); !IsTransient(err) {
 			t.Fatalf("matching check %d: want injected fault, got %v", i, err)
 		}
 	}
-	if err := in.Check(SiteRPC, 2, "rmmap.auth"); err != nil {
+	if err := in.Check(SiteRPC, 2, 0, "rmmap.auth"); err != nil {
 		t.Fatalf("rule exceeded Max=2: %v", err)
 	}
 	now = 250

@@ -70,12 +70,12 @@ func (f *FaultFabric) gate(target memsim.MachineID) error {
 		return err
 	}
 	if !f.contacted[target] {
-		if err := f.inj.Check(SiteTCPDial, target, ""); err != nil {
+		if err := f.inj.Check(SiteTCPDial, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 		f.contacted[target] = true
 	}
-	return f.inj.Check(SiteTCPRoundtrip, target, "")
+	return f.inj.Check(SiteTCPRoundtrip, target, f.inner.Owner(), "")
 }
 
 // Read implements rdma.Transport.
@@ -84,7 +84,7 @@ func (f *FaultFabric) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim
 		return err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteRDMARead, target, ""); err != nil {
+		if err := f.inj.Check(SiteRDMARead, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 	}
@@ -97,7 +97,7 @@ func (f *FaultFabric) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs 
 		return err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteDoorbell, target, ""); err != nil {
+		if err := f.inj.Check(SiteDoorbell, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 	}
@@ -110,7 +110,7 @@ func (f *FaultFabric) ReadPagesCat(m *simtime.Meter, cat simtime.Category, targe
 		return err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteDoorbell, target, ""); err != nil {
+		if err := f.inj.Check(SiteDoorbell, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 	}
@@ -126,7 +126,7 @@ func (f *FaultFabric) WritePages(m *simtime.Meter, target memsim.MachineID, reqs
 		return err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteRDMAWrite, target, ""); err != nil {
+		if err := f.inj.Check(SiteRDMAWrite, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 	}
@@ -140,7 +140,7 @@ func (f *FaultFabric) WritePagesCat(m *simtime.Meter, cat simtime.Category, targ
 		return err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteRDMAWrite, target, ""); err != nil {
+		if err := f.inj.Check(SiteRDMAWrite, target, f.inner.Owner(), ""); err != nil {
 			return err
 		}
 	}
@@ -156,7 +156,7 @@ func (f *FaultFabric) Call(m *simtime.Meter, target memsim.MachineID, endpoint s
 		return nil, err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteRPC, target, endpoint); err != nil {
+		if err := f.inj.Check(SiteRPC, target, f.inner.Owner(), endpoint); err != nil {
 			return nil, err
 		}
 	}
@@ -169,7 +169,7 @@ func (f *FaultFabric) CallCat(m *simtime.Meter, cat simtime.Category, target mem
 		return nil, err
 	}
 	if target != f.inner.Owner() {
-		if err := f.inj.Check(SiteRPC, target, endpoint); err != nil {
+		if err := f.inj.Check(SiteRPC, target, f.inner.Owner(), endpoint); err != nil {
 			return nil, err
 		}
 	}
@@ -232,7 +232,9 @@ func WithRetry(t rdma.Transport, policy RetryPolicy) *RetryTransport {
 
 // Retries reports the cumulative number of retried attempts. The platform
 // snapshots it around each invocation to attribute retries per request
-// (valid because the simulator dispatches invocations one at a time).
+// (valid because every retry an invocation causes flows through its own
+// machine's transport, which that invocation's batch group owns exclusively
+// during a worker phase).
 func (r *RetryTransport) Retries() int { return r.retries }
 
 // do runs op under the retry policy, charging backoff to m.

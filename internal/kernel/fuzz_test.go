@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"rmmap/internal/memsim"
+)
+
+// encodeAuthResponse re-encodes a decoded auth reply in canonical (sorted
+// VPN) order — the round-trip oracle for FuzzAuthWire.
+func encodeAuthResponse(ar authResponse) []byte {
+	hdr := 14 + 8*len(ar.backups)
+	out := make([]byte, hdr, hdr+16*len(ar.pages))
+	binary.LittleEndian.PutUint32(out, uint32(len(ar.pages)))
+	binary.LittleEndian.PutUint64(out[4:], ar.gen)
+	binary.LittleEndian.PutUint16(out[12:], uint16(len(ar.backups)))
+	for i, b := range ar.backups {
+		binary.LittleEndian.PutUint64(out[14+8*i:], uint64(b))
+	}
+	vpns := make([]memsim.VPN, 0, len(ar.pages))
+	for v := range ar.pages {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, v := range vpns {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(v))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(ar.pages[v]))
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+func encodeReplicaAuthResponse(ra replicaAuthResponse) []byte {
+	out := make([]byte, 13, 13+24*len(ra.logical))
+	binary.LittleEndian.PutUint64(out, ra.gen)
+	if ra.complete {
+		out[8] = 1
+	}
+	binary.LittleEndian.PutUint32(out[9:], uint32(len(ra.logical)))
+	vpns := make([]memsim.VPN, 0, len(ra.logical))
+	for v := range ra.logical {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, v := range vpns {
+		var rec [24]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(v))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(ra.logical[v]))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(ra.phys[v]))
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// FuzzAuthWire throws arbitrary bytes at both kernel wire decoders (the
+// rmap auth reply and the replica-auth reply). Neither may panic or
+// over-allocate, and any reply a decoder accepts must survive a canonical
+// re-encode → re-decode round trip — duplicate VPN records are the one
+// lossy case (last write wins in the page-table map), which the length
+// comparison detects and tolerates.
+func FuzzAuthWire(f *testing.F) {
+	// Minimal valid auth reply: count=0, gen=1, nback=0.
+	f.Add(append([]byte{0, 0, 0, 0}, append([]byte{1, 0, 0, 0, 0, 0, 0, 0}, 0, 0)...))
+	// One page, one backup.
+	f.Add(encodeAuthResponse(authResponse{
+		gen:     2,
+		backups: []memsim.MachineID{3},
+		pages:   map[memsim.VPN]memsim.PFN{4: 5},
+	}))
+	// Minimal valid replica reply: gen=1, complete, count=0.
+	f.Add(encodeReplicaAuthResponse(replicaAuthResponse{gen: 1, complete: true}))
+	f.Add(encodeReplicaAuthResponse(replicaAuthResponse{
+		gen: 9, complete: false,
+		logical: map[memsim.VPN]memsim.PFN{7: 8},
+		phys:    map[memsim.VPN]memsim.PFN{7: 11},
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ar, err := parseAuthResponse(data); err == nil {
+			if ar.gen != binary.LittleEndian.Uint64(data[4:]) {
+				t.Fatalf("auth gen mismatch")
+			}
+			enc := encodeAuthResponse(ar)
+			if len(enc) == len(data) {
+				ar2, err2 := parseAuthResponse(enc)
+				if err2 != nil {
+					t.Fatalf("auth re-decode failed: %v", err2)
+				}
+				if !bytes.Equal(encodeAuthResponse(ar2), enc) {
+					t.Fatalf("auth round trip not stable")
+				}
+			}
+		}
+		if ra, err := parseReplicaAuthResponse(data); err == nil {
+			if ra.gen != binary.LittleEndian.Uint64(data) {
+				t.Fatalf("replica gen mismatch")
+			}
+			enc := encodeReplicaAuthResponse(ra)
+			if len(enc) == len(data) {
+				ra2, err2 := parseReplicaAuthResponse(enc)
+				if err2 != nil {
+					t.Fatalf("replica re-decode failed: %v", err2)
+				}
+				if !bytes.Equal(encodeReplicaAuthResponse(ra2), enc) {
+					t.Fatalf("replica round trip not stable")
+				}
+			}
+		}
+	})
+}

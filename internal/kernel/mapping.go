@@ -145,31 +145,16 @@ func (k *Kernel) rmapFull(as *memsim.AddressSpace, mac memsim.MachineID, id Func
 		}
 		return nil, err
 	}
-	if len(resp) < 14 {
-		return nil, fmt.Errorf("kernel: bad auth response")
+	ar, err := parseAuthResponse(resp)
+	if err != nil {
+		return nil, err
 	}
-	count := int(binary.LittleEndian.Uint32(resp))
-	gen := binary.LittleEndian.Uint64(resp[4:])
-	nback := int(binary.LittleEndian.Uint16(resp[12:]))
-	hdr := 14 + 8*nback
-	if len(resp) != hdr+16*count {
-		return nil, fmt.Errorf("kernel: bad auth response length")
-	}
-	if nback > 0 {
+	if len(ar.backups) > 0 {
 		// The producer's own backup list is authoritative.
-		mp.backups = make([]memsim.MachineID, nback)
-		for i := 0; i < nback; i++ {
-			mp.backups[i] = memsim.MachineID(binary.LittleEndian.Uint64(resp[14+8*i:]))
-		}
+		mp.backups = ar.backups
 	}
-	pt := make(map[memsim.VPN]memsim.PFN, count)
-	for i := 0; i < count; i++ {
-		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[hdr+i*16:]))
-		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[hdr+i*16+8:]))
-		pt[vpn] = pfn
-	}
-	mp.remotePT = pt
-	mp.gen = gen
+	mp.remotePT = ar.pages
+	mp.gen = ar.gen
 	return mp.finish(meter)
 }
 

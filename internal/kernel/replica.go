@@ -425,21 +425,9 @@ func (k *Kernel) replicaAuthCall(m *simtime.Meter, b, origin memsim.MachineID, i
 	if err != nil {
 		return 0, false, nil, nil, err
 	}
-	if len(resp) < 13 {
-		return 0, false, nil, nil, fmt.Errorf("kernel: bad replica auth response")
+	ra, err := parseReplicaAuthResponse(resp)
+	if err != nil {
+		return 0, false, nil, nil, err
 	}
-	gen = binary.LittleEndian.Uint64(resp)
-	complete = resp[8] == 1
-	count := int(binary.LittleEndian.Uint32(resp[9:]))
-	if len(resp) != 13+24*count {
-		return 0, false, nil, nil, fmt.Errorf("kernel: bad replica auth response length")
-	}
-	logical = make(map[memsim.VPN]memsim.PFN, count)
-	phys = make(map[memsim.VPN]memsim.PFN, count)
-	for i := 0; i < count; i++ {
-		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[13+24*i:]))
-		logical[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+8:]))
-		phys[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+16:]))
-	}
-	return gen, complete, logical, phys, nil
+	return ra.gen, ra.complete, ra.logical, ra.phys, nil
 }

@@ -1,0 +1,89 @@
+package kernel
+
+// Pure wire decoders for the kernel's RPC replies. Factored out of the
+// call sites so they can be fuzzed directly: both run on bytes that crossed
+// a (possibly real TCP) fabric, so they must reject any malformed input
+// with an error rather than panic or over-allocate.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rmmap/internal/memsim"
+)
+
+// authResponse is the decoded reply of AuthEndpoint: the registration
+// generation, the producer's authoritative backup list, and the snapshot
+// page table for the requested range.
+type authResponse struct {
+	gen     uint64
+	backups []memsim.MachineID
+	pages   map[memsim.VPN]memsim.PFN
+}
+
+// parseAuthResponse decodes an AuthEndpoint reply:
+//
+//	count u32 | gen u64 | nback u16 | nback×(backup u64) | count×(vpn u64, pfn u64)
+func parseAuthResponse(resp []byte) (authResponse, error) {
+	if len(resp) < 14 {
+		return authResponse{}, fmt.Errorf("kernel: bad auth response")
+	}
+	count := int(binary.LittleEndian.Uint32(resp))
+	gen := binary.LittleEndian.Uint64(resp[4:])
+	nback := int(binary.LittleEndian.Uint16(resp[12:]))
+	hdr := 14 + 8*nback
+	if len(resp) != hdr+16*count {
+		return authResponse{}, fmt.Errorf("kernel: bad auth response length")
+	}
+	ar := authResponse{gen: gen}
+	if nback > 0 {
+		ar.backups = make([]memsim.MachineID, nback)
+		for i := 0; i < nback; i++ {
+			ar.backups[i] = memsim.MachineID(binary.LittleEndian.Uint64(resp[14+8*i:]))
+		}
+	}
+	ar.pages = make(map[memsim.VPN]memsim.PFN, count)
+	for i := 0; i < count; i++ {
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[hdr+i*16:]))
+		pfn := memsim.PFN(binary.LittleEndian.Uint64(resp[hdr+i*16+8:]))
+		ar.pages[vpn] = pfn
+	}
+	return ar, nil
+}
+
+// replicaAuthResponse is the decoded reply of ReplicaEndpoint: the replica
+// generation, whether replication had caught up to the registration's
+// watermark, and the logical (producer PFN) and physical (backup PFN) page
+// tables.
+type replicaAuthResponse struct {
+	gen      uint64
+	complete bool
+	logical  map[memsim.VPN]memsim.PFN
+	phys     map[memsim.VPN]memsim.PFN
+}
+
+// parseReplicaAuthResponse decodes a ReplicaEndpoint reply:
+//
+//	gen u64 | complete u8 | count u32 | count×(vpn u64, producer pfn u64, backup pfn u64)
+func parseReplicaAuthResponse(resp []byte) (replicaAuthResponse, error) {
+	if len(resp) < 13 {
+		return replicaAuthResponse{}, fmt.Errorf("kernel: bad replica auth response")
+	}
+	gen := binary.LittleEndian.Uint64(resp)
+	complete := resp[8] == 1
+	count := int(binary.LittleEndian.Uint32(resp[9:]))
+	if len(resp) != 13+24*count {
+		return replicaAuthResponse{}, fmt.Errorf("kernel: bad replica auth response length")
+	}
+	ra := replicaAuthResponse{
+		gen: gen, complete: complete,
+		logical: make(map[memsim.VPN]memsim.PFN, count),
+		phys:    make(map[memsim.VPN]memsim.PFN, count),
+	}
+	for i := 0; i < count; i++ {
+		vpn := memsim.VPN(binary.LittleEndian.Uint64(resp[13+24*i:]))
+		ra.logical[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+8:]))
+		ra.phys[vpn] = memsim.PFN(binary.LittleEndian.Uint64(resp[13+24*i+16:]))
+	}
+	return ra, nil
+}

@@ -75,9 +75,17 @@ func gini(counts map[int]int, n int) float64 {
 	if n == 0 {
 		return 0
 	}
+	// Sum in sorted-class order: float addition is not associative, so a
+	// map-order sum lets Go's randomized iteration perturb near-tie split
+	// scores — and with them the tree shape — from run to run.
+	classes := make([]int, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
 	g := 1.0
-	for _, c := range counts {
-		p := float64(c) / float64(n)
+	for _, c := range classes {
+		p := float64(counts[c]) / float64(n)
 		g -= p * p
 	}
 	return g

@@ -3,14 +3,18 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Histogram counts observations into fixed buckets. Bounds are strictly
 // increasing finite upper edges; observations above the last bound land in
 // an implicit overflow bucket. Fixed buckets (rather than exact samples)
-// keep snapshots small and byte-stable regardless of run length.
+// keep snapshots small and byte-stable regardless of run length. Safe for
+// concurrent use (bounds are immutable after construction; mutable state is
+// mutex-guarded).
 type Histogram struct {
 	bounds []float64
+	mu     sync.Mutex
 	counts []int64 // len(bounds)+1; last is overflow
 	count  int64
 	sum    float64
@@ -33,21 +37,45 @@ func NewHistogram(bounds []float64) *Histogram {
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
 	h.counts[i]++
 	h.count++
 	h.sum += v
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of observations.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// point exports a consistent copy of the histogram's state (Name/Labels
+// left for the caller to fill).
+func (h *Histogram) point() HistogramPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramPoint{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count, Sum: h.sum,
+	}
+}
 
 // Quantile estimates the p-quantile (p in [0,1]) by linear interpolation
 // inside the bucket holding the rank. Observations in the overflow bucket
 // report the last finite bound — quantiles saturate rather than extrapolate.
 func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}

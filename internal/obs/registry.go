@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Labels qualifies a metric series (workflow, mode, function, category…).
@@ -57,9 +59,9 @@ func (l Labels) clone() Labels {
 	return out
 }
 
-// Counter is a monotonically non-decreasing tally.
+// Counter is a monotonically non-decreasing tally, safe for concurrent use.
 type Counter struct {
-	value int64
+	value atomic.Int64
 }
 
 // Add increments the counter. Negative increments panic: counters share the
@@ -68,17 +70,20 @@ func (c *Counter) Add(n int64) {
 	if n < 0 {
 		panic(fmt.Sprintf("obs: negative counter increment %d", n))
 	}
-	c.value += n
+	c.value.Add(n)
 }
 
 // Get returns the current value.
-func (c *Counter) Get() int64 { return c.value }
+func (c *Counter) Get() int64 { return c.value.Load() }
 
-// Registry holds one run's (or one report's) metric series. It is not safe
-// for concurrent use: like simtime.Meter, each logical collection owns its
-// registry. Series identity is (name, labels); repeated lookups return the
-// same instance.
+// Registry holds one run's (or one report's) metric series. It is safe for
+// concurrent use — series lookup, updates through the returned handles, and
+// Snapshot may race freely (the parallel engine's workers record from many
+// goroutines) — but determinism of the recorded values is the caller's
+// contract: the engine only publishes at canonical commit points. Series
+// identity is (name, labels); repeated lookups return the same instance.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 	aliases  map[string]string
@@ -110,6 +115,8 @@ func NewRegistry() *Registry {
 // Counter returns the counter series for (name, labels), creating it at 0.
 func (r *Registry) Counter(name string, labels Labels) *Counter {
 	key := name + labels.encode()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.counters[key]; ok {
 		return c
 	}
@@ -124,6 +131,8 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 // consulted on creation; later lookups reuse the existing series.
 func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
 	key := name + labels.encode()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if h, ok := r.hists[key]; ok {
 		return h
 	}
@@ -137,6 +146,8 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 // mapping is carried in every snapshot so downstream consumers can migrate
 // keys without guessing.
 func (r *Registry) Alias(deprecated, canonical string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.aliases[deprecated] = canonical
 }
 
@@ -170,6 +181,8 @@ type Snapshot struct {
 // Snapshot exports the registry. Zero-valued counters are kept: a metric
 // that exists at 0 (e.g. reexecutions on a clean run) is information.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var s Snapshot
 	keys := make([]string, 0, len(r.counters))
 	for k := range r.counters {
@@ -189,13 +202,9 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Strings(keys)
 	for _, k := range keys {
 		m := r.names[k]
-		h := r.hists[k]
-		s.Histograms = append(s.Histograms, HistogramPoint{
-			Name: m.name, Labels: m.labels.clone(),
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: append([]int64(nil), h.counts...),
-			Count:  h.count, Sum: h.sum,
-		})
+		p := r.hists[k].point()
+		p.Name, p.Labels = m.name, m.labels.clone()
+		s.Histograms = append(s.Histograms, p)
 	}
 	if len(r.aliases) > 0 {
 		s.Aliases = make(map[string]string, len(r.aliases))

@@ -139,6 +139,18 @@ func (c *Cluster) Retries() int {
 	return n
 }
 
+// MachineRetries reports one machine's cumulative transport-level retry
+// count (zero on non-chaos clusters). The parallel engine reads per-machine
+// deltas around each invocation: all retries a synchronous invocation
+// causes are charged to its own machine's retrying transport, which the
+// invocation's batch group owns exclusively during a worker phase.
+func (c *Cluster) MachineRetries(id memsim.MachineID) int {
+	if int(id) < len(c.retriers) {
+		return c.retriers[id].Retries()
+	}
+	return 0
+}
+
 // Failovers reports cluster-wide consumer mappings re-pointed at replicas.
 func (c *Cluster) Failovers() int {
 	n := 0

@@ -4,10 +4,12 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"rmmap/internal/kernel"
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
+	"rmmap/internal/sim"
 	"rmmap/internal/simtime"
 	"rmmap/internal/transport"
 )
@@ -56,7 +58,24 @@ type Engine struct {
 	// containers of the same function type on the same machine — the
 	// page cache's role for read-only mappings. Without sharing, every
 	// warm container would hold a private copy of its libraries.
+	// textMu guards the map: worker-phase invocations on different
+	// machines insert under different keys but share the map itself.
+	textMu     sync.Mutex
 	textFrames map[textKey][]memsim.PFN
+
+	// warmMu guards the warm index's map structure: invocations running
+	// on different machines during a batch's worker phase touch disjoint
+	// slots but share the outer map. Reads (pickPod, autoscaler) happen
+	// only on the simulator thread, never during a worker phase.
+	warmMu sync.Mutex
+
+	// schedSinks journals kernel scheduling requests (replication pushes
+	// requested by RegisterMem) during a batch's worker phase: slot i is
+	// non-nil exactly while machine i's group is executing, and points at
+	// the item currently running there. Journaled entries are replayed
+	// onto the simulator at commit time, in canonical batch order, so the
+	// event sequence matches the sequential engine's exactly.
+	schedSinks []*execItem
 
 	// MaxRegLifetime drives the pods' lease scanner; 0 disables it.
 	MaxRegLifetime simtime.Duration
@@ -150,6 +169,48 @@ type invocation struct {
 	// ladder: its payload goes only to the parked waiters (deliverRedo)
 	// and its completion does not count against request progress.
 	redo bool
+}
+
+// schedEntry is one journaled kernel-scheduling request: replication work
+// a kernel asked to defer (via its replSched hook) while an invocation was
+// executing on a worker goroutine. It is replayed onto the simulator at
+// commit time so event sequence numbers match the sequential engine.
+type schedEntry struct {
+	d  simtime.Duration
+	fn func()
+}
+
+// execItem carries one dispatched invocation through a batch: formed on
+// the simulator thread (pod already assigned), executed on a worker
+// goroutine (meter, payload, error, per-machine counter deltas), and
+// committed back on the simulator thread in canonical batch order.
+// Everything an invocation would have mutated on shared engine state is
+// captured here instead and applied at commit, which is what makes the
+// worker phase side-effect-free outside the consumer machine it owns.
+type execItem struct {
+	inv *invocation
+	pod *Pod
+	// regSeq is the invocation's pre-assigned registration sequence
+	// number, drawn on the simulator thread at batch formation so ID/key
+	// values are independent of worker interleaving. Invocations that end
+	// up not registering simply burn their number.
+	regSeq uint64
+
+	// Filled by the worker phase.
+	meter      *simtime.Meter
+	out        *statePayload
+	err        error
+	retries    int
+	failovers  int
+	fallbacks  int
+	cacheDelta kernel.CacheStats
+	// sched journals the kernel's deferred-scheduling calls in issue order.
+	sched []schedEntry
+	// commits are engine-map mutations (registration table inserts,
+	// forwarded-ACL extensions) deferred to the commit phase.
+	commits []func()
+	// reports are Ctx.Report values in call order, applied at commit.
+	reports []any
 }
 
 // request tracks one workflow execution.
@@ -250,6 +311,7 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 		textFrames: make(map[textKey][]memsim.PFN),
 		warm:       make(map[SlotID]map[int]*Pod),
 		byMachine:  make(map[memsim.MachineID][]*Pod),
+		schedSinks: make([]*execItem, len(cluster.Machines)),
 	}
 	// Per-run page-cache/readahead knobs (zero value keeps the cluster
 	// defaults wired by NewCluster).
@@ -281,7 +343,7 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 			for j := 1; j <= reps; j++ {
 				backups = append(backups, memsim.MachineID((i+j)%n))
 			}
-			k.EnableReplication(backups, cluster.Sim.After)
+			k.EnableReplication(backups, e.replScheduler(memsim.MachineID(i)))
 			k.EnableLeases(cm.LeaseTTL)
 			k.OnLeaseExpired = cluster.invalidateMachine
 		}
@@ -573,6 +635,8 @@ func (e *Engine) ScaleDowns() int { return e.scaleDowns }
 // frame cache — resident even when every container is scaled down, like
 // the OS page cache.
 func (e *Engine) SharedTextBytes() int {
+	e.textMu.Lock()
+	defer e.textMu.Unlock()
 	n := 0
 	for _, pfns := range e.textFrames {
 		n += len(pfns) * memsim.PageSize
@@ -580,15 +644,52 @@ func (e *Engine) SharedTextBytes() int {
 	return n
 }
 
+// replScheduler returns the deferred-work scheduler wired into machine
+// mid's kernel (EnableReplication). During a batch's worker phase the
+// machine's group owns the kernel, so scheduling requests are journaled on
+// the running item and replayed at commit in canonical order; outside a
+// phase (replication steps, lease events — all simulator-thread work) they
+// go straight to the simulator.
+func (e *Engine) replScheduler(mid memsim.MachineID) func(simtime.Duration, func()) {
+	return func(d simtime.Duration, fn func()) {
+		if it := e.schedSinks[mid]; it != nil {
+			it.sched = append(it.sched, schedEntry{d: d, fn: fn})
+			return
+		}
+		e.Cluster.Sim.After(d, fn)
+	}
+}
+
 // dispatch assigns queued invocations to free pods (cache-affinity first,
-// then lowest pod ID), via the warm-slot index and the free-pod heap.
+// then lowest pod ID), batching the eligible frontier: pod assignment is
+// sequential in queue order (preserving head-of-line blocking), then the
+// batch executes grouped by machine — in parallel when Options.Workers
+// allows — and commits effects in canonical batch order. See DESIGN.md §10
+// for why the result is byte-identical at any worker count.
 func (e *Engine) dispatch() {
+	for {
+		batch := e.formBatch()
+		if len(batch) == 0 {
+			return // no eligible pod or empty queue; completions re-dispatch
+		}
+		e.runBatch(batch)
+	}
+}
+
+// formBatch pops dispatchable invocations off the queue head, exactly as
+// the sequential engine did between executions: stop at the first
+// invocation with no eligible pod. Pod state consulted here (busy flags,
+// warm index, free heap, crash flags) cannot change while a batch forms —
+// it only changes at completion events — so batch-time picks equal the
+// sequential engine's interleaved picks.
+func (e *Engine) formBatch() []*execItem {
+	var batch []*execItem
 	for len(e.queue) > 0 {
 		inv := e.queue[0]
 		slot := SlotID{inv.node.fn, inv.node.inst}
 		pod := e.pickPod(slot, e.wf.Function(inv.node.fn).PinMachine)
 		if pod == nil {
-			return // no eligible pod; completions re-dispatch
+			break
 		}
 		e.queue = e.queue[1:]
 		pod.busy = true
@@ -596,7 +697,52 @@ func (e *Engine) dispatch() {
 			e.activated++
 			pod.markUsed()
 		}
-		e.execute(inv, pod)
+		e.nextReg++
+		batch = append(batch, &execItem{inv: inv, pod: pod, regSeq: e.nextReg})
+	}
+	return batch
+}
+
+// runBatch executes a formed batch and commits it. Items are grouped by
+// their pod's machine: a group owns its machine's kernel, page cache, NIC
+// and frame table exclusively for the phase (cross-machine interactions are
+// limited to immutable shadow-frame reads, mutex-protected commutative
+// telemetry, and k.mu-serialized producer RPC handlers whose replies are
+// order-independent), so groups can run on separate goroutines. Each group
+// is internally sequential in batch order; commits then run on the
+// simulator thread in canonical batch order, reproducing the sequential
+// engine's event sequence exactly.
+func (e *Engine) runBatch(batch []*execItem) {
+	groups := make(map[memsim.MachineID][]*execItem)
+	var order []memsim.MachineID
+	for _, it := range batch {
+		mid := it.pod.Machine.ID()
+		if _, ok := groups[mid]; !ok {
+			order = append(order, mid)
+		}
+		groups[mid] = append(groups[mid], it)
+	}
+	runGroup := func(mid memsim.MachineID, items []*execItem) {
+		for _, it := range items {
+			e.schedSinks[mid] = it
+			e.executeItem(it)
+		}
+		e.schedSinks[mid] = nil
+	}
+	if w := e.opts.workerCount(); w <= 1 || len(order) == 1 {
+		for _, mid := range order {
+			runGroup(mid, groups[mid])
+		}
+	} else {
+		fns := make([]func(), 0, len(order))
+		for _, mid := range order {
+			mid, items := mid, groups[mid]
+			fns = append(fns, func() { runGroup(mid, items) })
+		}
+		sim.RunGroups(w, fns)
+	}
+	for _, it := range batch {
+		e.commit(it)
 	}
 }
 
@@ -648,8 +794,12 @@ func (e *Engine) podFreed(p *Pod) {
 	}
 }
 
-// warmAdd indexes pod as holding slot's warm container.
+// warmAdd indexes pod as holding slot's warm container. Worker-phase
+// callers (container acquisition) touch only their own invocation's slot,
+// but share the outer map — hence the lock.
 func (e *Engine) warmAdd(slot SlotID, p *Pod) {
+	e.warmMu.Lock()
+	defer e.warmMu.Unlock()
 	m := e.warm[slot]
 	if m == nil {
 		m = make(map[int]*Pod)
@@ -660,6 +810,8 @@ func (e *Engine) warmAdd(slot SlotID, p *Pod) {
 
 // warmRemove drops pod from slot's warm index (container evicted).
 func (e *Engine) warmRemove(slot SlotID, p *Pod) {
+	e.warmMu.Lock()
+	defer e.warmMu.Unlock()
 	if m := e.warm[slot]; m != nil {
 		delete(m, p.ID)
 		if len(m) == 0 {
@@ -687,28 +839,51 @@ func (h *podHeap) Pop() any {
 func (p *Pod) everUsed() bool { return p.used }
 func (p *Pod) markUsed()      { p.used = true }
 
-// execute runs one invocation synchronously against a meter and schedules
-// its completion event after the metered duration.
-func (e *Engine) execute(inv *invocation, pod *Pod) {
-	meter := simtime.NewMeter()
-	req := inv.req
-
-	var out *statePayload
-	var err error
-	retryBase := e.Cluster.Retries()
-	cacheBase := e.Cluster.CacheStats()
-	failBase := e.Cluster.Failovers()
+// executeItem runs one invocation synchronously against its own meter.
+// It may run on a worker goroutine: everything it touches is owned by the
+// item's machine group (pod, container, kernel, page cache, NIC) or is
+// captured on the item for the commit phase. Counter deltas are read from
+// the consumer machine only — every counter a synchronous invocation can
+// move (transport retries, cache/readahead traffic, failovers) lives on
+// the kernel or NIC of the pod's machine, which this group owns; that
+// makes the deltas exact regardless of what other groups do concurrently.
+func (e *Engine) executeItem(it *execItem) {
+	it.meter = simtime.NewMeter()
+	req := it.inv.req
+	mid := it.pod.Machine.ID()
+	retryBase := e.Cluster.MachineRetries(mid)
+	cacheBase := it.pod.Kernel.CacheStats()
+	failBase := it.pod.Kernel.Failovers()
 	if req.err == nil {
-		out, err = e.invoke(inv, pod, meter, req.inputs[inv.node])
+		it.out, it.err = e.invoke(it, it.pod, it.meter, req.inputs[it.inv.node])
 	}
-	// The simulator is single-threaded and invoke runs synchronously, so
-	// the retry-counter delta is exactly this invocation's attempts (and
-	// likewise for the cache- and failover-counter deltas).
-	retries := e.Cluster.Retries() - retryBase
-	cacheDelta := e.Cluster.CacheStats().Sub(cacheBase)
-	failovers := e.Cluster.Failovers() - failBase
+	it.retries = e.Cluster.MachineRetries(mid) - retryBase
+	it.cacheDelta = it.pod.Kernel.CacheStats().Sub(cacheBase)
+	it.failovers = int(it.pod.Kernel.Failovers() - failBase)
+}
+
+// commit applies one executed item's effects on the simulator thread, in
+// canonical batch order: deferred engine-map mutations, Report values,
+// request counters, journaled kernel scheduling, and finally the
+// completion event — the same order the sequential engine produced them
+// in, so event sequence numbers (and with them every downstream artifact)
+// are identical at any worker count.
+func (e *Engine) commit(it *execItem) {
+	inv, pod, req := it.inv, it.pod, it.inv.req
+	meter, out, err := it.meter, it.out, it.err
+	retries, cacheDelta, failovers := it.retries, it.cacheDelta, it.failovers
+	for _, fn := range it.commits {
+		fn()
+	}
+	for _, v := range it.reports {
+		req.result = v
+	}
 	req.retries += retries
 	req.failovers += failovers
+	req.fallbacks += it.fallbacks
+	for _, s := range it.sched {
+		e.Cluster.Sim.After(s.d, s.fn)
+	}
 	started := e.Cluster.Sim.Now()
 	d := meter.Total()
 	e.Cluster.Sim.After(d, func() {
@@ -763,8 +938,11 @@ func (e *Engine) execute(inv *invocation, pod *Pod) {
 
 // invoke performs the whole function lifecycle on the pod: container
 // acquisition, input consumption, handler execution, output production,
-// and remote-heap release.
-func (e *Engine) invoke(inv *invocation, pod *Pod, meter *simtime.Meter, payloads []*statePayload) (*statePayload, error) {
+// and remote-heap release. It may run on a worker goroutine; mutations of
+// shared engine state are deferred onto the item (commits/reports) and
+// applied on the simulator thread at commit time.
+func (e *Engine) invoke(it *execItem, pod *Pod, meter *simtime.Meter, payloads []*statePayload) (*statePayload, error) {
+	inv := it.inv
 	req := inv.req
 	spec := e.wf.Function(inv.node.fn)
 	meter.Charge(simtime.CatPlatform, e.Cluster.CM.InvokeOverhead)
@@ -811,7 +989,10 @@ func (e *Engine) invoke(inv *invocation, pod *Pod, meter *simtime.Meter, payload
 		RT: c.RT, Meter: meter, CM: e.Cluster.CM,
 		Inputs: inputs, Instance: inv.node.inst, Instances: spec.Instances,
 		RequestID: req.id,
-		Report:    func(v any) { req.result = v },
+		// Report values are captured on the item and applied at commit in
+		// canonical order: req.result is shared across the whole request,
+		// which may have invocations executing on other machines' workers.
+		Report: func(v any) { it.reports = append(it.reports, v) },
 	}
 	out, herr := spec.Handler(ctx)
 	if herr != nil {
@@ -827,14 +1008,14 @@ func (e *Engine) invoke(inv *invocation, pod *Pod, meter *simtime.Meter, payload
 			// passes A's state to C by forwarding A's registration
 			// instead of copying — the registration stays alive until
 			// C finishes.
-			payload = e.forward(fw, out, inv.node, consumers)
+			payload = e.forward(it, fw, out, inv.node, consumers)
 		} else {
 			out, err = e.localizeOutput(c, meter, out)
 			if err != nil {
 				_ = c.RT.ReleaseAllRemote()
 				return nil, err
 			}
-			payload, err = e.produce(c, pod, meter, req, inv.node, out, consumers)
+			payload, err = e.produce(it, c, pod, meter, req, inv.node, out, consumers)
 			if err != nil {
 				_ = c.RT.ReleaseAllRemote()
 				return nil, err
@@ -890,15 +1071,22 @@ func (e *Engine) forwardable(payloads []*statePayload, out objrt.Obj) *statePayl
 }
 
 // forward republishes an upstream registration to this node's consumers,
-// extending its ACL to the new consumer function types.
-func (e *Engine) forward(p *statePayload, out objrt.Obj, node nodeKey, consumers int) *statePayload {
-	if reg, ok := e.regs[regRef{p.meta.ID, p.meta.Key}]; ok {
-		reg.refs++
-		for _, cfn := range e.wf.Consumers(node.fn) {
-			reg.allowed = append(reg.allowed, typeID(cfn))
+// extending its ACL to the new consumer function types. The registration
+// table mutation (and the cross-machine SetACL it implies) is deferred to
+// the commit phase: downstream consumers only rmap after this node's
+// completion event, which fires after commit, so they always see the
+// extended ACL.
+func (e *Engine) forward(it *execItem, p *statePayload, out objrt.Obj, node nodeKey, consumers int) *statePayload {
+	ref := regRef{p.meta.ID, p.meta.Key}
+	it.commits = append(it.commits, func() {
+		if reg, ok := e.regs[ref]; ok {
+			reg.refs++
+			for _, cfn := range e.wf.Consumers(node.fn) {
+				reg.allowed = append(reg.allowed, typeID(cfn))
+			}
+			_ = e.Cluster.Kernels[reg.machine].SetACL(p.meta.ID, p.meta.Key, reg.allowed)
 		}
-		_ = e.Cluster.Kernels[reg.machine].SetACL(p.meta.ID, p.meta.Key, reg.allowed)
-	}
+	})
 	fw := &statePayload{
 		from: node, mode: p.mode, meta: p.meta,
 		rootAddr: out.Addr, consumers: consumers,
@@ -977,6 +1165,7 @@ type textKey struct {
 // pages' table entries too.
 func (e *Engine) installSharedText(c *Container) {
 	key := textKey{c.Pod.Machine.ID(), c.Slot.Function}
+	e.textMu.Lock()
 	pfns := e.textFrames[key]
 	if pfns == nil {
 		n := e.opts.textPages()
@@ -986,6 +1175,7 @@ func (e *Engine) installSharedText(c *Container) {
 		}
 		e.textFrames[key] = pfns
 	}
+	e.textMu.Unlock()
 	for i, pfn := range pfns {
 		addr := c.Layout.TextStart + uint64(i)*memsim.PageSize
 		if addr >= c.Layout.TextEnd {
@@ -1056,7 +1246,7 @@ func (e *Engine) unpickleWithBuffer(c *Container, pod *Pod, meter *simtime.Meter
 
 // produce publishes the handler output under the engine's transfer mode,
 // charging the producer meter, and returns the payload for consumers.
-func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *request, node nodeKey, out objrt.Obj, consumers int) (*statePayload, error) {
+func (e *Engine) produce(it *execItem, c *Container, pod *Pod, meter *simtime.Meter, req *request, node nodeKey, out objrt.Obj, consumers int) (*statePayload, error) {
 	spec := e.wf.Function(node.fn)
 	mode := e.mode
 
@@ -1086,7 +1276,7 @@ func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *requ
 		for _, cfn := range e.wf.Consumers(node.fn) {
 			if req.degraded[edgeKey{node.fn, cfn}] {
 				mode = ModeMessaging
-				req.fallbacks++
+				it.fallbacks++ // folded into req.fallbacks at commit
 				break
 			}
 		}
@@ -1145,9 +1335,12 @@ func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *requ
 		// cost InvokeOverhead already covers.
 	case ModeRMMAP, ModeRMMAPPrefetch:
 		start, end := e.opts.registerRange(c)
-		e.nextReg++
-		id := kernel.FuncID(e.nextReg)
-		key := kernel.Key(scrambleKey(e.nextReg))
+		// The registration sequence number was pre-assigned on the
+		// simulator thread at batch formation, so ID/key values do not
+		// depend on which invocations end up registering or in what
+		// worker-phase order.
+		id := kernel.FuncID(it.regSeq)
+		key := kernel.Key(scrambleKey(it.regSeq))
 		meta, err := pod.Kernel.RegisterMem(c.AS, id, key, start, end)
 		if err != nil {
 			return nil, err
@@ -1181,10 +1374,13 @@ func (e *Engine) produce(c *Container, pod *Pod, meter *simtime.Meter, req *requ
 			}
 		}
 		// Meta (addresses, key, prefetch list) piggybacks on the
-		// coordinator completion event, like the storage key above.
-		e.regs[regRef{id, key}] = &registration{
-			machine: int(meta.Machine), refs: 1, allowed: allowed,
-		}
+		// coordinator completion event, like the storage key above. The
+		// coordinator's registration-table insert is deferred to commit:
+		// the table is shared engine state, and nothing reads this entry
+		// before the producer's completion event (which fires after
+		// commit) delivers the payload downstream.
+		reg := &registration{machine: int(meta.Machine), refs: 1, allowed: allowed}
+		it.commits = append(it.commits, func() { e.regs[regRef{id, key}] = reg })
 	}
 	return p, nil
 }

@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"runtime"
+
 	"rmmap/internal/kernel"
 	"rmmap/internal/obs"
 	"rmmap/internal/simtime"
@@ -138,6 +140,13 @@ type Options struct {
 	// ReadaheadWindow overrides the maximum readahead window in pages
 	// (0 = kernel.DefaultReadaheadMax).
 	ReadaheadWindow int
+	// Workers sizes the engine's worker pool: invocations that are
+	// concurrently eligible (same dispatch frontier, different machines)
+	// execute on up to this many goroutines, with their effects committed
+	// in canonical submit order so every output — traces, metrics,
+	// RunResults, bench JSON — is byte-identical at any worker count.
+	// 0 means GOMAXPROCS; 1 is the sequential behavioral reference.
+	Workers int
 }
 
 // DefaultSmallState is the messaging-fallback threshold: at or below this
@@ -164,6 +173,14 @@ func (o Options) replicas(machines int) int {
 		r = machines - 1
 	}
 	return r
+}
+
+// workerCount resolves the effective worker-pool size (0 = GOMAXPROCS).
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) textPages() int {

@@ -1,0 +1,66 @@
+package sim
+
+import "sync"
+
+// RunGroups executes independent event groups on at most workers
+// goroutines and returns when every group has finished. It is the
+// fork-join primitive of the deterministic parallel engine: the caller
+// (running on the simulator thread, inside one event) partitions the
+// frontier's eligible work into groups with no mutable state in common,
+// fans them out here, and then commits each group's effects in canonical
+// order after the join. The simulator itself never runs concurrently —
+// RunGroups is always called from within a single event's callback, so
+// virtual time and the event queue are frozen for the whole fork-join.
+//
+// Groups are claimed by the pool in slice order, but no ordering between
+// groups may be assumed: each group must only touch state it owns.
+// A panic inside a group is re-raised on the calling goroutine after all
+// groups finish, preserving fail-fast behavior under `go test`.
+func RunGroups(workers int, groups []func()) {
+	if len(groups) == 0 {
+		return
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			g()
+		}
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first any
+	)
+	ch := make(chan func())
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for g := range ch {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if first == nil {
+								first = r
+							}
+							mu.Unlock()
+						}
+					}()
+					g()
+				}()
+			}
+		}()
+	}
+	for _, g := range groups {
+		ch <- g
+	}
+	close(ch)
+	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}

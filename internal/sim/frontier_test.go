@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunGroupsRunsEveryGroup(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		var mu sync.Mutex
+		seen := make(map[int]bool)
+		groups := make([]func(), 9)
+		for i := range groups {
+			i := i
+			groups[i] = func() {
+				mu.Lock()
+				seen[i] = true
+				mu.Unlock()
+			}
+		}
+		RunGroups(workers, groups)
+		if len(seen) != len(groups) {
+			t.Fatalf("workers=%d: ran %d of %d groups", workers, len(seen), len(groups))
+		}
+	}
+}
+
+func TestRunGroupsEmptyAndSingle(t *testing.T) {
+	RunGroups(8, nil) // must not hang or panic
+	ran := false
+	RunGroups(8, []func(){func() { ran = true }})
+	if !ran {
+		t.Fatal("single group not run")
+	}
+}
+
+func TestRunGroupsPreservesOrderWithinSequentialFallback(t *testing.T) {
+	var order []int
+	groups := make([]func(), 5)
+	for i := range groups {
+		i := i
+		groups[i] = func() { order = append(order, i) }
+	}
+	RunGroups(1, groups)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fallback reordered groups: %v", order)
+		}
+	}
+}
+
+func TestRunGroupsPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	RunGroups(4, []func(){
+		func() {},
+		func() { panic("boom") },
+		func() {},
+	})
+}

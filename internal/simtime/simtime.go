@@ -128,7 +128,11 @@ func Categories() []Category {
 
 // Meter accumulates virtual-time charges for one logical thread of
 // execution (e.g. one function invocation). It is not safe for concurrent
-// use; each invocation gets its own Meter.
+// use; each invocation gets its own Meter. That per-invocation ownership is
+// also the parallel engine's sharding scheme: concurrently executing
+// invocations each charge a private Meter (the shard), and the engine folds
+// shards into the request meter with AddAll at canonical commit points (the
+// merge), so totals are byte-identical at any worker count.
 type Meter struct {
 	byCat [numCategories]Duration
 }
