@@ -13,6 +13,10 @@
 // default documented in EXPERIMENTS.md. -json writes the machine-readable
 // Fig 14 grid (per-mode latency, fabric reads, cache hit rate) to
 // BENCH_fig14.json; combined with experiment IDs it also runs those.
+//
+// For the overload/scale soak — open-loop multi-tenant load with
+// deadlines and admission control, writing BENCH_scale.json — see
+// cmd/rmmap-load.
 package main
 
 import (

@@ -1,0 +1,127 @@
+package admit
+
+import (
+	"fmt"
+
+	"rmmap/internal/simtime"
+)
+
+// BreakerState is a tenant circuit breaker's state.
+type BreakerState int
+
+const (
+	// BreakerClosed admits normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects everything until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe whose outcome decides between
+	// closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", int(s))
+	}
+}
+
+// Transition is a breaker state change, named by the state entered. The
+// engine publishes these as obs counters (label "to").
+type Transition int
+
+const (
+	// TransitionNone: no change.
+	TransitionNone Transition = iota
+	// TransitionOpen: the breaker tripped (or a half-open probe failed).
+	TransitionOpen
+	// TransitionHalfOpen: the cooldown elapsed; probing.
+	TransitionHalfOpen
+	// TransitionClosed: a half-open probe succeeded.
+	TransitionClosed
+)
+
+func (t Transition) String() string {
+	switch t {
+	case TransitionOpen:
+		return "open"
+	case TransitionHalfOpen:
+		return "half-open"
+	case TransitionClosed:
+		return "closed"
+	default:
+		return "none"
+	}
+}
+
+// breaker is the per-tenant state machine: Closed --(threshold consecutive
+// bad outcomes)--> Open --(cooldown in virtual time)--> HalfOpen --(one
+// probe good/bad)--> Closed/Open. Outcomes of requests admitted before a
+// trip that complete during HalfOpen are indistinguishable from the probe;
+// that coarseness only ever resolves the probe early and keeps the machine
+// deterministic.
+type breaker struct {
+	state     BreakerState
+	bad       int // consecutive bad outcomes while closed
+	openUntil simtime.Time
+	probing   bool // half-open probe outstanding
+}
+
+// allow reports whether the tenant may pass the breaker at now. An open
+// breaker whose cooldown elapsed half-opens and admits one probe; further
+// arrivals are rejected until the probe resolves.
+func (b *breaker) allow(now simtime.Time, cooldown simtime.Duration) (bool, Transition) {
+	switch b.state {
+	case BreakerClosed:
+		return true, TransitionNone
+	case BreakerOpen:
+		if now < b.openUntil {
+			return false, TransitionNone
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, TransitionHalfOpen
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, TransitionNone
+		}
+		b.probing = true
+		return true, TransitionNone
+	}
+}
+
+// record feeds one outcome and returns the transition it caused, if any.
+func (b *breaker) record(now simtime.Time, good bool, threshold int, cooldown simtime.Duration) Transition {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if good {
+			b.state = BreakerClosed
+			b.bad = 0
+			return TransitionClosed
+		}
+		b.state = BreakerOpen
+		b.openUntil = now.Add(cooldown)
+		return TransitionOpen
+	case BreakerClosed:
+		if good {
+			b.bad = 0
+			return TransitionNone
+		}
+		b.bad++
+		if b.bad >= threshold {
+			b.state = BreakerOpen
+			b.openUntil = now.Add(cooldown)
+			return TransitionOpen
+		}
+		return TransitionNone
+	default: // BreakerOpen: a pre-trip request completing; no new evidence
+		return TransitionNone
+	}
+}

@@ -1,0 +1,12 @@
+// Package admit implements the platform's overload-control layer: per-
+// tenant token-bucket quotas, a bounded admission queue with a pluggable
+// dequeue policy (FIFO or earliest-deadline-first), coordinator
+// backpressure watermarks, and a per-tenant circuit breaker that trips on
+// consecutive shed/timeout outcomes and half-opens in virtual time.
+//
+// The package is engine-agnostic and single-threaded by design: the
+// platform engine calls the Controller only from the simulator thread, so
+// every admission decision lands at a deterministic virtual-time instant
+// and the whole layer stays byte-identical across Options.Workers. See
+// DESIGN.md §11 for the overload model.
+package admit

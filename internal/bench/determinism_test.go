@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"testing"
 
+	"rmmap/internal/admit"
 	"rmmap/internal/faults"
+	"rmmap/internal/load"
 	"rmmap/internal/obs"
 	"rmmap/internal/platform"
 	"rmmap/internal/simtime"
@@ -212,6 +214,63 @@ func TestDifferentialDeterminismChaosPlans(t *testing.T) {
 		}
 		for _, w := range diffWorkers[1:] {
 			diffArtifacts(t, sc.name, ref, runChaosScenario(t, sc, w), w)
+		}
+	}
+}
+
+// TestDifferentialDeterminismScaleReport is the BENCH_scale.json leg of the
+// suite: an open-loop multi-tenant soak (bursty arrivals, deadlines,
+// admission control) under each example chaos plan must serialize to
+// byte-identical report JSON at Workers ∈ {1, 8} and across two fresh runs.
+func TestDifferentialDeterminismScaleReport(t *testing.T) {
+	for _, plan := range []struct{ name, path string }{
+		{"crash-failover", "../../cmd/rmmap-chaos/plans/crash-failover.json"},
+		{"partition-heal", "../../cmd/rmmap-chaos/plans/partition-heal.json"},
+	} {
+		p, err := faults.LoadPlan(plan.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := load.SoakSpec{
+			Workflow: "wordcount",
+			Small:    true,
+			Mode:     platform.ModeRMMAP,
+			Machines: 4,
+			Pods:     16,
+			Gen: load.BurstSpec{
+				BaseRate:   150,
+				BurstRate:  500,
+				BurstEvery: 100 * simtime.Millisecond,
+				BurstLen:   25 * simtime.Millisecond,
+				Horizon:    300 * simtime.Millisecond,
+				Tenants:    50,
+				Deadline:   10 * simtime.Millisecond,
+				Seed:       20260805,
+			},
+			Plan:      p,
+			Replicas:  1,
+			Admission: admit.Config{QueueLimit: 64, MaxInflight: 32},
+		}
+		render := func(workers int) []byte {
+			spec := spec
+			spec.Workers = workers
+			rep, err := load.RunSoak(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		ref := render(1)
+		if got := render(8); !bytes.Equal(ref, got) {
+			t.Errorf("%s: scale report differs between workers=1 and workers=8\n--- workers=1:\n%s\n--- workers=8:\n%s",
+				plan.name, ref, got)
+		}
+		if got := render(1); !bytes.Equal(ref, got) {
+			t.Errorf("%s: scale report differs across fresh runs", plan.name)
 		}
 	}
 }

@@ -74,6 +74,22 @@ var ErrPartitioned = errors.New("faults: link partitioned")
 // IsPartition reports whether err is a partition refusal.
 func IsPartition(err error) bool { return errors.Is(err, ErrPartitioned) }
 
+// PartitionError is the concrete refusal CheckPartition returns: it
+// satisfies errors.Is(err, ErrPartitioned) and additionally names the
+// severed directed link, so recovery code that parks on a partition can
+// later ask the injector whether that same link is still cut (Partitioned)
+// instead of re-running the operation to find out.
+type PartitionError struct {
+	From, To memsim.MachineID
+	At       simtime.Time
+}
+
+func (p *PartitionError) Error() string {
+	return fmt.Sprintf("%v: link %d->%d at %v", ErrPartitioned, p.From, p.To, simtime.Duration(p.At))
+}
+
+func (p *PartitionError) Unwrap() error { return ErrPartitioned }
+
 // AnyMachine matches every target machine in a Rule.
 const AnyMachine = memsim.MachineID(-1)
 
@@ -143,6 +159,7 @@ type Injector struct {
 	fired   []int // per-rule injection counts
 	seed    uint64
 	draws   map[streamKey]uint64 // per-stream operation counters
+	drawn   uint64               // total PRNG draws across all streams
 	clock   func() simtime.Time
 	bySite  [numSites]int
 	total   int
@@ -229,6 +246,7 @@ func (in *Injector) Check(site Site, target, requester memsim.MachineID, endpoin
 		k := streamKey{rule: i, target: target, requester: requester}
 		n := in.draws[k]
 		in.draws[k] = n + 1
+		in.drawn++
 		if streamDraw(in.seed, k, n) >= r.Prob {
 			continue
 		}
@@ -275,8 +293,7 @@ func (in *Injector) CheckPartition(from, to memsim.MachineID) error {
 		}
 		in.bySite[SitePartition]++
 		in.total++
-		return fmt.Errorf("%w: link %d->%d at %v",
-			ErrPartitioned, from, to, simtime.Duration(now))
+		return &PartitionError{From: from, To: to, At: now}
 	}
 	return nil
 }
@@ -294,6 +311,15 @@ func (in *Injector) Partitioned(from, to memsim.MachineID) bool {
 		}
 	}
 	return false
+}
+
+// Draws reports the total number of PRNG draws consumed across all streams.
+// Crash and partition checks never draw; the fast-fail regression tests pin
+// that by asserting this counter stays flat across a known-bad window.
+func (in *Injector) Draws() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.drawn
 }
 
 // Injected reports how many faults were injected at one site.

@@ -2,6 +2,8 @@ package faults
 
 import (
 	"testing"
+
+	"rmmap/internal/memsim"
 )
 
 // FuzzParsePlan throws arbitrary bytes at the JSON plan parser. ParsePlan
@@ -30,6 +32,30 @@ func FuzzParsePlan(f *testing.F) {
 			}
 			if r.Site < 0 || r.Site >= numSites || r.Site == SitePartition {
 				t.Fatalf("rule %d: accepted invalid site %d", i, int(r.Site))
+			}
+			if r.Until != 0 && r.Until <= r.After {
+				t.Fatalf("rule %d: accepted empty window [%d, %d]", i, r.After, r.Until)
+			}
+			if r.Max < 0 {
+				t.Fatalf("rule %d: accepted negative max %d", i, r.Max)
+			}
+		}
+		seen := make(map[memsim.MachineID]bool)
+		for i, c := range plan.Crashes {
+			if c.Machine < 0 {
+				t.Fatalf("crash %d: accepted machine %d", i, c.Machine)
+			}
+			if seen[c.Machine] {
+				t.Fatalf("crash %d: accepted overlapping crash entries for machine %d", i, c.Machine)
+			}
+			seen[c.Machine] = true
+		}
+		for i, q := range plan.Partitions {
+			if q.From < 0 || q.To < 0 || q.From == q.To {
+				t.Fatalf("partition %d: accepted link %d->%d", i, q.From, q.To)
+			}
+			if q.Until != 0 && q.Until <= q.After {
+				t.Fatalf("partition %d: accepted empty window [%d, %d]", i, q.After, q.Until)
 			}
 		}
 		// An accepted plan must be usable: building the injector and

@@ -94,8 +94,14 @@ func ParsePlan(data []byte) (Plan, error) {
 		if rj.Prob < 0 || rj.Prob > 1 {
 			return Plan{}, fmt.Errorf("rule %d: prob %v outside [0,1]", i, rj.Prob)
 		}
+		if rj.Max < 0 {
+			return Plan{}, fmt.Errorf("rule %d: negative max %d", i, rj.Max)
+		}
 		r := Rule{Site: site, Target: AnyMachine, Endpoint: rj.Endpoint, Prob: rj.Prob, Max: rj.Max}
 		if rj.Target != nil {
+			if *rj.Target < -1 {
+				return Plan{}, fmt.Errorf("rule %d: bad target machine %d (use -1 or omit for any)", i, *rj.Target)
+			}
 			r.Target = memsim.MachineID(*rj.Target)
 		}
 		if r.After, err = parseAt(rj.After); err != nil {
@@ -104,16 +110,36 @@ func ParsePlan(data []byte) (Plan, error) {
 		if r.Until, err = parseAt(rj.Until); err != nil {
 			return Plan{}, fmt.Errorf("rule %d: %w", i, err)
 		}
+		// Until 0 means "never lifts"; any other Until must leave the
+		// window nonempty, or the rule can silently never fire.
+		if r.Until != 0 && r.Until <= r.After {
+			return Plan{}, fmt.Errorf("rule %d: empty window: until %q <= after %q", i, rj.Until, rj.After)
+		}
 		p.Rules = append(p.Rules, r)
 	}
+	crashAt := make(map[int]simtime.Time)
 	for i, cj := range pj.Crashes {
+		if cj.Machine < 0 {
+			return Plan{}, fmt.Errorf("crash %d: bad machine %d", i, cj.Machine)
+		}
 		at, err := parseAt(cj.At)
 		if err != nil {
 			return Plan{}, fmt.Errorf("crash %d: %w", i, err)
 		}
+		if prev, dup := crashAt[cj.Machine]; dup {
+			return Plan{}, fmt.Errorf("crash %d: machine %d already crashes at %v — a machine crashes once",
+				i, cj.Machine, simtime.Duration(prev))
+		}
+		crashAt[cj.Machine] = at
 		p.Crashes = append(p.Crashes, Crash{Machine: memsim.MachineID(cj.Machine), At: at})
 	}
 	for i, qj := range pj.Partitions {
+		if qj.From < 0 || qj.To < 0 {
+			return Plan{}, fmt.Errorf("partition %d: bad link %d->%d", i, qj.From, qj.To)
+		}
+		if qj.From == qj.To {
+			return Plan{}, fmt.Errorf("partition %d: machine %d cannot partition from itself", i, qj.From)
+		}
 		var q Partition
 		var err error
 		q.From = memsim.MachineID(qj.From)
@@ -123,6 +149,9 @@ func ParsePlan(data []byte) (Plan, error) {
 		}
 		if q.Until, err = parseAt(qj.Until); err != nil {
 			return Plan{}, fmt.Errorf("partition %d: %w", i, err)
+		}
+		if q.Until != 0 && q.Until <= q.After {
+			return Plan{}, fmt.Errorf("partition %d: empty window: until %q <= after %q", i, qj.Until, qj.After)
 		}
 		p.Partitions = append(p.Partitions, q)
 	}

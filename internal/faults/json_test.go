@@ -66,11 +66,61 @@ func TestParsePlanErrors(t *testing.T) {
 		{"prob range", `{"rules":[{"site":"rpc","prob":1.5}]}`, "outside [0,1]"},
 		{"bad duration", `{"crashes":[{"machine":0,"at":"soon"}]}`, "bad duration"},
 		{"negative duration", `{"partitions":[{"from":0,"to":1,"until":"-5us"}]}`, "negative duration"},
+		{"negative max", `{"rules":[{"site":"rpc","prob":0.5,"max":-1}]}`, "rule 0: negative max"},
+		{"bad target", `{"rules":[{"site":"rpc","prob":0.5,"target":-2}]}`, "rule 0: bad target machine -2"},
+		{"empty rule window", `{"rules":[{"site":"rpc","prob":0.5,"after":"2ms","until":"1ms"}]}`, "rule 0: empty window"},
+		{"zero rule window", `{"rules":[{"site":"rpc","prob":0.5,"after":"1ms","until":"1ms"}]}`, "rule 0: empty window"},
+		{"negative crash machine", `{"crashes":[{"machine":-1,"at":"1ms"}]}`, "crash 0: bad machine -1"},
+		{"duplicate crash", `{"crashes":[{"machine":1,"at":"1ms"},{"machine":1,"at":"2ms"}]}`, "crash 1: machine 1 already crashes at 1.000ms"},
+		{"negative partition machine", `{"partitions":[{"from":-1,"to":0}]}`, "partition 0: bad link -1->0"},
+		{"self partition", `{"partitions":[{"from":2,"to":2}]}`, "partition 0: machine 2 cannot partition from itself"},
+		{"empty partition window", `{"partitions":[{"from":0,"to":1,"after":"1.5ms","until":"1ms"}]}`, "partition 0: empty window"},
+		{"zero partition window", `{"partitions":[{"from":0,"to":1,"after":"1ms","until":"1ms"}]}`, "partition 0: empty window"},
 	}
 	for _, tc := range cases {
 		_, err := ParsePlan([]byte(tc.in))
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParsePlanCorpus promotes the checked-in FuzzParsePlan corpus into a
+// table test: every seed the fuzzer starts from (and any interesting inputs
+// it minimized into testdata) must keep parsing — or keep failing — the
+// same way, with positional messages for the failures. This pins the
+// validation behavior the fuzz invariants rely on.
+func TestParsePlanCorpus(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // "" = must parse
+	}{
+		{"empty plan", `{}`, ""},
+		{"seed only", `{"seed": 7}`, ""},
+		{"full plan", `{"seed": 20260805,
+		  "rules": [{"site": "rpc", "endpoint": "rmmap.auth", "prob": 0.2,
+		             "after": "100us", "until": "2ms", "max": 4}],
+		  "crashes": [{"machine": 1, "at": "1.2ms"}],
+		  "partitions": [{"from": 2, "to": 0, "after": "500us", "until": "1ms"}]}`, ""},
+		{"crash-failover example", `{"seed": 20260805, "crashes": [{"machine": 1, "at": "1.1ms"}]}`, ""},
+		{"partition-heal example", `{"seed": 20260805, "partitions": [{"from": 2, "to": 1, "after": "1ms", "until": "1.5ms"}]}`, ""},
+		{"partition as rule", `{"rules": [{"site": "partition", "prob": 1}]}`, "rule 0: partitions are schedules"},
+		{"prob above one", `{"rules": [{"site": "rdma-read", "prob": 1.5}]}`, "rule 0: prob 1.5 outside [0,1]"},
+		{"negative crash time", `{"crashes": [{"machine": 0, "at": "-3ms"}]}`, "crash 0: "},
+	}
+	for _, tc := range cases {
+		p, err := ParsePlan([]byte(tc.in))
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, parsed to %+v", tc.name, p)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
 		}
 	}
 }

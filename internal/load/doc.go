@@ -1,0 +1,14 @@
+// Package load generates and replays open-loop, multi-tenant request
+// traffic against the platform engine — the workload side of the overload
+// experiments (DESIGN.md §11, EXPERIMENTS.md scale soak).
+//
+// Arrival schedules are materialized up front as []Event (virtual-time
+// instants with tenant IDs and relative deadlines), either synthesized by
+// the deterministic Poisson/Bursty generators or read from a replayable
+// JSONL trace. Replay schedules every event on the simulator clock and
+// submits through Engine.SubmitTenant, so the same event list produces
+// byte-identical results at any Options.Workers.
+//
+// The generators use their own splitmix64 stream (not math/rand), so a
+// (spec, seed) pair pins the exact arrival schedule across Go versions.
+package load

@@ -1,0 +1,136 @@
+package load
+
+import (
+	"sort"
+
+	"rmmap/internal/admit"
+	"rmmap/internal/platform"
+	"rmmap/internal/simtime"
+)
+
+// TenantStats is one tenant's slice of a replay.
+type TenantStats struct {
+	Offered   int
+	Completed int
+	Failed    int
+	Shed      int
+	// Latencies holds the tenant's completed-request latencies in
+	// completion order (not sorted — isolation tests byte-compare them).
+	Latencies []simtime.Duration
+}
+
+// Result summarises one replayed schedule.
+type Result struct {
+	Offered   int
+	Completed int // finished successfully
+	Failed    int // finished with a non-shed error
+	Shed      int // rejected or abandoned by the overload layer
+	// DeadlineSheds counts the sheds that were deadline expiries
+	// (queue-side or mid-run).
+	DeadlineSheds int
+	// Horizon is the offered window (last arrival bound) the goodput rate
+	// is computed over; Drained is the virtual instant the cluster went
+	// idle.
+	Horizon simtime.Duration
+	Drained simtime.Duration
+	// Latencies are completed-request latencies, sorted ascending.
+	Latencies []simtime.Duration
+	// ByTenant splits the counters per tenant.
+	ByTenant map[string]*TenantStats
+	// Admission snapshots the engine's admission counters at drain time.
+	Admission admit.Stats
+	// ColdStarts snapshots the engine's pod cold starts at drain time.
+	ColdStarts int
+}
+
+// OfferedRPS is the offered arrival rate over the horizon.
+func (r Result) OfferedRPS() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Horizon.Seconds()
+}
+
+// GoodputRPS is successful completions per second of offered window.
+func (r Result) GoodputRPS() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Horizon.Seconds()
+}
+
+// ShedRate is the shed fraction of offered load.
+func (r Result) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// ColdStartRate is cold starts per offered request.
+func (r Result) ColdStartRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(r.Offered)
+}
+
+// Percentile returns the p-quantile completed latency (p in [0,1]).
+func (r Result) Percentile(p float64) simtime.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.Latencies)-1))
+	return r.Latencies[i]
+}
+
+// Replay schedules every event on the engine's simulator clock, submits
+// through SubmitTenant, runs the simulation to drain, and tallies the
+// outcomes. horizon is the offered window the rates are computed over
+// (pass the generator's Horizon; 0 uses the last arrival instant).
+func Replay(e *platform.Engine, events []Event, horizon simtime.Duration) Result {
+	res := Result{
+		Offered:  len(events),
+		Horizon:  horizon,
+		ByTenant: make(map[string]*TenantStats),
+	}
+	if horizon <= 0 && len(events) > 0 {
+		res.Horizon = simtime.Duration(events[len(events)-1].At) + 1
+	}
+	s := e.Cluster.Sim
+	for _, ev := range events {
+		ev := ev
+		ts := res.ByTenant[ev.Tenant]
+		if ts == nil {
+			ts = &TenantStats{}
+			res.ByTenant[ev.Tenant] = ts
+		}
+		ts.Offered++
+		s.At(ev.At, func() {
+			e.SubmitTenant(platform.SubmitInfo{Tenant: ev.Tenant, Deadline: ev.Deadline},
+				func(r platform.RunResult) {
+					switch {
+					case r.Shed:
+						res.Shed++
+						ts.Shed++
+						if r.DeadlineExceeded {
+							res.DeadlineSheds++
+						}
+					case r.Err != nil:
+						res.Failed++
+						ts.Failed++
+					default:
+						res.Completed++
+						ts.Completed++
+						res.Latencies = append(res.Latencies, r.Latency)
+						ts.Latencies = append(ts.Latencies, r.Latency)
+					}
+				})
+		})
+	}
+	res.Drained = simtime.Duration(s.Run())
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+	res.Admission = e.AdmissionStats()
+	res.ColdStarts = e.ColdStarts()
+	return res
+}

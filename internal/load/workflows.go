@@ -1,0 +1,41 @@
+package load
+
+import (
+	"fmt"
+
+	"rmmap/internal/platform"
+	"rmmap/internal/workloads"
+)
+
+// Workflow builds a named fig14 workflow at full or small (test) scale —
+// the shared name map of the load/chaos CLIs.
+func Workflow(name string, small bool) (*platform.Workflow, error) {
+	switch name {
+	case "finra":
+		cfg := workloads.DefaultFINRA()
+		if small {
+			cfg = workloads.SmallFINRA()
+		}
+		return workloads.FINRA(cfg), nil
+	case "ml-training":
+		cfg := workloads.DefaultMLTrain()
+		if small {
+			cfg = workloads.SmallMLTrain()
+		}
+		return workloads.MLTrain(cfg), nil
+	case "ml-prediction":
+		cfg := workloads.DefaultMLPredict()
+		if small {
+			cfg = workloads.SmallMLPredict()
+		}
+		return workloads.MLPredict(cfg), nil
+	case "wordcount":
+		cfg := workloads.DefaultWordCount()
+		if small {
+			cfg = workloads.SmallWordCount()
+		}
+		return workloads.WordCount(cfg), nil
+	default:
+		return nil, fmt.Errorf("load: unknown workflow %q (want finra, ml-training, ml-prediction, wordcount)", name)
+	}
+}

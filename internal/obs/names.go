@@ -34,6 +34,20 @@ const (
 	// Liveness and replication counters.
 	MetricReplicatedBytes = "rmmap_replication_bytes_total"
 	MetricLeaseExpiries   = "rmmap_lease_expiries_total"
+
+	// Admission-control counters (internal/admit), published only when the
+	// engine runs with an admission config.
+	// MetricAdmitted counts requests the admission layer started.
+	MetricAdmitted = "rmmap_admission_admitted_total"
+	// MetricAdmissionSheds counts shed requests (label "reason":
+	// queue-full|quota|breaker|backpressure|deadline).
+	MetricAdmissionSheds = "rmmap_admission_sheds_total"
+	// MetricBreakerTransitions counts tenant circuit-breaker state changes
+	// (label "to": open|half-open|closed).
+	MetricBreakerTransitions = "rmmap_admission_breaker_transitions_total"
+	// MetricColdStarts counts pod cold starts (first use of a freshly
+	// created pod when Options.ColdStart is on).
+	MetricColdStarts = "rmmap_pod_cold_starts_total"
 )
 
 // FieldAliases maps the deprecated, inconsistently named counters that

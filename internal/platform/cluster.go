@@ -254,6 +254,11 @@ type Pod struct {
 	busy     bool
 	used     bool
 	lastBusy simtime.Time
+	// coldStarts counts container creations charged as cold starts on this
+	// pod (Options.ColdStart). Written during worker phases — safe because
+	// a pod is owned by its machine's batch group — and summed on the
+	// simulator thread by Engine.ColdStarts.
+	coldStarts int
 	// inFree mirrors physical membership in the engine's free-pod heap
 	// (lazy deletion: stale entries are discarded on pop).
 	inFree bool

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"rmmap/internal/admit"
 	"rmmap/internal/kernel"
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
@@ -89,7 +90,13 @@ type Engine struct {
 	// crash or partition is learned proactively, not on the read path.
 	leasesOn     bool
 	detectorLive bool
-	inflight     int // requests submitted but not yet completed
+	inflight     int // requests started but not yet completed
+
+	// Admission control (Options.Admission): ctrl makes every decision on
+	// the simulator thread; pubAdmit remembers the stats already published
+	// to Options.Obs so only deltas are added (same scheme as published).
+	ctrl     *admit.Controller
+	pubAdmit admit.Stats
 
 	// published remembers the cluster-cumulative counters (cache stats,
 	// replicated bytes, lease expiries) as of the last PublishRun, so
@@ -215,9 +222,18 @@ type execItem struct {
 
 // request tracks one workflow execution.
 type request struct {
-	id        int
-	start     simtime.Time
-	pending   map[nodeKey]int
+	id     int
+	tenant string
+	// deadline is the request's absolute virtual-time deadline (0 = none).
+	// It is checked only at event boundaries — virtual time is frozen
+	// inside a synchronous invocation — and at recovery-ladder park points,
+	// where a rung may not schedule a retry past it.
+	deadline simtime.Time
+	// deadlineHit marks a mid-run deadline shed: the request drained via
+	// the error path with a ReasonDeadline ShedError.
+	deadlineHit bool
+	start       simtime.Time
+	pending     map[nodeKey]int
 	inputs    map[nodeKey][]*statePayload
 	meters    map[nodeKey]*simtime.Meter
 	remaining int
@@ -239,7 +255,17 @@ type request struct {
 
 // RunResult reports one request's outcome.
 type RunResult struct {
-	Latency simtime.Duration
+	// Tenant is the submitting tenant ("" without multi-tenant admission).
+	Tenant string
+	// Shed marks a request the overload layer rejected or abandoned —
+	// at admission, in the queue, or mid-run on a deadline. Err then
+	// carries an *admit.ShedError and ShedReason its reason string.
+	Shed       bool
+	ShedReason string
+	// DeadlineExceeded marks a deadline shed specifically (queue expiry or
+	// a recovery rung that could not finish in time).
+	DeadlineExceeded bool
+	Latency          simtime.Duration
 	// Meter aggregates all function meters (the workflow's total work;
 	// latency can be lower due to parallelism).
 	Meter *simtime.Meter
@@ -312,6 +338,9 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 		warm:       make(map[SlotID]map[int]*Pod),
 		byMachine:  make(map[memsim.MachineID][]*Pod),
 		schedSinks: make([]*execItem, len(cluster.Machines)),
+	}
+	if opts.Admission != nil {
+		e.ctrl = admit.NewController(*opts.Admission)
 	}
 	// Per-run page-cache/readahead knobs (zero value keeps the cluster
 	// defaults wired by NewCluster).
@@ -421,11 +450,21 @@ func (e *Engine) BusyPods() int {
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // Submit enqueues one workflow request at the current virtual time; done
-// fires at completion. Use Run for the common single-request case.
+// fires at completion. Use Run for the common single-request case. With
+// Options.Admission set the request passes the overload layer first (as
+// the anonymous tenant ""); SubmitTenant carries tenant and deadline.
 func (e *Engine) Submit(done func(RunResult)) {
+	e.SubmitTenant(SubmitInfo{}, done)
+}
+
+// startRequest begins executing one admitted workflow request. It must run
+// on the simulator thread.
+func (e *Engine) startRequest(tenant string, deadline simtime.Time, done func(RunResult)) {
 	e.requests++
 	req := &request{
 		id:        e.requests,
+		tenant:    tenant,
+		deadline:  deadline,
 		start:     e.Cluster.Sim.Now(),
 		pending:   make(map[nodeKey]int),
 		inputs:    make(map[nodeKey][]*statePayload),
@@ -437,10 +476,21 @@ func (e *Engine) Submit(done func(RunResult)) {
 	e.inflight++
 	req.done = func(r *request) {
 		e.inflight--
-		if done == nil {
-			return
+		if e.ctrl != nil {
+			out := admit.OutcomeOK
+			switch {
+			case r.deadlineHit:
+				out = admit.OutcomeDeadline
+			case r.err != nil:
+				out = admit.OutcomeError
+			}
+			e.ctrl.Record(e.Cluster.Sim.Now(), r.tenant, out)
+			e.publishAdmission()
 		}
-		done(e.collect(r))
+		if done != nil {
+			done(e.collect(r))
+		}
+		e.pumpAdmission()
 	}
 	for _, f := range e.wf.Functions {
 		deps := 0
@@ -507,6 +557,7 @@ func (e *Engine) startFailureDetector() {
 
 func (e *Engine) collect(r *request) RunResult {
 	res := RunResult{
+		Tenant:      r.tenant,
 		Latency:     e.Cluster.Sim.Now().Sub(r.start),
 		Meter:       simtime.NewMeter(),
 		PerFunction: make(map[string]*simtime.Meter),
@@ -522,6 +573,11 @@ func (e *Engine) collect(r *request) RunResult {
 	}
 	res.ReplicatedBytes = e.Cluster.ReplicatedBytes()
 	res.LeaseExpiries = e.Cluster.LeaseExpiries()
+	if r.deadlineHit {
+		res.Shed = true
+		res.ShedReason = admit.ReasonDeadline.String()
+		res.DeadlineExceeded = true
+	}
 	for node, m := range r.meters {
 		res.Meter.AddAll(m)
 		agg := res.PerFunction[node.fn]
@@ -912,6 +968,14 @@ func (e *Engine) commit(it *execItem) {
 				Failovers:      failovers,
 			})
 		}
+		// Deadline check at the event boundary (virtual time is frozen
+		// inside the synchronous invocation): a request past its deadline
+		// sheds instead of climbing the recovery ladder — its remaining
+		// invocations drain as no-ops and reclamation proceeds normally.
+		if req.deadline != 0 && req.err == nil && e.Cluster.Sim.Now() > req.deadline {
+			req.deadlineHit = true
+			req.err = &admit.ShedError{Tenant: req.tenant, Reason: admit.ReasonDeadline}
+		}
 		if err != nil && req.err == nil {
 			if e.opts.Recovery != nil && e.repair(req, inv, err) {
 				// Repaired: this invocation is parked and re-runs when the
@@ -919,7 +983,10 @@ func (e *Engine) commit(it *execItem) {
 				e.dispatch()
 				return
 			}
-			req.err = fmt.Errorf("%v: %w", inv.node, err)
+			if req.err == nil {
+				// repair may itself have shed the request on its deadline.
+				req.err = fmt.Errorf("%v: %w", inv.node, err)
+			}
 		}
 		if inv.redo {
 			// A redo feeds only its parked waiters; it already counted
@@ -1148,6 +1215,7 @@ func (e *Engine) container(pod *Pod, spec *FunctionSpec, node nodeKey, meter *si
 	e.installSharedText(c)
 	if e.opts.ColdStart {
 		meter.Charge(simtime.CatPlatform, e.Cluster.CM.ColdStart)
+		pod.coldStarts++
 	}
 	pod.cache[slot] = c
 	e.warmAdd(slot, pod)
@@ -1486,6 +1554,16 @@ func (e *Engine) releaseConsumer(p *statePayload) {
 
 // LiveRegistrations reports registrations the coordinator still tracks.
 func (e *Engine) LiveRegistrations() int { return len(e.regs) }
+
+// ColdStarts reports container creations charged as cold starts
+// (Options.ColdStart) across all pods.
+func (e *Engine) ColdStarts() int {
+	n := 0
+	for _, p := range e.pods {
+		n += p.coldStarts
+	}
+	return n
+}
 
 // typeID derives a stable consumer identity from a function type name
 // (FNV-1a), used by the registration ACLs.

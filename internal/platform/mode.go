@@ -3,6 +3,7 @@ package platform
 import (
 	"runtime"
 
+	"rmmap/internal/admit"
 	"rmmap/internal/kernel"
 	"rmmap/internal/obs"
 	"rmmap/internal/simtime"
@@ -117,6 +118,13 @@ type Options struct {
 	// re-execution, see RecoveryPolicy). nil means any transfer failure
 	// fails the request — the negative control for the chaos experiments.
 	Recovery *RecoveryPolicy
+	// Admission enables the overload-control layer (DESIGN.md §11):
+	// per-tenant quotas and circuit breakers, a bounded admission queue,
+	// backpressure watermarks, and per-request deadlines that propagate
+	// into the recovery ladder. nil disables admission entirely — Submit
+	// starts every request immediately, exactly the pre-admission
+	// behaviour.
+	Admission *admit.Config
 	// Replicas asynchronously replicates every registration's shadow
 	// frames to this many backup machines (clipped to machines-1) and
 	// turns on lease-based liveness tracking: consumers of a crashed

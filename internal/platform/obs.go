@@ -21,6 +21,9 @@ func ExportSpans(spans []Span) []obs.Span {
 		if s.Redo {
 			cat = "redo"
 		}
+		if s.Shed {
+			cat = "shed"
+		}
 		es := obs.Span{
 			Name: s.Node, Cat: cat,
 			Pid: s.Machine, Tid: s.Pod,
@@ -72,7 +75,10 @@ func ExportSpans(spans []Span) []obs.Span {
 func PublishRun(reg *obs.Registry, workflow, mode string, res RunResult) {
 	base := obs.Labels{"workflow": workflow, "mode": mode}
 	outcome := "ok"
-	if res.Err != nil {
+	switch {
+	case res.Shed:
+		outcome = "shed"
+	case res.Err != nil:
 		outcome = "error"
 	}
 	runLabels := base.With("outcome", outcome)

@@ -3,6 +3,7 @@ package platform
 import (
 	"errors"
 
+	"rmmap/internal/admit"
 	"rmmap/internal/faults"
 	"rmmap/internal/memsim"
 	"rmmap/internal/simtime"
@@ -124,17 +125,24 @@ func (e *Engine) repair(req *request, inv *invocation, err error) bool {
 	// Partition rung: the input state is unreachable, not lost. Keep the
 	// payload (the registration is intact on the other side of the cut),
 	// park the invocation, and retry it wholesale once the window has had
-	// time to lift. No re-execution budget is consumed.
+	// time to lift. No re-execution budget is consumed. A rung may not
+	// retry past the request's deadline: shed instead.
 	if errors.Is(err, faults.ErrPartitioned) && req.partitionWaits < pol.maxPartitionWaits() {
+		if e.shedOnDeadline(req, pol.partitionWait()) {
+			return false
+		}
 		req.partitionWaits++
-		e.Cluster.Sim.After(pol.partitionWait(), func() {
-			e.queue = append(e.queue, inv)
-			e.dispatch()
-		})
+		e.parkPartition(req, inv, err)
 		return true
 	}
 
 	if req.reexecs >= pol.maxReexecutions() {
+		return false
+	}
+	// Re-execution is the most expensive rung; a request past its deadline
+	// sheds rather than re-running producers whose output it can no longer
+	// use in time.
+	if e.shedOnDeadline(req, 0) {
 		return false
 	}
 	p := te.payload
@@ -173,6 +181,55 @@ func (e *Engine) repair(req *request, inv *invocation, err error) bool {
 		e.queue = append(e.queue, &invocation{req: req, node: producer, redo: true})
 	}
 	return true
+}
+
+// shedOnDeadline sheds req if scheduling another wait-long recovery step
+// would overshoot its deadline: the request's error becomes a typed
+// deadline ShedError and its remaining invocations drain as no-ops.
+// Reports false for requests without a deadline or with time to spare.
+func (e *Engine) shedOnDeadline(req *request, wait simtime.Duration) bool {
+	if req.deadline == 0 || req.err != nil {
+		return false
+	}
+	if e.Cluster.Sim.Now().Add(wait) <= req.deadline {
+		return false
+	}
+	req.deadlineHit = true
+	req.err = &admit.ShedError{Tenant: req.tenant, Reason: admit.ReasonDeadline}
+	return true
+}
+
+// parkPartition parks inv and arms the partition rung's wait loop. While
+// the fault plan says the severed link is still cut, each tick re-parks
+// directly — fast-fail, like CrashedNow for crashes: no transport attempt,
+// no PRNG draws, no retry backoff — consuming one partitionWait of budget
+// per tick. The invocation is re-enqueued once the window lifts, the
+// budget runs out, the deadline would be overshot, or the request has
+// already failed; it then re-runs (or drains as a no-op) through the
+// normal pipeline, so req.remaining is always eventually decremented.
+func (e *Engine) parkPartition(req *request, inv *invocation, err error) {
+	pol := e.opts.Recovery
+	var pe *faults.PartitionError
+	known := errors.As(err, &pe) && e.Cluster.Injector != nil
+	release := func() {
+		e.queue = append(e.queue, inv)
+		e.dispatch()
+	}
+	var tick func()
+	tick = func() {
+		if req.err == nil && known && e.Cluster.Injector.Partitioned(pe.From, pe.To) &&
+			req.partitionWaits < pol.maxPartitionWaits() {
+			if e.shedOnDeadline(req, pol.partitionWait()) {
+				release()
+				return
+			}
+			req.partitionWaits++
+			e.Cluster.Sim.After(pol.partitionWait(), tick)
+			return
+		}
+		release()
+	}
+	e.Cluster.Sim.After(pol.partitionWait(), tick)
 }
 
 // deliverRedo routes a re-executed producer's payload to the invocations

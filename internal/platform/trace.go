@@ -31,6 +31,9 @@ type Span struct {
 	Failovers int
 	// Redo marks a producer re-execution scheduled by the recovery ladder.
 	Redo bool
+	// Shed marks a synthetic admission span: the request was rejected by
+	// the overload layer and never ran (Pod/Machine are -1).
+	Shed bool
 	// Err is the invocation's failure, if any ("" = success).
 	Err string
 }

@@ -51,6 +51,17 @@ func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
 // Micros returns the duration as floating-point microseconds.
 func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
 
+// PerSecond converts an events-per-second rate into the mean interval
+// between events — the unit conversion open-loop generators and token
+// buckets share. Rates <= 0 (or too slow to represent) yield 0, which
+// callers must treat as "disabled" rather than "infinitely fast".
+func PerSecond(rate float64) Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return Duration(float64(Second) / rate)
+}
+
 // Category labels a charge on a Meter. The categories are chosen so that the
 // paper's figure breakdowns (Fig 3, 5, 11, 15) fall directly out of a Meter.
 type Category int
