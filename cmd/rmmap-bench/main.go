@@ -7,12 +7,16 @@
 //	rmmap-bench -list
 //	rmmap-bench [-scale 0.25] [fig11a fig14 ...]
 //	rmmap-bench -json [-scale 0.25]
+//	rmmap-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz fig14
 //
 // With no experiment IDs, all experiments run in registration order.
 // -scale shrinks payload sizes for quick runs; 1.0 is the calibrated
 // default documented in EXPERIMENTS.md. -json writes the machine-readable
-// Fig 14 grid (per-mode latency, fabric reads, cache hit rate) to
-// BENCH_fig14.json; combined with experiment IDs it also runs those.
+// Fig 14 grid (per-mode latency, fabric reads, cache hit rate, and the
+// faults/sec-per-core headline) to BENCH_fig14.json; combined with
+// experiment IDs it also runs those. -cpuprofile/-memprofile write pprof
+// profiles of the run (heap taken at exit after a GC), for digging into
+// hot-path regressions the benchmarks flag.
 //
 // For the overload/scale soak — open-loop multi-tenant load with
 // deadlines and admission control, writing BENCH_scale.json — see
@@ -23,24 +27,65 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rmmap/internal/bench"
 )
 
 func main() {
+	// Profile finalizers are deferred inside run so they fire on every
+	// path; os.Exit only happens here, after they have run.
+	os.Exit(run())
+}
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "payload scale factor in (0,1]")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "write the Fig 14 grid to BENCH_fig14.json")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); results are identical, only wall time changes")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
 	bench.Workers = *workers
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-14s %s\n%-14s   expect: %s\n", e.ID, e.Title, "", e.Expect)
 		}
-		return
+		return 0
 	}
 
 	ids := flag.Args()
@@ -48,19 +93,19 @@ func main() {
 		f, err := os.Create("BENCH_fig14.json")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_fig14.json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := bench.WriteFig14JSON(f, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "fig14 json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_fig14.json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("wrote BENCH_fig14.json")
 		if len(ids) == 0 {
-			return
+			return 0
 		}
 	}
 	ran := 0
@@ -74,14 +119,15 @@ func main() {
 		start := time.Now()
 		if err := e.Run(os.Stdout, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\n(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %v; known: %v\n", ids, bench.IDs())
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func contains(ss []string, s string) bool {

@@ -130,6 +130,63 @@ func TestDifferentialDeterminismFig14(t *testing.T) {
 	}
 }
 
+// runHighContentionCell runs the fan-out ML-prediction workflow with a
+// page cache squeezed far below the working set, so every worker count
+// drives constant eviction churn through the sharded cache and frame
+// locks.
+func runHighContentionCell(t *testing.T, workers int) runArtifacts {
+	t.Helper()
+	cfg := workloads.DefaultMLPredict()
+	cfg.Images = 75
+	cfg.Trees = 16
+	reg := obs.NewRegistry()
+	e, err := platform.NewEngine(workloads.MLPredict(cfg), platform.ModeRMMAPPrefetch,
+		platform.Options{
+			Trace:   true,
+			Obs:     reg,
+			Workers: workers,
+			// 2 pages per machine: far below the model + image working
+			// set, so admissions continuously evict (the seeded runs pin
+			// evictions > 0 below).
+			PageCacheBytes: 2 * 4096,
+		}, benchCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Evictions == 0 {
+		t.Fatalf("workers=%d: no evictions — the cache budget no longer forces churn", workers)
+	}
+	var metrics bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return runArtifacts{
+		spans:   spanJSONL(t, res.Trace),
+		metrics: metrics.Bytes(),
+		row:     fig14RowBytes(t, "ML-prediction-tiny-cache", platform.ModeRMMAPPrefetch, e, res),
+	}
+}
+
+// TestDifferentialDeterminismHighContention is the lock-stress leg of the
+// suite: a wide fan-out workflow (16 predictor pods per request) with a
+// tiny page-cache budget keeps the sharded frame locks, cache shards, and
+// eviction scan under continuous cross-pod contention. Artifacts must
+// still be byte-identical at every worker count; CI runs this under -race,
+// where any unsynchronized access to the sharded structures also surfaces.
+func TestDifferentialDeterminismHighContention(t *testing.T) {
+	ref := runHighContentionCell(t, 1)
+	if len(ref.spans) == 0 {
+		t.Fatal("reference run produced no spans")
+	}
+	for _, w := range []int{8} {
+		diffArtifacts(t, "ml-predict-tiny-cache", ref, runHighContentionCell(t, w), w)
+	}
+}
+
 // chaosScenario mirrors one rmmap-chaos CLI invocation of an example plan.
 type chaosScenario struct {
 	name string

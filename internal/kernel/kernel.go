@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rmmap/internal/memsim"
 	"rmmap/internal/rdma"
@@ -117,8 +118,9 @@ type Kernel struct {
 	// raMax caps the fault-coalescing readahead window in pages; 0 or 1
 	// disables readahead.
 	raMax int
-	// raPages counts pages fetched by readahead beyond demand pages.
-	raPages int64
+	// raPages counts pages fetched by readahead beyond demand pages
+	// (atomic: bumped on every batch fault, read by stats snapshots).
+	raPages atomic.Int64
 	// Clock supplies the current virtual time for lease-based
 	// reclamation; nil means time 0 (leases disabled).
 	Clock func() simtime.Time
@@ -158,7 +160,7 @@ type Kernel struct {
 	// replicas holds registrations this machine backs up for peers.
 	replicas map[replicaKey]*replicaEntry
 	// failovers counts consumer-side mapping re-points to a replica.
-	failovers int64
+	failovers atomic.Int64
 }
 
 // New returns a kernel for machine m whose remote operations go through t.
@@ -197,17 +199,9 @@ func (k *Kernel) SetReadahead(maxPages int) {
 }
 
 // ReadaheadPages reports pages fetched by readahead beyond demand faults.
-func (k *Kernel) ReadaheadPages() int64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.raPages
-}
+func (k *Kernel) ReadaheadPages() int64 { return k.raPages.Load() }
 
-func (k *Kernel) addReadaheadPages(n int) {
-	k.mu.Lock()
-	k.raPages += int64(n)
-	k.mu.Unlock()
-}
+func (k *Kernel) addReadaheadPages(n int) { k.raPages.Add(int64(n)) }
 
 // CacheStats snapshots this machine's cache and readahead counters.
 func (k *Kernel) CacheStats() CacheStats {

@@ -69,11 +69,7 @@ func (k *Kernel) LeaseExpiries() int64 {
 }
 
 // Failovers counts consumer mappings this kernel re-pointed at a replica.
-func (k *Kernel) Failovers() int64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.failovers
-}
+func (k *Kernel) Failovers() int64 { return k.failovers.Load() }
 
 func (k *Kernel) lease(peer memsim.MachineID) *leaseState {
 	st, ok := k.leases[peer]

@@ -23,9 +23,10 @@ const (
 	PagingRPC
 )
 
-// pageBufPool recycles page-sized staging buffers used between the fabric
-// read and WriteFrame, so the fault hot path stops allocating 4 KB per
-// page (real wall-clock GC churn in benches and chaos stress runs).
+// pageBufPool recycles page-sized staging buffers for the cold paths that
+// still stage bytes before a frame write (replication pushes). The fault
+// hot path no longer stages at all: fabric reads land directly in the
+// destination frame via Machine.BorrowFrame (DESIGN.md §12).
 var pageBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, memsim.PageSize)
@@ -77,6 +78,32 @@ type Mapping struct {
 	// at Kernel.raMax); raNext is the predicted next sequential fault.
 	raWindow int
 	raNext   memsim.VPN
+
+	// Preallocated fault scratch (zero-allocation contract, DESIGN.md
+	// §12): winBuf holds the readahead window, and the four parallel
+	// slices below are the doorbell batch descriptors and install staging
+	// for it. All grow to the window cap on first use and are reused for
+	// every later batch fault of this mapping. A mapping is used by one
+	// container at a time (like its address space), so the scratch needs
+	// no locking.
+	winBuf []memsim.VPN
+	locals []memsim.PFN     // freshly allocated destination frames
+	rpfns  []memsim.PFN     // producer (logical) frame numbers, cache keys
+	canon  []memsim.PFN     // canonical frames returned by cache admission
+	reqs   []rdma.PageRead  // doorbell batch descriptors
+}
+
+// ensureScratch sizes the batch scratch for an n-page window.
+func (mp *Mapping) ensureScratch(n int) {
+	if cap(mp.locals) < n {
+		mp.locals = make([]memsim.PFN, 0, n)
+		mp.rpfns = make([]memsim.PFN, 0, n)
+		mp.canon = make([]memsim.PFN, n)
+		mp.reqs = make([]rdma.PageRead, 0, n)
+	}
+	mp.locals = mp.locals[:0]
+	mp.rpfns = mp.rpfns[:0]
+	mp.reqs = mp.reqs[:0]
 }
 
 // Rmap implements rmap(mac_addr, id, key, vm_start, vm_end) for consumer
@@ -209,9 +236,7 @@ func (mp *Mapping) failover(meter *simtime.Meter) error {
 		mp.physPT = phys
 		mp.readTarget = b
 		mp.failedOver = true
-		mp.k.mu.Lock()
-		mp.k.failovers++
-		mp.k.mu.Unlock()
+		mp.k.failovers.Add(1)
 		return nil
 	}
 	return fmt.Errorf("kernel: failover of [%#x,%#x) from machine %d failed (%w): %w",
@@ -335,7 +360,6 @@ func (mp *Mapping) fault(as *memsim.AddressSpace, vaddr uint64, ft memsim.FaultT
 		}
 	}
 
-	window := []memsim.VPN{vpn}
 	if mp.target != as.Machine().ID() && mp.mode == PagingRDMA && mp.k.raMax > 1 {
 		if vpn == mp.raNext && mp.raWindow >= 1 {
 			mp.raWindow *= 2
@@ -345,21 +369,25 @@ func (mp *Mapping) fault(as *memsim.AddressSpace, vaddr uint64, ft memsim.FaultT
 		if mp.raWindow > mp.k.raMax {
 			mp.raWindow = mp.k.raMax
 		}
-		window = mp.collectWindow(vpn, mp.raWindow, useCache)
+		window := mp.collectWindow(vpn, mp.raWindow, useCache)
 		mp.raNext = window[len(window)-1] + 1
+		if len(window) > 1 {
+			return mp.fetchBatch(meter, as, window, useCache)
+		}
 	}
-	if len(window) == 1 {
-		return mp.fetchSingle(meter, as, vpn, rpfn, useCache)
-	}
-	return mp.fetchBatch(meter, as, window, useCache)
+	return mp.fetchSingle(meter, as, vpn, rpfn, useCache)
 }
 
 // collectWindow returns the contiguous run of fetchable pages starting at
 // vpn (known remote, not present, not cached), at most max long. The run
 // stops at the first ineligible page, matching the next demand fault a
-// sequential scan would take.
+// sequential scan would take. The returned slice is the mapping's
+// preallocated window scratch, valid until the next fault.
 func (mp *Mapping) collectWindow(vpn memsim.VPN, max int, useCache bool) []memsim.VPN {
-	window := []memsim.VPN{vpn}
+	if cap(mp.winBuf) < max {
+		mp.winBuf = make([]memsim.VPN, 0, max)
+	}
+	window := append(mp.winBuf[:0], vpn)
 	for next := vpn + 1; len(window) < max && next.Base() < mp.End; next++ {
 		rpfn, ok := mp.remotePT[next]
 		if !ok {
@@ -373,71 +401,74 @@ func (mp *Mapping) collectWindow(vpn memsim.VPN, max int, useCache bool) []memsi
 		}
 		window = append(window, next)
 	}
+	mp.winBuf = window
 	return window
 }
 
-// fetchSingle resolves one remote page with a single fabric read, failing
+// fetchSingle resolves one remote page with a single fabric read landing
+// directly in the destination frame (no staging buffer, no copy), failing
 // over to a replica and retrying once if the read target crashed.
 func (mp *Mapping) fetchSingle(meter *simtime.Meter, as *memsim.AddressSpace, vpn memsim.VPN, rpfn memsim.PFN, useCache bool) error {
-	local := as.Machine().AllocFrame()
-	buf := getPageBuf()
-	err := mp.readRemote(meter, vpn, *buf)
+	mach := as.Machine()
+	local := mach.AllocFrameUnzeroed()
+	buf := mach.BorrowFrame(local)
+	err := mp.readRemote(meter, vpn, buf)
 	if err != nil && mp.tryFailover(meter, err) {
-		err = mp.readRemote(meter, vpn, *buf)
+		err = mp.readRemote(meter, vpn, buf)
 	}
-	if err == nil {
-		as.Machine().WriteFrame(local, 0, *buf)
-	}
-	putPageBuf(buf)
 	if err != nil {
-		as.Machine().Unref(local)
+		mach.Unref(local)
 		mp.dropCrashed(err)
 		return err
 	}
+	mach.SealFrame(local)
 	mp.install(meter, as, vpn, rpfn, local, useCache)
 	return nil
 }
 
 // fetchBatch resolves the demand page plus readahead window in one
-// doorbell-batched read, charged to the readahead category.
+// doorbell-batched read, charged to the readahead category. The batch
+// reads land directly in the freshly allocated frames, and the installs
+// run batched too: one shard-ordered cache admission (InsertBatch) and one
+// shard-ordered reference sweep (InstallSharedBatch) per window, instead
+// of per-page lock round-trips.
 func (mp *Mapping) fetchBatch(meter *simtime.Meter, as *memsim.AddressSpace, window []memsim.VPN, useCache bool) error {
 	mach := as.Machine()
-	locals := make([]memsim.PFN, len(window))
-	bufs := make([]*[]byte, len(window))
-	for i := range window {
-		locals[i] = mach.AllocFrame()
-		bufs[i] = getPageBuf()
+	mp.ensureScratch(len(window))
+	for _, vpn := range window {
+		local := mach.AllocFrameUnzeroed()
+		mp.locals = append(mp.locals, local)
+		mp.rpfns = append(mp.rpfns, mp.remotePT[vpn])
+		mp.reqs = append(mp.reqs, rdma.PageRead{PFN: mp.physPFN(vpn), Buf: mach.BorrowFrame(local)})
 	}
-	batch := func() []rdma.PageRead {
-		reqs := make([]rdma.PageRead, len(window))
-		for i, vpn := range window {
-			reqs[i] = rdma.PageRead{PFN: mp.physPFN(vpn), Buf: *bufs[i]}
-		}
-		return reqs
-	}
-	err := mp.readPages(meter, simtime.CatReadahead, batch())
+	err := mp.readPages(meter, simtime.CatReadahead, mp.reqs)
 	if err != nil && mp.tryFailover(meter, err) {
-		err = mp.readPages(meter, simtime.CatReadahead, batch())
-	}
-	if err == nil {
-		for i := range window {
-			mach.WriteFrame(locals[i], 0, *bufs[i])
+		// Failover re-points reads at a backup's frames; the destination
+		// buffers stay the same.
+		for i, vpn := range window {
+			mp.reqs[i].PFN = mp.physPFN(vpn)
 		}
-	}
-	for _, b := range bufs {
-		putPageBuf(b)
+		err = mp.readPages(meter, simtime.CatReadahead, mp.reqs)
 	}
 	if err != nil {
-		for _, pfn := range locals {
+		for _, pfn := range mp.locals {
 			mach.Unref(pfn)
 		}
 		mp.dropCrashed(err)
 		return err
 	}
+	mach.SealFrames(mp.locals)
 	mp.k.addReadaheadPages(len(window) - 1)
-	for i, vpn := range window {
-		mp.install(meter, as, vpn, mp.remotePT[vpn], locals[i], useCache)
+	if !useCache {
+		for i, vpn := range window {
+			as.InstallPTE(vpn, memsim.PTE{PFN: mp.locals[i], Flags: memsim.FlagPresent | memsim.FlagWritable})
+		}
+		return nil
 	}
+	canon := mp.canon[:len(window)]
+	mp.k.pcache.InsertBatch(mp.target, mp.gen, mp.rpfns, mp.locals, canon)
+	as.InstallSharedBatch(window, canon)
+	mp.k.pcache.TrimToBudget(meter, mp.k.cm)
 	return nil
 }
 
@@ -503,13 +534,14 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 		return err
 	}
 	useCache := mp.cacheable()
+	mach := mp.as.Machine()
 	type slot struct {
 		vpn  memsim.VPN
 		pfn  memsim.PFN // local destination
 		rpfn memsim.PFN
 	}
 	var slots []slot
-	var bufs []*[]byte
+	var reqs []rdma.PageRead
 	for _, vpn := range vpns {
 		base := vpn.Base()
 		if base < mp.Start || base >= mp.End {
@@ -520,7 +552,7 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 		}
 		rpfn, ok := mp.remotePT[vpn]
 		if !ok {
-			local := mp.as.Machine().AllocFrame()
+			local := mach.AllocFrame()
 			mp.as.InstallPTE(vpn, memsim.PTE{PFN: local, Flags: memsim.FlagPresent | memsim.FlagWritable})
 			continue
 		}
@@ -531,42 +563,31 @@ func (mp *Mapping) Prefetch(vpns []memsim.VPN) error {
 				continue
 			}
 		}
-		local := mp.as.Machine().AllocFrame()
+		local := mach.AllocFrameUnzeroed()
 		slots = append(slots, slot{vpn, local, rpfn})
-		bufs = append(bufs, getPageBuf())
+		reqs = append(reqs, rdma.PageRead{PFN: mp.physPFN(vpn), Buf: mach.BorrowFrame(local)})
 	}
 	if len(slots) == 0 {
 		return nil
 	}
-	release := func() {
-		for _, b := range bufs {
-			putPageBuf(b)
-		}
-	}
-	batch := func() []rdma.PageRead {
-		reqs := make([]rdma.PageRead, len(slots))
-		for i, s := range slots {
-			reqs[i] = rdma.PageRead{PFN: mp.physPFN(s.vpn), Buf: *bufs[i]}
-		}
-		return reqs
-	}
-	err := mp.k.transport.ReadPages(meter, mp.readTarget, batch())
+	err := mp.k.transport.ReadPages(meter, mp.readTarget, reqs)
 	if err != nil && mp.tryFailover(meter, err) {
-		err = mp.k.transport.ReadPages(meter, mp.readTarget, batch())
+		for i, s := range slots {
+			reqs[i].PFN = mp.physPFN(s.vpn)
+		}
+		err = mp.k.transport.ReadPages(meter, mp.readTarget, reqs)
 	}
 	if err != nil {
 		for _, s := range slots {
-			mp.as.Machine().Unref(s.pfn)
+			mach.Unref(s.pfn)
 		}
-		release()
 		mp.dropCrashed(err)
 		return err
 	}
-	for i, s := range slots {
-		mp.as.Machine().WriteFrame(s.pfn, 0, *bufs[i])
+	for _, s := range slots {
+		mach.SealFrame(s.pfn)
 		mp.install(meter, mp.as, s.vpn, s.rpfn, s.pfn, useCache)
 	}
-	release()
 	return nil
 }
 

@@ -124,3 +124,57 @@ func TestPageCacheInsertRaceKeepsCanonical(t *testing.T) {
 		t.Errorf("canonical frame bytes = %q", buf)
 	}
 }
+
+// A 10k-entry cache must invalidate one producer by walking only that
+// producer's entries — the per-producer index keeps crash/deregister
+// invalidation O(entries of that producer) instead of a full-cache scan.
+func TestPageCacheInvalidationScansOneProducer(t *testing.T) {
+	const producers = 10
+	const perProducer = 1000
+	m := memsim.NewMachine(0)
+	cm := simtime.DefaultCostModel()
+	pc := NewPageCache(m, producers*perProducer*memsim.PageSize)
+	for p := 0; p < producers; p++ {
+		for i := 0; i < perProducer; i++ {
+			pc.Insert(nil, cm, memsim.MachineID(p+1), memsim.PFN(i), 1, m.AllocFrame())
+		}
+	}
+	if got := pc.Len(); got != producers*perProducer {
+		t.Fatalf("cache holds %d pages, want %d", got, producers*perProducer)
+	}
+
+	before := pc.InvalScanned()
+	pc.InvalidateBelow(3, 2) // drop producer 3's gen-1 entries
+	scanned := pc.InvalScanned() - before
+	if scanned != perProducer {
+		t.Errorf("invalidation scanned %d entries, want %d (one producer)", scanned, perProducer)
+	}
+	if got := pc.Len(); got != (producers-1)*perProducer {
+		t.Errorf("cache holds %d pages after invalidation, want %d", got, (producers-1)*perProducer)
+	}
+	if pc.MachineBytes(3) != 0 {
+		t.Errorf("producer 3 still holds %d cached bytes", pc.MachineBytes(3))
+	}
+	// Every other producer's entries are untouched.
+	for p := 1; p <= producers; p++ {
+		if p == 3 {
+			continue
+		}
+		if got := pc.MachineBytes(memsim.MachineID(p)); got != perProducer*memsim.PageSize {
+			t.Errorf("producer %d holds %d cached bytes, want %d", p, got, perProducer*memsim.PageSize)
+		}
+	}
+	if got := m.LiveFrames(); got != (producers-1)*perProducer {
+		t.Errorf("machine holds %d frames, want %d (invalidated frames freed)", got, (producers-1)*perProducer)
+	}
+
+	// A crash invalidation is equally targeted.
+	before = pc.InvalScanned()
+	pc.InvalidateMachine(7)
+	if scanned := pc.InvalScanned() - before; scanned != perProducer {
+		t.Errorf("crash invalidation scanned %d entries, want %d", scanned, perProducer)
+	}
+	if got := pc.Len(); got != (producers-2)*perProducer {
+		t.Errorf("cache holds %d pages after crash invalidation, want %d", got, (producers-2)*perProducer)
+	}
+}

@@ -210,6 +210,20 @@ func (as *AddressSpace) InstallShared(vpn VPN, pfn PFN) {
 	as.InstallPTE(vpn, PTE{PFN: pfn, Flags: FlagPresent | FlagCoW})
 }
 
+// InstallSharedBatch is InstallShared over a whole readahead window: the
+// reference counts are taken in one shard-ordered batch (Machine.RefBatch)
+// and the PTEs installed in window order — one critical section per run of
+// same-shard frames instead of a lock round-trip per page.
+func (as *AddressSpace) InstallSharedBatch(vpns []VPN, pfns []PFN) {
+	if len(vpns) != len(pfns) {
+		panic("memsim: InstallSharedBatch length mismatch")
+	}
+	as.machine.RefBatch(pfns)
+	for i, vpn := range vpns {
+		as.InstallPTE(vpn, PTE{PFN: pfns[i], Flags: FlagPresent | FlagCoW})
+	}
+}
+
 // Lookup returns the PTE for vpn.
 func (as *AddressSpace) Lookup(vpn VPN) (PTE, bool) {
 	pte, ok := as.pt[vpn]

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Page geometry. 4 KB pages match the paper's Linux target.
@@ -28,12 +29,37 @@ func (v VPN) Base() uint64 { return uint64(v) << PageShift }
 // "mac_addr" argument of rmap.
 type MachineID int
 
+// Frame-lock striping (DESIGN.md §12). Frame state (bytes + refcount) is
+// guarded by one of frameShardCount striped locks instead of a single
+// machine mutex, so concurrent remote readers of disjoint regions never
+// convoy. The shard function drops the two low PFN bits first: batched
+// operations over the mostly-consecutive frames of a readahead window then
+// take one lock per run of four frames, while independent fault streams
+// (different regions, hence distant PFNs) still spread across shards.
+const (
+	frameShardCount = 64
+	frameShardMask  = frameShardCount - 1
+)
+
+func frameShard(pfn PFN) int { return int(pfn>>2) & frameShardMask }
+
+// frameLock is a cache-line padded mutex: neighbouring shards must not
+// false-share under cross-machine read storms.
+type frameLock struct {
+	sync.Mutex
+	_ [56]byte
+}
+
 // frame is one physical page. Frames are reference counted so the kernel
 // can keep shadow copies of registered memory alive after the producer
-// exits (§4.1 "Management of the producer's memory lifecycle").
+// exits (§4.1 "Management of the producer's memory lifecycle"). A frame
+// slot, once allocated, is never released: refs == 0 marks it free and its
+// page buffer is retained for the next allocation of the same PFN — the
+// steady-state fault path recycles buffers instead of allocating
+// (zero-allocation contract, DESIGN.md §12).
 type frame struct {
 	data []byte
-	refs int
+	refs int // guarded by the PFN's shard lock; 0 = free
 }
 
 // ErrMachineCrashed is returned by checked frame reads after Crash: the
@@ -43,96 +69,224 @@ type frame struct {
 var ErrMachineCrashed = errors.New("memsim: machine crashed")
 
 // Machine owns a pool of physical frames. It is safe for concurrent use:
-// the TCP fabric serves one-sided reads from other goroutines.
+// the TCP fabric serves one-sided reads from other goroutines, and the
+// parallel engine's worker groups hit a shared producer's frame table from
+// many goroutines at once.
+//
+// Locking model (DESIGN.md §12): allocMu guards allocation state only
+// (free list, high-water mark, live/peak accounting, frame-table growth);
+// per-frame bytes and refcounts are guarded by 64 striped locks keyed by
+// PFN. The frame table itself is a grow-only slice republished through an
+// atomic pointer, so lookups never take a lock. allocMu and a shard lock
+// are never held together (alloc initializes the frame after releasing
+// allocMu; Unref pushes to the free list after releasing the shard lock),
+// so there is no lock-order cycle.
 type Machine struct {
-	mu      sync.Mutex
 	id      MachineID
-	frames  []*frame
-	free    []PFN
+	crashed atomic.Bool
+
+	// frames is the grow-only frame table. Slots are written once (under
+	// allocMu, on first allocation of that PFN) and the *frame objects are
+	// reused forever after; growth copies into a fresh slice and publishes
+	// it atomically.
+	frames atomic.Pointer[[]*frame]
+
+	allocMu sync.Mutex
+	free    []PFN // LIFO: most recently freed is reused first
+	next    int   // first never-allocated PFN
 	live    int
 	peak    int
-	crashed bool
+
+	shards [frameShardCount]frameLock
 }
 
 // NewMachine returns an empty machine.
-func NewMachine(id MachineID) *Machine { return &Machine{id: id} }
+func NewMachine(id MachineID) *Machine {
+	m := &Machine{id: id}
+	empty := make([]*frame, 0)
+	m.frames.Store(&empty)
+	return m
+}
 
 // ID returns the machine's identifier.
 func (m *Machine) ID() MachineID { return m.id }
 
+// frame returns the slot for pfn without locking; the caller validates
+// liveness (refs > 0) under the PFN's shard lock where the operation's
+// semantics require it.
+func (m *Machine) frame(pfn PFN) *frame {
+	arr := *m.frames.Load()
+	if int(pfn) >= len(arr) || arr[pfn] == nil {
+		panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfn))
+	}
+	return arr[pfn]
+}
+
+func (m *Machine) lock(pfn PFN) *frameLock { return &m.shards[frameShard(pfn)] }
+
 // AllocFrame allocates a zeroed frame with refcount 1.
-func (m *Machine) AllocFrame() PFN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+func (m *Machine) AllocFrame() PFN { return m.allocFrame(true) }
+
+// AllocFrameUnzeroed allocates a frame with refcount 1 without clearing a
+// recycled page buffer. Callers must overwrite the full page before the
+// frame is published (the fetch paths do: a fabric read fills all 4 KB).
+func (m *Machine) AllocFrameUnzeroed() PFN { return m.allocFrame(false) }
+
+func (m *Machine) allocFrame(zero bool) PFN {
+	m.allocMu.Lock()
 	var pfn PFN
+	var f *frame
+	recycled := false
 	if n := len(m.free); n > 0 {
 		pfn = m.free[n-1]
 		m.free = m.free[:n-1]
-		m.frames[pfn] = &frame{data: make([]byte, PageSize), refs: 1}
+		f = (*m.frames.Load())[pfn]
+		recycled = true
 	} else {
-		pfn = PFN(len(m.frames))
-		m.frames = append(m.frames, &frame{data: make([]byte, PageSize), refs: 1})
+		pfn = PFN(m.next)
+		arr := *m.frames.Load()
+		if m.next == len(arr) {
+			grown := make([]*frame, max(64, len(arr)*2))
+			copy(grown, arr)
+			m.frames.Store(&grown)
+			arr = grown
+		}
+		f = &frame{data: make([]byte, PageSize)}
+		arr[pfn] = f
+		m.next++
 	}
 	m.live++
 	if m.live > m.peak {
 		m.peak = m.live
 	}
+	m.allocMu.Unlock()
+
+	// Initialize under the shard lock: the lock hand-off is what makes the
+	// fresh refcount (and, for zeroed frames, the cleared bytes) visible to
+	// the next goroutine that touches this PFN.
+	s := m.lock(pfn)
+	s.Lock()
+	f.refs = 1
+	if zero && recycled {
+		clear(f.data)
+	}
+	s.Unlock()
 	return pfn
 }
 
-func (m *Machine) frameLocked(pfn PFN) *frame {
-	if int(pfn) >= len(m.frames) || m.frames[pfn] == nil {
-		panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfn))
+// BorrowFrame exposes a frame's page buffer for direct filling — the fetch
+// paths read fabric bytes straight into the frame, eliminating the staging
+// buffer and its copy. The caller must hold the only reference (a frame
+// fresh from AllocFrame/AllocFrameUnzeroed, not yet installed anywhere)
+// and must call SealFrame (or publish the frame through an operation that
+// takes its shard lock, e.g. a cache install's Ref) once filled.
+func (m *Machine) BorrowFrame(pfn PFN) []byte {
+	return m.frame(pfn).data
+}
+
+// SealFrame publishes raw writes made through BorrowFrame: acquiring the
+// frame's shard lock orders the fill before any later shard-locked access
+// from another goroutine.
+func (m *Machine) SealFrame(pfn PFN) {
+	s := m.lock(pfn)
+	s.Lock()
+	//lint:ignore SA2001 empty critical section is the point: the release →
+	// acquire pair is the happens-before edge for the preceding raw fill.
+	s.Unlock()
+}
+
+// SealFrames is SealFrame over a batch, taking each shard lock once per
+// run of same-shard frames (consecutive PFNs share shards in runs of 4).
+func (m *Machine) SealFrames(pfns []PFN) {
+	for i := 0; i < len(pfns); {
+		s := m.lock(pfns[i])
+		s.Lock()
+		j := i + 1
+		for j < len(pfns) && m.lock(pfns[j]) == s {
+			j++
+		}
+		s.Unlock()
+		i = j
 	}
-	return m.frames[pfn]
 }
 
 // Ref increments a frame's reference count (shadow copies).
 func (m *Machine) Ref(pfn PFN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.frameLocked(pfn).refs++
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	if f.refs == 0 {
+		s.Unlock()
+		panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfn))
+	}
+	f.refs++
+	s.Unlock()
 }
 
-// Unref decrements a frame's reference count, freeing it at zero.
+// RefBatch increments the reference counts of a batch of frames in one
+// shard-ordered pass: one lock acquisition per run of same-shard PFNs
+// instead of a lock round-trip per page (the batched fault-install path).
+func (m *Machine) RefBatch(pfns []PFN) {
+	for i := 0; i < len(pfns); {
+		s := m.lock(pfns[i])
+		s.Lock()
+		j := i
+		for j < len(pfns) && m.lock(pfns[j]) == s {
+			f := m.frame(pfns[j])
+			if f.refs == 0 {
+				s.Unlock()
+				panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfns[j]))
+			}
+			f.refs++
+			j++
+		}
+		s.Unlock()
+		i = j
+	}
+}
+
+// Unref decrements a frame's reference count, freeing it at zero. The
+// frame slot and its page buffer are retained for reuse; only the
+// allocation bookkeeping changes.
 func (m *Machine) Unref(pfn PFN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f := m.frameLocked(pfn)
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
 	f.refs--
-	if f.refs < 0 {
+	r := f.refs
+	s.Unlock()
+	if r < 0 {
 		panic(fmt.Sprintf("memsim: machine %d: PFN %d refcount underflow", m.id, pfn))
 	}
-	if f.refs == 0 {
-		m.frames[pfn] = nil
+	if r == 0 {
+		m.allocMu.Lock()
 		m.free = append(m.free, pfn)
 		m.live--
+		m.allocMu.Unlock()
 	}
 }
 
 // Refs reports a frame's current reference count.
 func (m *Machine) Refs(pfn PFN) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.frameLocked(pfn).refs
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	r := f.refs
+	s.Unlock()
+	if r == 0 {
+		panic(fmt.Sprintf("memsim: machine %d: bad PFN %d", m.id, pfn))
+	}
+	return r
 }
 
 // Crash marks the machine failed: its frames become unreadable through the
 // checked read path, so consumer page faults on rmapped pages surface as
 // remote-fault errors. Crashing is permanent for the simulation's lifetime
 // (a restarted machine would be a new Machine).
-func (m *Machine) Crash() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.crashed = true
-}
+func (m *Machine) Crash() { m.crashed.Store(true) }
 
 // Crashed reports whether the machine has failed.
-func (m *Machine) Crashed() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.crashed
-}
+func (m *Machine) Crashed() bool { return m.crashed.Load() }
 
 // ReadFrameErr is ReadFrame for remote access paths: it fails with
 // ErrMachineCrashed instead of serving bytes from a dead machine.
@@ -140,12 +294,14 @@ func (m *Machine) ReadFrameErr(pfn PFN, off int, buf []byte) error {
 	if off < 0 || off+len(buf) > PageSize {
 		panic(fmt.Sprintf("memsim: ReadFrame out of range off=%d len=%d", off, len(buf)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.crashed {
+	if m.crashed.Load() {
 		return fmt.Errorf("%w: machine %d", ErrMachineCrashed, m.id)
 	}
-	copy(buf, m.frameLocked(pfn).data[off:])
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	copy(buf, f.data[off:])
+	s.Unlock()
 	return nil
 }
 
@@ -156,9 +312,11 @@ func (m *Machine) ReadFrame(pfn PFN, off int, buf []byte) {
 	if off < 0 || off+len(buf) > PageSize {
 		panic(fmt.Sprintf("memsim: ReadFrame out of range off=%d len=%d", off, len(buf)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	copy(buf, m.frameLocked(pfn).data[off:])
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	copy(buf, f.data[off:])
+	s.Unlock()
 }
 
 // WriteFrameErr is WriteFrame for remote access paths (replication
@@ -168,12 +326,14 @@ func (m *Machine) WriteFrameErr(pfn PFN, off int, data []byte) error {
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("memsim: WriteFrame out of range off=%d len=%d", off, len(data)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.crashed {
+	if m.crashed.Load() {
 		return fmt.Errorf("%w: machine %d", ErrMachineCrashed, m.id)
 	}
-	copy(m.frameLocked(pfn).data[off:], data)
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	copy(f.data[off:], data)
+	s.Unlock()
 	return nil
 }
 
@@ -183,40 +343,58 @@ func (m *Machine) WriteFrame(pfn PFN, off int, data []byte) {
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("memsim: WriteFrame out of range off=%d len=%d", off, len(data)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	copy(m.frameLocked(pfn).data[off:], data)
+	f := m.frame(pfn)
+	s := m.lock(pfn)
+	s.Lock()
+	copy(f.data[off:], data)
+	s.Unlock()
 }
 
 // CopyFrame duplicates src into a fresh frame and returns it (CoW break).
+// The copy runs under both frames' shard locks, acquired in shard order
+// (the global order that keeps multi-shard critical sections deadlock-free).
 func (m *Machine) CopyFrame(src PFN) PFN {
-	dst := m.AllocFrame()
-	m.mu.Lock()
-	copy(m.frames[dst].data, m.frames[src].data)
-	m.mu.Unlock()
+	dst := m.allocFrame(false)
+	fs, fd := m.frame(src), m.frame(dst)
+	ls, ld := m.lock(src), m.lock(dst)
+	switch {
+	case ls == ld:
+		ls.Lock()
+	case frameShard(src) < frameShard(dst):
+		ls.Lock()
+		ld.Lock()
+	default:
+		ld.Lock()
+		ls.Lock()
+	}
+	copy(fd.data, fs.data)
+	if ls != ld {
+		ld.Unlock()
+	}
+	ls.Unlock()
 	return dst
 }
 
 // LiveFrames reports currently allocated frames (memory accounting for
 // Fig 16a).
 func (m *Machine) LiveFrames() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	return m.live
 }
 
 // PeakFrames reports the high-water mark of allocated frames.
 func (m *Machine) PeakFrames() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	return m.peak
 }
 
 // ResetPeak sets the high-water mark to the current live count, so an
 // experiment can measure the peak of one phase.
 func (m *Machine) ResetPeak() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	m.peak = m.live
 }
 

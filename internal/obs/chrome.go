@@ -4,7 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 
 	"rmmap/internal/simtime"
 )
@@ -18,6 +22,21 @@ import (
 // their declared order, and timestamps are formatted with integer
 // arithmetic (Chrome wants µs; virtual time is ns, so values print as
 // "<µs>.<3-digit frac>").
+//
+// The writers render each event into a pooled append-buffer instead of
+// allocating per-span (json.Marshal of every name plus a fresh args slice
+// used to dominate export cost); appendJSONString/appendArgVal reproduce
+// encoding/json's escaping exactly so pooled output stays byte-identical
+// to the marshaled form the goldens pin.
+
+// exportBufPool holds per-export line buffers. One buffer serves a whole
+// export call: it is reset (not reallocated) between events.
+var exportBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
 
 // ChromeTrace writes spans as a Chrome trace-event JSON object. Spans are
 // exported in canonical order (SortSpans) after metadata events naming
@@ -27,16 +46,22 @@ func ChromeTrace(w io.Writer, spans []Span) error {
 	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
 		return err
 	}
+	bufp := exportBufPool.Get().(*[]byte)
+	defer exportBufPool.Put(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf[:0] }()
+
 	first := true
-	emit := func(line string) error {
+	flush := func() error {
+		_, err := w.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	sep := func() {
 		if !first {
-			if _, err := io.WriteString(w, ",\n"); err != nil {
-				return err
-			}
+			buf = append(buf, ',', '\n')
 		}
 		first = false
-		_, err := io.WriteString(w, line)
-		return err
 	}
 
 	// Metadata: name every process (machine) and thread (pod), sorted.
@@ -53,8 +78,13 @@ func ChromeTrace(w io.Writer, spans []Span) error {
 	}
 	sort.Ints(pidList)
 	for _, p := range pidList {
-		if err := emit(fmt.Sprintf(
-			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"machine %d"}}`, p, p)); err != nil {
+		sep()
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(p), 10)
+		buf = append(buf, `,"tid":0,"args":{"name":"machine `...)
+		buf = strconv.AppendInt(buf, int64(p), 10)
+		buf = append(buf, `"}}`...)
+		if err := flush(); err != nil {
 			return err
 		}
 	}
@@ -69,29 +99,41 @@ func ChromeTrace(w io.Writer, spans []Span) error {
 		return tidList[i].tid < tidList[j].tid
 	})
 	for _, t := range tidList {
-		if err := emit(fmt.Sprintf(
-			`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"pod %d"}}`, t.pid, t.tid, t.tid)); err != nil {
+		sep()
+		buf = append(buf, `{"name":"thread_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(t.pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(t.tid), 10)
+		buf = append(buf, `,"args":{"name":"pod `...)
+		buf = strconv.AppendInt(buf, int64(t.tid), 10)
+		buf = append(buf, `"}}`...)
+		if err := flush(); err != nil {
 			return err
 		}
 	}
 
 	for _, s := range sorted {
-		name, err := json.Marshal(s.Name)
+		sep()
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, s.Name)
+		buf = append(buf, `,"cat":`...)
+		buf = appendJSONString(buf, s.Cat)
+		buf = append(buf, `,"ph":"X","ts":`...)
+		buf = appendMicros(buf, simtime.Duration(s.Start))
+		buf = append(buf, `,"dur":`...)
+		buf = appendMicros(buf, s.Duration())
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, int64(s.Pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(s.Tid), 10)
+		buf = append(buf, `,"args":`...)
+		var err error
+		buf, err = appendArgs(buf, s.Args)
 		if err != nil {
 			return err
 		}
-		cat, err := json.Marshal(s.Cat)
-		if err != nil {
-			return err
-		}
-		args, err := encodeArgs(s.Args)
-		if err != nil {
-			return err
-		}
-		if err := emit(fmt.Sprintf(
-			`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
-			name, cat, micros(simtime.Duration(s.Start)), micros(s.Duration()),
-			s.Pid, s.Tid, args)); err != nil {
+		buf = append(buf, '}')
+		if err := flush(); err != nil {
 			return err
 		}
 	}
@@ -103,62 +145,174 @@ func ChromeTrace(w io.Writer, spans []Span) error {
 // order): a flat form for jq/awk-style analysis where Chrome's event
 // envelope is in the way.
 func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	bufp := exportBufPool.Get().(*[]byte)
+	defer exportBufPool.Put(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf[:0] }()
+
 	for _, s := range SortSpans(spans) {
-		name, err := json.Marshal(s.Name)
+		buf = buf[:0]
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, s.Name)
+		buf = append(buf, `,"cat":`...)
+		buf = appendJSONString(buf, s.Cat)
+		buf = append(buf, `,"machine":`...)
+		buf = strconv.AppendInt(buf, int64(s.Pid), 10)
+		buf = append(buf, `,"pod":`...)
+		buf = strconv.AppendInt(buf, int64(s.Tid), 10)
+		buf = append(buf, `,"start_ns":`...)
+		buf = strconv.AppendInt(buf, int64(s.Start), 10)
+		buf = append(buf, `,"end_ns":`...)
+		buf = strconv.AppendInt(buf, int64(s.End), 10)
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendInt(buf, int64(s.Duration()), 10)
+		buf = append(buf, `,"args":`...)
+		var err error
+		buf, err = appendArgs(buf, s.Args)
 		if err != nil {
 			return err
 		}
-		cat, err := json.Marshal(s.Cat)
-		if err != nil {
-			return err
-		}
-		args, err := encodeArgs(s.Args)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w,
-			`{"name":%s,"cat":%s,"machine":%d,"pod":%d,"start_ns":%d,"end_ns":%d,"dur_ns":%d,"args":%s}`+"\n",
-			name, cat, s.Pid, s.Tid, int64(s.Start), int64(s.End), int64(s.Duration()), args); err != nil {
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// encodeArgs renders ordered args as a JSON object, preserving order.
-func encodeArgs(args []Arg) (string, error) {
+// appendArgs renders ordered args as a JSON object, preserving order.
+func appendArgs(dst []byte, args []Arg) ([]byte, error) {
 	if len(args) == 0 {
-		return "{}", nil
+		return append(dst, '{', '}'), nil
 	}
-	out := []byte{'{'}
+	dst = append(dst, '{')
 	for i, a := range args {
 		if i > 0 {
-			out = append(out, ',')
+			dst = append(dst, ',')
 		}
-		k, err := json.Marshal(a.Key)
+		dst = appendJSONString(dst, a.Key)
+		dst = append(dst, ':')
+		var err error
+		dst, err = appendArgVal(dst, a.Val)
 		if err != nil {
-			return "", err
+			return nil, fmt.Errorf("obs: span arg %q: %w", a.Key, err)
 		}
-		v, err := json.Marshal(a.Val)
-		if err != nil {
-			return "", fmt.Errorf("obs: span arg %q: %w", a.Key, err)
-		}
-		out = append(out, k...)
-		out = append(out, ':')
-		out = append(out, v...)
 	}
-	out = append(out, '}')
-	return string(out), nil
+	return append(dst, '}'), nil
 }
 
-// micros formats a ns quantity as Chrome's µs with exactly three fractional
-// digits, using integer arithmetic only (float formatting is not trusted
-// for byte-stable output).
-func micros(d simtime.Duration) string {
-	n := int64(d)
-	neg := ""
-	if n < 0 {
-		neg, n = "-", -n
+// appendArgVal renders one arg value. The common types (the Arg contract:
+// int, int64, float64, bool, string) append without allocating; anything
+// else falls back to json.Marshal so exotic values still encode, at
+// marshal cost.
+func appendArgVal(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(dst, x), nil
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10), nil
+	case int64:
+		return strconv.AppendInt(dst, x, 10), nil
+	case bool:
+		return strconv.AppendBool(dst, x), nil
+	case float64:
+		return appendJSONFloat(dst, x)
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, b...), nil
 	}
-	return fmt.Sprintf("%s%d.%03d", neg, n/1000, n%1000)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, escaping exactly as
+// encoding/json does with HTML escaping on (the marshaler's default, which
+// the golden artifacts were generated under): `"` and `\` get backslash
+// escapes, \n/\r/\t their short forms, other control bytes and <, >, &
+// become \u00XX, U+2028/U+2029 are escaped, and invalid UTF-8 is replaced
+// with the escaped \ufffd sequence.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat formats a float64 the way encoding/json does: shortest
+// representation, 'f' form in the human range and 'e' form (with the
+// exponent's leading zero trimmed) outside it.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %v", f)
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", matching encoding/json.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendMicros formats a ns quantity as Chrome's µs with exactly three
+// fractional digits, using integer arithmetic only (float formatting is
+// not trusted for byte-stable output).
+func appendMicros(dst []byte, d simtime.Duration) []byte {
+	n := int64(d)
+	if n < 0 {
+		dst = append(dst, '-')
+		n = -n
+	}
+	dst = strconv.AppendInt(dst, n/1000, 10)
+	frac := n % 1000
+	return append(dst, '.', byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
 }

@@ -115,8 +115,8 @@ func TestMicrosFormatting(t *testing.T) {
 		10500000: "10500.000",
 	}
 	for in, want := range cases {
-		if got := micros(in); got != want {
-			t.Errorf("micros(%d) = %s, want %s", int64(in), got, want)
+		if got := string(appendMicros(nil, in)); got != want {
+			t.Errorf("appendMicros(%d) = %s, want %s", int64(in), got, want)
 		}
 	}
 }

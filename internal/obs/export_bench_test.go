@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+// The pooled exporters hand-roll their JSON; these tests pin the escaper
+// and float formatter byte-for-byte against encoding/json (the goldens
+// were generated under the marshaler, so any divergence breaks them).
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		"count#3",
+		`quote " backslash \`,
+		"newline\n tab\t cr\r",
+		"control \x00 \x1f",
+		"html <b>&amp;</b>",
+		"unicode ünïcödé 页面 🚀",
+		"line sep   para sep  ",
+		"invalid \xff utf8 \xc3\x28",
+		"mixed <\n\x02 é\xff>",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendArgValMatchesEncodingJSON(t *testing.T) {
+	cases := []any{
+		"str", int(42), int(-7), int64(1 << 40), true, false,
+		0.0, 1.5, -2.25, 1e-7, 3e21, 123456.789, math.SmallestNonzeroFloat64,
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", v, err)
+		}
+		got, err := appendArgVal(nil, v)
+		if err != nil {
+			t.Fatalf("appendArgVal(%v): %v", v, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("appendArgVal(%v) = %s, want %s", v, got, want)
+		}
+	}
+	if _, err := appendArgVal(nil, math.NaN()); err == nil {
+		t.Error("appendArgVal(NaN) succeeded; encoding/json rejects it")
+	}
+}
+
+// benchSpans builds a trace shaped like a real run: per-category breakdown
+// args, a few machines and pods.
+func benchSpans(n int) []Span {
+	spans := make([]Span, n)
+	for i := range spans {
+		spans[i] = Span{
+			Name:  fmt.Sprintf("count#%d", i%32),
+			Cat:   "invocation",
+			Pid:   i % 4,
+			Tid:   i % 8,
+			Start: simtime.Time(i) * 1000,
+			End:   simtime.Time(i)*1000 + 730,
+			Args: []Arg{
+				{Key: "cpu_ns", Val: int64(500)},
+				{Key: "net_ns", Val: int64(200)},
+				{Key: "cache_ns", Val: int64(30)},
+				{Key: "node", Val: "count"},
+			},
+		}
+	}
+	return spans
+}
+
+func BenchmarkChromeTrace(b *testing.B) {
+	spans := benchSpans(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ChromeTrace(io.Discard, spans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSpansJSONL(b *testing.B) {
+	spans := benchSpans(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSpansJSONL(io.Discard, spans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotExport(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		r.Counter(fmt.Sprintf("faults_total_%d", i), Labels{"workflow": "wordcount"}).Add(int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Snapshot().WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The JSONL exporter must not regress back to per-span marshaling: with
+// sorting amortized out, per-span cost should be a handful of appends into
+// the pooled buffer. Guard with a generous bound (sort of the copied slice
+// still allocates once per call).
+func TestWriteSpansJSONLAllocBound(t *testing.T) {
+	if strings.Contains(testing.CoverMode(), "atomic") {
+		t.Skip("coverage instrumentation skews alloc counts")
+	}
+	spans := benchSpans(256)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := WriteSpansJSONL(io.Discard, spans); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// SortSpans copies the slice (1 alloc) and the pool round-trip may
+	// allocate on first use; per-span marshaling would cost 256×3+.
+	if allocs > 16 {
+		t.Errorf("WriteSpansJSONL allocated %.0f times for 256 spans; want ≤ 16 (pooled buffers)", allocs)
+	}
+}

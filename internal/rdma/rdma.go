@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rmmap/internal/memsim"
 	"rmmap/internal/simtime"
@@ -62,85 +63,100 @@ var (
 
 // SimFabric is the cluster interconnect: a registry of machines and their
 // RPC endpoints. Create one per simulated cluster, then a NIC per machine.
+//
+// The registries are copy-on-write maps republished through atomic
+// pointers: Attach/HandleFunc happen at cluster-build time, while lookups
+// sit on every fault's critical path from every worker goroutine — a
+// mutexed map here was the fabric-side convoy point. Telemetry counters
+// are plain atomics for the same reason (DESIGN.md §12).
 type SimFabric struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // serializes registry rebuilds only
 	cm       *simtime.CostModel
-	machines map[memsim.MachineID]*memsim.Machine
-	handlers map[memsim.MachineID]map[string]Handler
+	machines atomic.Pointer[map[memsim.MachineID]*memsim.Machine]
+	handlers atomic.Pointer[map[memsim.MachineID]map[string]Handler]
 
 	// Telemetry for the factor analysis and ablations.
-	reads        int
-	batchReads   int
-	batchPages   int
-	rpcs         int
-	bytesRead    int64
-	batchWrites  int
-	writePages   int
-	bytesWritten int64
+	reads        atomic.Int64
+	batchReads   atomic.Int64
+	batchPages   atomic.Int64
+	rpcs         atomic.Int64
+	bytesRead    atomic.Int64
+	batchWrites  atomic.Int64
+	writePages   atomic.Int64
+	bytesWritten atomic.Int64
 }
 
 // NewSimFabric returns an empty fabric charging from cm.
 func NewSimFabric(cm *simtime.CostModel) *SimFabric {
-	return &SimFabric{
-		cm:       cm,
-		machines: make(map[memsim.MachineID]*memsim.Machine),
-		handlers: make(map[memsim.MachineID]map[string]Handler),
-	}
+	f := &SimFabric{cm: cm}
+	machines := make(map[memsim.MachineID]*memsim.Machine)
+	handlers := make(map[memsim.MachineID]map[string]Handler)
+	f.machines.Store(&machines)
+	f.handlers.Store(&handlers)
+	return f
 }
 
 // Attach registers a machine on the fabric.
 func (f *SimFabric) Attach(m *memsim.Machine) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.machines[m.ID()] = m
+	old := *f.machines.Load()
+	next := make(map[memsim.MachineID]*memsim.Machine, len(old)+1)
+	for id, mach := range old {
+		next[id] = mach
+	}
+	next[m.ID()] = m
+	f.machines.Store(&next)
 }
 
 // HandleFunc registers an RPC endpoint served by machine id.
 func (f *SimFabric) HandleFunc(id memsim.MachineID, endpoint string, h Handler) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.handlers[id] == nil {
-		f.handlers[id] = make(map[string]Handler)
+	old := *f.handlers.Load()
+	next := make(map[memsim.MachineID]map[string]Handler, len(old)+1)
+	for mid, eps := range old {
+		next[mid] = eps
 	}
-	f.handlers[id][endpoint] = h
+	eps := make(map[string]Handler, len(next[id])+1)
+	for name, old := range next[id] {
+		eps[name] = old
+	}
+	eps[endpoint] = h
+	next[id] = eps
+	f.handlers.Store(&next)
 }
 
 // Stats reports cumulative fabric activity: one-sided reads, doorbell
 // batches, RPCs, and total bytes read.
 func (f *SimFabric) Stats() (reads, batches, rpcs int, bytesRead int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.reads, f.batchReads, f.rpcs, f.bytesRead
+	return int(f.reads.Load()), int(f.batchReads.Load()), int(f.rpcs.Load()), f.bytesRead.Load()
 }
 
 // BatchPages reports the cumulative number of pages carried inside
 // doorbell batches — reads+BatchPages is the fabric's total page count.
-func (f *SimFabric) BatchPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.batchPages
-}
+func (f *SimFabric) BatchPages() int { return int(f.batchPages.Load()) }
 
 // WriteStats reports cumulative one-sided write activity: doorbell write
 // batches, pages carried inside them, and total bytes pushed.
 func (f *SimFabric) WriteStats() (batches, pages int, bytesWritten int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.batchWrites, f.writePages, f.bytesWritten
+	return int(f.batchWrites.Load()), int(f.writePages.Load()), f.bytesWritten.Load()
 }
 
 // ResetStats zeroes the telemetry counters.
 func (f *SimFabric) ResetStats() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.reads, f.batchReads, f.batchPages, f.rpcs, f.bytesRead = 0, 0, 0, 0, 0
-	f.batchWrites, f.writePages, f.bytesWritten = 0, 0, 0
+	f.reads.Store(0)
+	f.batchReads.Store(0)
+	f.batchPages.Store(0)
+	f.rpcs.Store(0)
+	f.bytesRead.Store(0)
+	f.batchWrites.Store(0)
+	f.writePages.Store(0)
+	f.bytesWritten.Store(0)
 }
 
 func (f *SimFabric) machine(id memsim.MachineID) (*memsim.Machine, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	m, ok := f.machines[id]
+	m, ok := (*f.machines.Load())[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoMachine, id)
 	}
@@ -200,10 +216,8 @@ func (n *NIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, of
 		n.connect(m, target)
 		cm := n.fabric.cm
 		m.Charge(simtime.CatFault, readBase(cm)+simtime.Bytes(len(buf), cm.RDMAPerByte))
-		n.fabric.mu.Lock()
-		n.fabric.reads++
-		n.fabric.bytesRead += int64(len(buf))
-		n.fabric.mu.Unlock()
+		n.fabric.reads.Add(1)
+		n.fabric.bytesRead.Add(int64(len(buf)))
 		// Remote reads go through the checked path so a crashed target
 		// surfaces as an error instead of silently serving stale bytes.
 		return mach.ReadFrameErr(pfn, off, buf)
@@ -240,11 +254,9 @@ func (n *NIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim
 			cm.DoorbellBase+
 				simtime.Scale(cm.DoorbellPerPage, len(reqs))+
 				simtime.Bytes(total, cm.RDMAPerByte))
-		n.fabric.mu.Lock()
-		n.fabric.batchReads++
-		n.fabric.batchPages += len(reqs)
-		n.fabric.bytesRead += int64(total)
-		n.fabric.mu.Unlock()
+		n.fabric.batchReads.Add(1)
+		n.fabric.batchPages.Add(int64(len(reqs)))
+		n.fabric.bytesRead.Add(int64(total))
 	}
 	for _, r := range reqs {
 		if len(r.Buf) > memsim.PageSize {
@@ -292,11 +304,9 @@ func (n *NIC) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsi
 			base+
 				simtime.Scale(cm.DoorbellPerPage, len(reqs))+
 				simtime.Bytes(total, cm.RDMAPerByte))
-		n.fabric.mu.Lock()
-		n.fabric.batchWrites++
-		n.fabric.writePages += len(reqs)
-		n.fabric.bytesWritten += int64(total)
-		n.fabric.mu.Unlock()
+		n.fabric.batchWrites.Add(1)
+		n.fabric.writePages.Add(int64(len(reqs)))
+		n.fabric.bytesWritten.Add(int64(total))
 	}
 	for _, r := range reqs {
 		if len(r.Data) > memsim.PageSize {
@@ -328,10 +338,8 @@ func (n *NIC) CallCat(m *simtime.Meter, cat simtime.Category, target memsim.Mach
 				endpoint, target, memsim.ErrMachineCrashed)
 		}
 	}
-	n.fabric.mu.Lock()
-	h := n.fabric.handlers[target][endpoint]
-	n.fabric.rpcs++
-	n.fabric.mu.Unlock()
+	h := (*n.fabric.handlers.Load())[target][endpoint]
+	n.fabric.rpcs.Add(1)
 	if h == nil {
 		return nil, fmt.Errorf("%w: machine %d %q", ErrNoEndpoint, target, endpoint)
 	}
