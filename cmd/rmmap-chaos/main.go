@@ -10,10 +10,14 @@
 //	            [-crash-machine 1 -crash-at 100us] [-plan plan.json]
 //	            [-requests 1] [-deadline 0] [-replicas 1]
 //	            [-no-replication] [-no-recovery] [-trace]
+//	            [-ctrl-journal ctrl.save]
 //
 // A -plan file replaces the flag-built plan entirely (see
-// cmd/rmmap-chaos/plans/ for examples including partitions). For open-loop
-// multi-tenant load against the same plans, see cmd/rmmap-load.
+// cmd/rmmap-chaos/plans/ for examples including partitions and the
+// coordinator crash/recovery schedules of DESIGN.md §13). -ctrl-journal
+// dumps the coordinator's durable image (snapshot + journal tail) after
+// the run; audit it with rmmap-plan -verify. For open-loop multi-tenant
+// load against the same plans, see cmd/rmmap-load.
 package main
 
 import (
@@ -48,6 +52,7 @@ func main() {
 	pods := flag.Int("pods", 16, "warm pods")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); the fault schedule and outcome are identical at any setting")
 	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
+	ctrlJournal := flag.String("ctrl-journal", "", "write the coordinator's durable image (snapshot + journal) to this file after the run")
 	flag.Parse()
 
 	wf, err := load.Workflow(*name, *small)
@@ -101,8 +106,9 @@ func main() {
 	}
 
 	if *planPath != "" {
-		fmt.Printf("plan: %s (seed=%d rules=%d crashes=%d partitions=%d)",
-			*planPath, plan.Seed, len(plan.Rules), len(plan.Crashes), len(plan.Partitions))
+		fmt.Printf("plan: %s (seed=%d rules=%d crashes=%d partitions=%d coord-crashes=%d coord-partitions=%d)",
+			*planPath, plan.Seed, len(plan.Rules), len(plan.Crashes), len(plan.Partitions),
+			len(plan.CoordCrashes), len(plan.CoordPartitions))
 	} else {
 		fmt.Printf("plan: seed=%d prob=%g", *seed, *prob)
 		if *crashMachine >= 0 {
@@ -175,6 +181,18 @@ func main() {
 	if last := results[len(results)-1]; last.ReplicatedBytes > 0 || last.LeaseExpiries > 0 {
 		fmt.Printf("liveness: replicated %d bytes, lease expiries=%d\n",
 			last.ReplicatedBytes, last.LeaseExpiries)
+	}
+	coord := engine.Coordinator()
+	cs := coord.Stats()
+	fmt.Printf("ctrl: epoch=%d down=%v appends=%d journal=%dB snapshots=%d replays=%d crashes=%d recoveries=%d deferred=%d drift=%d/%d gossip-rounds=%d\n",
+		coord.Epoch(), coord.Down(), cs.Appends, cs.JournalBytes, cs.Snapshots, cs.Replays,
+		cs.Crashes, cs.Recoveries, cs.Deferred, cs.DriftDropped, cs.DriftAdopted, engine.GossipRounds())
+	if *ctrlJournal != "" {
+		if err := coord.SaveFile(*ctrlJournal); err != nil {
+			fmt.Fprintf(os.Stderr, "ctrl-journal: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ctrl journal written to %s (audit with rmmap-plan -verify)\n", *ctrlJournal)
 	}
 	if *trace {
 		fmt.Println("execution timeline (last request):")

@@ -2,9 +2,18 @@
 // platform generates for one of the built-in workflows: a disjoint address
 // range (and segment layout) per function instance.
 //
+// With -verify it instead audits a coordinator save file (written by
+// rmmap-chaos -ctrl-journal, DESIGN.md §13): the snapshot is loaded, the
+// journal tail replayed, and every journaled address-plan slot checked
+// against the same disjointness rule Plan.Validate enforces at issuance.
+// A violation prints the offending slot and exits non-zero — the post-hoc
+// proof that no coordinator crash/recovery ever journaled overlapping
+// address ranges.
+//
 // Usage:
 //
 //	rmmap-plan [-workflow finra|ml-training|ml-prediction|wordcount] [-full]
+//	rmmap-plan -verify ctrl.save
 package main
 
 import (
@@ -12,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 
+	"rmmap/internal/ctrl"
 	"rmmap/internal/platform"
 	"rmmap/internal/workloads"
 )
@@ -22,7 +33,24 @@ func main() {
 	name := flag.String("workflow", "finra", "workflow: finra, ml-training, ml-prediction, wordcount")
 	full := flag.Bool("full", false, "print every instance slot (default: first/last per type)")
 	asJSON := flag.Bool("json", false, "emit the plan as JSON (the form stored with the workflow, §4.2)")
+	verify := flag.String("verify", "", "audit a coordinator save file (rmmap-chaos -ctrl-journal): replay it and check the journaled slots for overlaps")
 	flag.Parse()
+
+	if *verify != "" {
+		st, replayed, err := ctrl.LoadStateFile(*verify)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load %s: %v\n", *verify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: epoch %d, %d slots, %d live registrations, %d placements (%d journal records replayed)\n",
+			*verify, st.Epoch, len(st.Slots), len(st.Regs), len(st.Places), replayed)
+		if err := verifySlots(st.Slots); err != nil {
+			fmt.Fprintf(os.Stderr, "plan invalid: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("plan verified: %d journaled slots disjoint\n", len(st.Slots))
+		return
+	}
 
 	wf, err := builtinWorkflow(*name)
 	if err != nil {
@@ -67,6 +95,32 @@ func main() {
 			id, l.Start, l.End, l.TextStart, l.TextEnd, l.HeapStart, l.HeapEnd, l.StackStart, l.StackEnd)
 	}
 	tw.Flush()
+}
+
+// verifySlots applies Plan.Validate's rules to journaled slots: every
+// range must be well-formed and pairwise disjoint. The returned error
+// names the offending slot as fn#inst.
+func verifySlots(slots []ctrl.PlanSlot) error {
+	sorted := append([]ctrl.PlanSlot(nil), slots...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	for i, s := range sorted {
+		if s.End <= s.Start {
+			return fmt.Errorf("slot %s#%d: empty or inverted range [%#x,%#x)", s.Fn, s.Inst, s.Start, s.End)
+		}
+		if i > 0 {
+			prev := sorted[i-1]
+			if s.Start < prev.End {
+				return fmt.Errorf("slot %s#%d [%#x,%#x) overlaps %s#%d [%#x,%#x)",
+					s.Fn, s.Inst, s.Start, s.End, prev.Fn, prev.Inst, prev.Start, prev.End)
+			}
+		}
+	}
+	return nil
 }
 
 func builtinWorkflow(name string) (*platform.Workflow, error) {

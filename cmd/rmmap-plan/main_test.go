@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmmap/internal/ctrl"
+	"rmmap/internal/simtime"
+)
+
+// TestVerifySlotsRoundTrip journals a disjoint plan, saves the durable
+// image, reloads it the way -verify does, and expects a clean audit.
+func TestVerifySlotsRoundTrip(t *testing.T) {
+	c := ctrl.New(simtime.DefaultCostModel())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IssueSlot("produce", 0, 0x10000, 0x20000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IssueSlot("sink", 0, 0x20000, 0x30000); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ctrl.save")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st, replayed, err := ctrl.LoadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == 0 || len(st.Slots) != 2 {
+		t.Fatalf("replayed=%d slots=%d, want a replayed 2-slot journal", replayed, len(st.Slots))
+	}
+	if err := verifySlots(st.Slots); err != nil {
+		t.Fatalf("disjoint plan failed verification: %v", err)
+	}
+}
+
+// TestVerifySlotsRejectsOverlap: the audit must name the offending slot
+// and refuse overlapping or malformed ranges.
+func TestVerifySlotsRejectsOverlap(t *testing.T) {
+	err := verifySlots([]ctrl.PlanSlot{
+		{Fn: "produce", Inst: 0, Start: 0x10000, End: 0x20000},
+		{Fn: "transform", Inst: 1, Start: 0x18000, End: 0x28000},
+	})
+	if err == nil {
+		t.Fatal("overlapping slots passed verification")
+	}
+	if !strings.Contains(err.Error(), "transform#1") || !strings.Contains(err.Error(), "produce#0") {
+		t.Fatalf("error does not name both offending slots: %v", err)
+	}
+	if err := verifySlots([]ctrl.PlanSlot{{Fn: "x", Inst: 0, Start: 8, End: 8}}); err == nil {
+		t.Fatal("empty range passed verification")
+	}
+}

@@ -129,6 +129,13 @@ var ErrOverloaded = errors.New("admit: overloaded")
 // in the admission queue or mid-run at a recovery rung.
 var ErrDeadlineExceeded = errors.New("admit: deadline exceeded")
 
+// ErrControlPlaneDown marks a request shed because the coordinator was
+// crashed at submission time: admitting it would mean issuing control-plane
+// state (registrations, reclamation) nobody could journal. In-flight
+// requests keep running on the autonomous data plane; only new submissions
+// shed. Callers match it with errors.Is.
+var ErrControlPlaneDown = errors.New("admit: control plane down")
+
 // Reason says why a request was shed.
 type Reason int
 
@@ -146,6 +153,9 @@ const (
 	ReasonBackpressure
 	// ReasonDeadline: the request's deadline passed before it finished.
 	ReasonDeadline
+	// ReasonControlPlane: the control plane (coordinator) was down, so the
+	// submission could not be recorded durably and was shed instead.
+	ReasonControlPlane
 )
 
 func (r Reason) String() string {
@@ -160,6 +170,8 @@ func (r Reason) String() string {
 		return "backpressure"
 	case ReasonDeadline:
 		return "deadline"
+	case ReasonControlPlane:
+		return "control-plane"
 	default:
 		return "none"
 	}
@@ -178,8 +190,11 @@ func (e *ShedError) Error() string {
 }
 
 func (e *ShedError) Unwrap() error {
-	if e.Reason == ReasonDeadline {
+	switch e.Reason {
+	case ReasonDeadline:
 		return ErrDeadlineExceeded
+	case ReasonControlPlane:
+		return ErrControlPlaneDown
 	}
 	return ErrOverloaded
 }

@@ -209,6 +209,18 @@ func chaosScenarios() []chaosScenario {
 			plan: "../../cmd/rmmap-chaos/plans/partition-heal.json",
 			opts: platform.Options{Trace: true, Recovery: rec, Replicas: 1},
 		},
+		// rmmap-chaos -workflow finra -small -replicas 1 -plan plans/coordinator-crash.json
+		{
+			name: "coordinator-crash",
+			plan: "../../cmd/rmmap-chaos/plans/coordinator-crash.json",
+			opts: platform.Options{Trace: true, Recovery: rec, Replicas: 1},
+		},
+		// rmmap-chaos -workflow finra -small -replicas 1 -plan plans/coordinator-recover-partition.json
+		{
+			name: "coordinator-recover-partition",
+			plan: "../../cmd/rmmap-chaos/plans/coordinator-recover-partition.json",
+			opts: platform.Options{Trace: true, Recovery: rec, Replicas: 1},
+		},
 	}
 }
 
@@ -238,15 +250,20 @@ func runChaosScenario(t *testing.T, sc chaosScenario, workers int) runArtifacts 
 	if err := reg.Snapshot().WriteJSON(&metrics); err != nil {
 		t.Fatal(err)
 	}
+	cs := e.Coordinator().Stats()
 	summary, err := json.Marshal(map[string]any{
-		"latency_ns": int64(res.Latency),
-		"retries":    res.Retries,
-		"failovers":  res.Failovers,
-		"fallbacks":  res.Fallbacks,
-		"reexecs":    res.Reexecs,
-		"waits":      res.PartitionWaits,
-		"injected":   cluster.Injector.Total(),
-		"output":     fmt.Sprint(res.Output),
+		"latency_ns":    int64(res.Latency),
+		"retries":       res.Retries,
+		"failovers":     res.Failovers,
+		"fallbacks":     res.Fallbacks,
+		"reexecs":       res.Reexecs,
+		"waits":         res.PartitionWaits,
+		"injected":      cluster.Injector.Total(),
+		"output":        fmt.Sprint(res.Output),
+		"ctrl_epoch":    e.Coordinator().Epoch(),
+		"ctrl_appends":  cs.Appends,
+		"ctrl_replays":  cs.Replays,
+		"ctrl_deferred": cs.Deferred,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -258,11 +275,13 @@ func runChaosScenario(t *testing.T, sc chaosScenario, workers int) runArtifacts 
 	}
 }
 
-// TestDifferentialDeterminismChaosPlans replays both example chaos plans
-// (the crash-failover and partition-heal scenarios shipped with
-// rmmap-chaos) in-process at each worker count and requires byte-identical
-// artifacts: fault injection, failover, and partition waits must all land
-// on the same virtual-time instants regardless of parallelism.
+// TestDifferentialDeterminismChaosPlans replays the example chaos plans
+// shipped with rmmap-chaos (crash-failover, partition-heal, and the two
+// coordinator outage schedules) in-process at each worker count and
+// requires byte-identical artifacts: fault injection, failover, partition
+// waits, and coordinator crash/recovery (epoch bumps, journal appends,
+// deferred directory ops) must all land on the same virtual-time instants
+// regardless of parallelism.
 func TestDifferentialDeterminismChaosPlans(t *testing.T) {
 	for _, sc := range chaosScenarios() {
 		ref := runChaosScenario(t, sc, 1)

@@ -1,0 +1,235 @@
+package ctrl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecEpoch, Epoch: 1},
+		{Kind: RecSlot, Slot: PlanSlot{Fn: "produce", Inst: 0, Start: 0x1000, End: 0x2000}},
+		{Kind: RecSlot, Slot: PlanSlot{Fn: "consume", Inst: 3, Start: 0x2000, End: 0x3000}},
+		{Kind: RecPlace, Pod: 2, Machine: 1},
+		{Kind: RecRegister, Ref: RegRef{ID: 7, Key: 0xdead}, Machine: 1, Allowed: []uint64{11, 12}},
+		{Kind: RecAddRef, Ref: RegRef{ID: 7, Key: 0xdead}},
+		{Kind: RecACL, Ref: RegRef{ID: 7, Key: 0xdead}, Allowed: []uint64{13}},
+		{Kind: RecRelease, Ref: RegRef{ID: 7, Key: 0xdead}},
+		{Kind: RecReclaim, Ref: RegRef{ID: 7, Key: 0xdead}, Machine: 1},
+	}
+}
+
+func encodeAll(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf []byte
+	for _, r := range recs {
+		frame, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatalf("EncodeRecord(%v): %v", r.Kind, err)
+		}
+		buf = append(buf, frame...)
+	}
+	return buf
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	data := encodeAll(t, want)
+	got, clean, err := DecodeRecords(data)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if clean != len(data) {
+		t.Fatalf("clean offset %d, want %d", clean, len(data))
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// normalize maps nil and empty Allowed slices together for comparison.
+func normalize(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		if len(r.Allowed) == 0 {
+			r.Allowed = nil
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestJournalTruncatedTailIsCleanCrashPoint(t *testing.T) {
+	want := sampleRecords()
+	data := encodeAll(t, want)
+	// Record boundaries for reference.
+	var bounds []int
+	pos := 0
+	for pos < len(data) {
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4 + n + 4
+		bounds = append(bounds, pos)
+	}
+	// Cut the stream at every possible byte: decode must never error and
+	// must recover exactly the records whose frames are complete.
+	for cut := 0; cut < len(data); cut++ {
+		got, clean, err := DecodeRecords(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		complete := 0
+		for _, b := range bounds {
+			if b <= cut {
+				complete++
+			}
+		}
+		if len(got) != complete {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), complete)
+		}
+		if complete > 0 && clean != bounds[complete-1] {
+			t.Fatalf("cut %d: clean offset %d, want %d", cut, clean, bounds[complete-1])
+		}
+	}
+}
+
+func TestJournalCorruptLengthPrefixRejectedWithPosition(t *testing.T) {
+	data := encodeAll(t, sampleRecords())
+	// Find the second record's offset and poison its length prefix.
+	first := 4 + int(binary.LittleEndian.Uint32(data)) + 4
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[first:], MaxRecordLen+1)
+
+	recs, clean, err := DecodeRecords(bad)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Pos != first {
+		t.Fatalf("corrupt position %d, want %d", ce.Pos, first)
+	}
+	if len(recs) != 1 || clean != first {
+		t.Fatalf("valid prefix: %d records, clean %d; want 1 record, clean %d", len(recs), clean, first)
+	}
+
+	// Zero length prefix is equally corrupt.
+	binary.LittleEndian.PutUint32(bad[first:], 0)
+	if _, _, err := DecodeRecords(bad); !errors.As(err, &ce) || ce.Pos != first {
+		t.Fatalf("zero length: want *CorruptError at %d, got %v", first, err)
+	}
+}
+
+func TestJournalChecksumMismatchRejected(t *testing.T) {
+	data := encodeAll(t, sampleRecords())
+	bad := append([]byte(nil), data...)
+	bad[5] ^= 0xff // flip a byte inside the first record body
+	_, _, err := DecodeRecords(bad)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Pos != 0 {
+		t.Fatalf("corrupt position %d, want 0", ce.Pos)
+	}
+}
+
+func TestSnapshotRoundTripCanonical(t *testing.T) {
+	s := NewState()
+	for _, r := range sampleRecords() {
+		s.apply(r)
+	}
+	// Add entries whose map iteration order could vary.
+	s.apply(Record{Kind: RecRegister, Ref: RegRef{ID: 2, Key: 9}, Machine: 0, Allowed: []uint64{1}})
+	s.apply(Record{Kind: RecRegister, Ref: RegRef{ID: 2, Key: 3}, Machine: 2})
+	s.apply(Record{Kind: RecPlace, Pod: 0, Machine: 0})
+
+	snap := EncodeSnapshot(s)
+	for i := 0; i < 8; i++ {
+		if again := EncodeSnapshot(s); !bytes.Equal(snap, again) {
+			t.Fatalf("snapshot encoding not deterministic")
+		}
+	}
+	got, err := DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if got.Epoch != s.Epoch || len(got.Slots) != len(s.Slots) ||
+		len(got.Regs) != len(s.Regs) || len(got.Places) != len(s.Places) {
+		t.Fatalf("snapshot round trip mismatch: %+v vs %+v", got, s)
+	}
+	if !bytes.Equal(EncodeSnapshot(got), snap) {
+		t.Fatalf("re-encoded snapshot differs")
+	}
+}
+
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	s := NewState()
+	s.apply(Record{Kind: RecRegister, Ref: RegRef{ID: 1, Key: 2}, Machine: 0})
+	snap := EncodeSnapshot(s)
+
+	if _, err := DecodeSnapshot(snap[:len(snap)-1]); err == nil {
+		t.Fatalf("truncated snapshot accepted")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 'X'
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	if _, err := DecodeSnapshot(append(snap, 0)); err == nil {
+		t.Fatalf("trailing garbage accepted")
+	}
+}
+
+func TestSaveContainerRoundTrip(t *testing.T) {
+	snap := []byte("snapbytes")
+	log := []byte("logbytes!")
+	gotSnap, gotLog, err := DecodeSave(EncodeSave(snap, log))
+	if err != nil {
+		t.Fatalf("DecodeSave: %v", err)
+	}
+	if !bytes.Equal(gotSnap, snap) || !bytes.Equal(gotLog, log) {
+		t.Fatalf("save round trip mismatch")
+	}
+	if _, _, err := DecodeSave([]byte("nope")); err == nil {
+		t.Fatalf("bad save magic accepted")
+	}
+	blob := EncodeSave(snap, log)
+	if _, _, err := DecodeSave(blob[:len(blob)-2]); err == nil {
+		t.Fatalf("truncated save accepted")
+	}
+}
+
+func TestLoadStateReplaysJournalOverSnapshot(t *testing.T) {
+	// Build state, snapshot it, then journal more records on top.
+	s := NewState()
+	pre := []Record{
+		{Kind: RecEpoch, Epoch: 3},
+		{Kind: RecRegister, Ref: RegRef{ID: 1, Key: 1}, Machine: 0, Allowed: []uint64{5}},
+	}
+	for _, r := range pre {
+		s.apply(r)
+	}
+	snap := EncodeSnapshot(s)
+	tail := encodeAll(t, []Record{
+		{Kind: RecAddRef, Ref: RegRef{ID: 1, Key: 1}},
+		{Kind: RecRegister, Ref: RegRef{ID: 2, Key: 2}, Machine: 1},
+	})
+	st, replayed, err := LoadState(EncodeSave(snap, tail))
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d, want 2", replayed)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("epoch %d, want 3", st.Epoch)
+	}
+	if reg := st.Regs[RegRef{ID: 1, Key: 1}]; reg == nil || reg.Refs != 2 {
+		t.Fatalf("ref (1,1) = %+v, want refs 2", reg)
+	}
+	if reg := st.Regs[RegRef{ID: 2, Key: 2}]; reg == nil || reg.Machine != 1 {
+		t.Fatalf("ref (2,2) = %+v, want machine 1", reg)
+	}
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"rmmap/internal/simtime"
+)
+
+func TestCoordinatorRulesDrawPerRequesterStreams(t *testing.T) {
+	plan := Plan{
+		Seed:  42,
+		Rules: []Rule{{Site: SiteCoordinator, Target: CoordinatorTarget, Prob: 0.5}},
+	}
+	in := NewInjector(plan, nil)
+	var seq []bool
+	for i := 0; i < 64; i++ {
+		seq = append(seq, in.CheckCoordinator(1, "ctrl.register") != nil)
+	}
+	if in.Injected(SiteCoordinator) == 0 {
+		t.Fatalf("prob-0.5 coordinator rule never fired in 64 ops")
+	}
+	// Interleaving another requester's operations must not perturb
+	// requester 1's decisions (counter-keyed streams).
+	in2 := NewInjector(plan, nil)
+	var seq2 []bool
+	for i := 0; i < 64; i++ {
+		_ = in2.CheckCoordinator(2, "ctrl.register")
+		seq2 = append(seq2, in2.CheckCoordinator(1, "ctrl.register") != nil)
+	}
+	for i := range seq {
+		if seq[i] != seq2[i] {
+			t.Fatalf("op %d: requester-1 decision changed under interleaving", i)
+		}
+	}
+}
+
+func TestCoordPartitionSchedule(t *testing.T) {
+	var now simtime.Time
+	plan := Plan{CoordPartitions: []CoordPartition{
+		{Machine: 1, After: 100, Until: 200},
+		{Machine: AnyMachine, After: 500, Until: 600},
+	}}
+	in := NewInjector(plan, func() simtime.Time { return now })
+
+	now = 50
+	if in.CoordPartitioned(1) {
+		t.Fatalf("partitioned before window")
+	}
+	now = 150
+	if !in.CoordPartitioned(1) {
+		t.Fatalf("machine 1 not partitioned inside window")
+	}
+	if in.CoordPartitioned(0) {
+		t.Fatalf("machine 0 caught by machine-1 window")
+	}
+	now = 200
+	if in.CoordPartitioned(1) {
+		t.Fatalf("window [100,200) did not lift at 200")
+	}
+	now = 550
+	if !in.CoordPartitioned(0) || !in.CoordPartitioned(3) {
+		t.Fatalf("AnyMachine window missed a machine")
+	}
+	if d := in.Draws(); d != 0 {
+		t.Fatalf("coordinator partition checks consumed %d PRNG draws, want 0", d)
+	}
+}
+
+func TestParsePlanCoordinatorSchedules(t *testing.T) {
+	p, err := ParsePlan([]byte(`{
+		"seed": 7,
+		"rules": [{"site": "coordinator", "prob": 0.1}],
+		"coordinator_crashes": [{"at": "1ms", "recover_at": "2ms"}],
+		"coordinator_partitions": [{"machine": 1, "after": "2ms", "until": "3ms"},
+		                           {"after": "4ms", "until": "5ms"}]
+	}`))
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if len(p.Rules) != 1 || p.Rules[0].Site != SiteCoordinator || p.Rules[0].Target != AnyMachine {
+		t.Fatalf("coordinator rule parsed wrong: %+v", p.Rules)
+	}
+	if len(p.CoordCrashes) != 1 ||
+		p.CoordCrashes[0].At != simtime.Time(simtime.Millisecond) ||
+		p.CoordCrashes[0].RecoverAt != simtime.Time(2*simtime.Millisecond) {
+		t.Fatalf("coordinator crash parsed wrong: %+v", p.CoordCrashes)
+	}
+	if len(p.CoordPartitions) != 2 || p.CoordPartitions[1].Machine != AnyMachine {
+		t.Fatalf("coordinator partitions parsed wrong: %+v", p.CoordPartitions)
+	}
+	in := NewInjector(p, nil)
+	if got := in.CoordCrashes(); len(got) != 1 || got[0] != p.CoordCrashes[0] {
+		t.Fatalf("CoordCrashes() = %+v", got)
+	}
+}
+
+func TestParsePlanCoordinatorValidation(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"recover before crash",
+			`{"coordinator_crashes": [{"at": "2ms", "recover_at": "1ms"}]}`,
+			"recover_at"},
+		{"double crash",
+			`{"coordinator_crashes": [{"at": "1ms"}, {"at": "2ms"}]}`,
+			"only one coordinator crash"},
+		{"empty partition window",
+			`{"coordinator_partitions": [{"after": "2ms", "until": "2ms"}]}`,
+			"empty window"},
+		{"bad partition machine",
+			`{"coordinator_partitions": [{"machine": -2}]}`,
+			"bad machine"},
+	}
+	for _, tc := range cases {
+		_, err := ParsePlan([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

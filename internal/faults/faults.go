@@ -33,6 +33,11 @@ const (
 	// SitePartition counts operations refused by an asymmetric link
 	// partition (see Partition); it is not a probabilistic rule site.
 	SitePartition
+	// SiteCoordinator is a control-plane operation against the
+	// coordinator (plan issuance, registration, reclamation). Rules with
+	// this site inject transient faults into coordinator calls; use
+	// CoordinatorTarget as the Rule target (or AnyMachine).
+	SiteCoordinator
 	numSites
 )
 
@@ -44,6 +49,7 @@ var siteNames = [...]string{
 	SiteTCPRoundtrip: "tcp-roundtrip",
 	SiteRDMAWrite:    "rdma-write",
 	SitePartition:    "partition",
+	SiteCoordinator:  "coordinator",
 }
 
 func (s Site) String() string {
@@ -93,6 +99,12 @@ func (p *PartitionError) Unwrap() error { return ErrPartitioned }
 // AnyMachine matches every target machine in a Rule.
 const AnyMachine = memsim.MachineID(-1)
 
+// CoordinatorTarget is the pseudo machine ID of the control-plane
+// coordinator, usable as a Rule target (SiteCoordinator rules) and as a
+// CoordPartition endpoint. The coordinator is not a data-plane machine,
+// so it gets a reserved ID that can never collide with a real one.
+const CoordinatorTarget = memsim.MachineID(-2)
+
 // Rule injects transient faults at one site with a probability, optionally
 // restricted to a target machine, an RPC endpoint, and a virtual-time
 // window.
@@ -132,12 +144,34 @@ type Partition struct {
 	Until    simtime.Time // 0 = never lifts
 }
 
+// CoordCrash fails the control-plane coordinator at a virtual-time
+// instant. Unlike a machine Crash it is recoverable in-run: at RecoverAt
+// (0 = never) the coordinator reloads its journal, bumps its epoch, and
+// reconciles against live kernels. While down, in-flight workflows keep
+// running on the data plane and new submissions are shed.
+type CoordCrash struct {
+	At        simtime.Time
+	RecoverAt simtime.Time // 0 = stays down for the rest of the run
+}
+
+// CoordPartition severs the directed link between one machine and the
+// coordinator during a virtual-time window: control-plane operations
+// originating from that machine's pods are deferred (backlogged) while
+// the window is open. Machine AnyMachine severs every machine.
+type CoordPartition struct {
+	Machine memsim.MachineID
+	After   simtime.Time
+	Until   simtime.Time // 0 = never lifts
+}
+
 // Plan is a complete seeded fault schedule.
 type Plan struct {
-	Seed       uint64
-	Rules      []Rule
-	Crashes    []Crash
-	Partitions []Partition
+	Seed            uint64
+	Rules           []Rule
+	Crashes         []Crash
+	Partitions      []Partition
+	CoordCrashes    []CoordCrash
+	CoordPartitions []CoordPartition
 }
 
 // Injector evaluates a Plan deterministically. It is safe for concurrent
@@ -165,6 +199,9 @@ type Injector struct {
 	total   int
 	crashes []Crash
 	parts   []Partition
+
+	coordCrashes []CoordCrash
+	coordParts   []CoordPartition
 }
 
 // streamKey identifies one deterministic draw stream.
@@ -185,12 +222,50 @@ func NewInjector(plan Plan, clock func() simtime.Time) *Injector {
 		clock:   clock,
 		crashes: append([]Crash(nil), plan.Crashes...),
 		parts:   append([]Partition(nil), plan.Partitions...),
+
+		coordCrashes: append([]CoordCrash(nil), plan.CoordCrashes...),
+		coordParts:   append([]CoordPartition(nil), plan.CoordPartitions...),
 	}
 }
 
 // Crashes returns the plan's machine-crash schedule (for arming on a
 // simulator — see platform.NewChaosCluster).
 func (in *Injector) Crashes() []Crash { return in.crashes }
+
+// CoordCrashes returns the plan's coordinator crash/recovery schedule
+// (armed by the engine, which owns the coordinator).
+func (in *Injector) CoordCrashes() []CoordCrash { return in.coordCrashes }
+
+// CoordPartitions returns the plan's coordinator-partition windows (the
+// engine arms a backlog drain at each window's end).
+func (in *Injector) CoordPartitions() []CoordPartition { return in.coordParts }
+
+// CheckCoordinator consults the SiteCoordinator rules for one
+// control-plane operation issued on behalf of requester. Like Check, each
+// matching active rule advances one per-(rule, target, requester) stream,
+// so the decision is a pure function of the plan.
+func (in *Injector) CheckCoordinator(requester memsim.MachineID, endpoint string) error {
+	return in.Check(SiteCoordinator, CoordinatorTarget, requester, endpoint)
+}
+
+// CoordPartitioned reports whether the directed link machine→coordinator
+// is inside an open coordinator-partition window. Deterministic schedule,
+// no PRNG draw and no refusal count — the engine uses it to decide
+// whether to defer a control-plane operation, not to fail one.
+func (in *Injector) CoordPartitioned(machine memsim.MachineID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := in.now()
+	for _, p := range in.coordParts {
+		if p.Machine != AnyMachine && p.Machine != machine {
+			continue
+		}
+		if now >= p.After && (p.Until == 0 || now < p.Until) {
+			return true
+		}
+	}
+	return false
+}
 
 func (in *Injector) now() simtime.Time {
 	if in.clock == nil {

@@ -27,6 +27,12 @@ type planJSON struct {
 	Rules      []ruleJSON      `json:"rules,omitempty"`
 	Crashes    []crashJSON     `json:"crashes,omitempty"`
 	Partitions []partitionJSON `json:"partitions,omitempty"`
+
+	// Control-plane schedules (DESIGN.md §13): the coordinator can crash
+	// (and optionally recover) and individual machines can be partitioned
+	// from it.
+	CoordCrashes    []coordCrashJSON     `json:"coordinator_crashes,omitempty"`
+	CoordPartitions []coordPartitionJSON `json:"coordinator_partitions,omitempty"`
 }
 
 type ruleJSON struct {
@@ -49,6 +55,17 @@ type partitionJSON struct {
 	To    int    `json:"to"`
 	After string `json:"after,omitempty"`
 	Until string `json:"until,omitempty"`
+}
+
+type coordCrashJSON struct {
+	At        string `json:"at"`
+	RecoverAt string `json:"recover_at,omitempty"` // omitted = stays down
+}
+
+type coordPartitionJSON struct {
+	Machine *int   `json:"machine,omitempty"` // nil = every machine
+	After   string `json:"after,omitempty"`
+	Until   string `json:"until,omitempty"`
 }
 
 func siteByName(name string) (Site, error) {
@@ -154,6 +171,44 @@ func ParsePlan(data []byte) (Plan, error) {
 			return Plan{}, fmt.Errorf("partition %d: empty window: until %q <= after %q", i, qj.Until, qj.After)
 		}
 		p.Partitions = append(p.Partitions, q)
+	}
+	for i, cj := range pj.CoordCrashes {
+		if len(p.CoordCrashes) > 0 {
+			return Plan{}, fmt.Errorf("coordinator crash %d: only one coordinator crash per plan", i)
+		}
+		var cc CoordCrash
+		var err error
+		if cc.At, err = parseAt(cj.At); err != nil {
+			return Plan{}, fmt.Errorf("coordinator crash %d: %w", i, err)
+		}
+		if cc.RecoverAt, err = parseAt(cj.RecoverAt); err != nil {
+			return Plan{}, fmt.Errorf("coordinator crash %d: %w", i, err)
+		}
+		if cc.RecoverAt != 0 && cc.RecoverAt <= cc.At {
+			return Plan{}, fmt.Errorf("coordinator crash %d: recover_at %q <= at %q",
+				i, cj.RecoverAt, cj.At)
+		}
+		p.CoordCrashes = append(p.CoordCrashes, cc)
+	}
+	for i, qj := range pj.CoordPartitions {
+		q := CoordPartition{Machine: AnyMachine}
+		if qj.Machine != nil {
+			if *qj.Machine < -1 {
+				return Plan{}, fmt.Errorf("coordinator partition %d: bad machine %d (use -1 or omit for any)", i, *qj.Machine)
+			}
+			q.Machine = memsim.MachineID(*qj.Machine)
+		}
+		var err error
+		if q.After, err = parseAt(qj.After); err != nil {
+			return Plan{}, fmt.Errorf("coordinator partition %d: %w", i, err)
+		}
+		if q.Until, err = parseAt(qj.Until); err != nil {
+			return Plan{}, fmt.Errorf("coordinator partition %d: %w", i, err)
+		}
+		if q.Until != 0 && q.Until <= q.After {
+			return Plan{}, fmt.Errorf("coordinator partition %d: empty window: until %q <= after %q", i, qj.Until, qj.After)
+		}
+		p.CoordPartitions = append(p.CoordPartitions, q)
 	}
 	return p, nil
 }

@@ -156,38 +156,137 @@ func (k *Kernel) LeaseSuspect(peer memsim.MachineID) bool {
 	return ok && !st.dead && st.expired
 }
 
+// MarkPeerDead records third-party proof (a gossiped death certificate)
+// that peer crashed, firing OnPeerDead exactly as a direct failed probe
+// would. Certificates naming this machine itself are ignored.
+func (k *Kernel) MarkPeerDead(peer memsim.MachineID) {
+	if peer == k.machine.ID() {
+		return
+	}
+	k.mu.Lock()
+	if k.leaseTTL <= 0 {
+		k.mu.Unlock()
+		return
+	}
+	st := k.lease(peer)
+	if st.dead {
+		k.mu.Unlock()
+		return
+	}
+	st.dead = true
+	cb := k.OnPeerDead
+	k.mu.Unlock()
+	if cb != nil {
+		cb(peer)
+	}
+}
+
+// DeadPeers returns the machines this kernel holds death certificates
+// for, in ascending ID order (the deterministic gossip payload).
+func (k *Kernel) DeadPeers() []memsim.MachineID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.deadPeersLocked()
+}
+
+func (k *Kernel) deadPeersLocked() []memsim.MachineID {
+	var dead []memsim.MachineID
+	for peer, st := range k.leases {
+		if st.dead {
+			dead = append(dead, peer)
+		}
+	}
+	for i := 1; i < len(dead); i++ {
+		for j := i; j > 0 && dead[j] < dead[j-1]; j-- {
+			dead[j], dead[j-1] = dead[j-1], dead[j]
+		}
+	}
+	return dead
+}
+
+// encodeCerts frames death certificates: u16 n | n × u32 machine.
+func encodeCerts(dead []memsim.MachineID) []byte {
+	b := make([]byte, 2, 2+4*len(dead))
+	binary.LittleEndian.PutUint16(b, uint16(len(dead)))
+	for _, m := range dead {
+		b = binary.LittleEndian.AppendUint32(b, uint32(m))
+	}
+	return b
+}
+
+// decodeCerts parses a certificate frame; a short or absent frame means
+// no certificates (the pre-gossip wire format).
+func decodeCerts(b []byte) []memsim.MachineID {
+	if len(b) < 2 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+4*n {
+		return nil
+	}
+	dead := make([]memsim.MachineID, 0, n)
+	for i := 0; i < n; i++ {
+		dead = append(dead, memsim.MachineID(int32(binary.LittleEndian.Uint32(b[2+4*i:]))))
+	}
+	return dead
+}
+
 // Heartbeat probes peer once on this kernel's transport, charging the
 // background heartbeat meter under CatHeartbeat, and updates the lease
-// table from the outcome. The platform's failure detector calls it every
-// HeartbeatPeriod; kernel tests may drive it by hand.
+// table from the outcome. The probe doubles as SWIM-lite gossip: the
+// request piggybacks this kernel's death certificates and the response
+// carries the peer's, so crash evidence spreads peer-to-peer without a
+// central scan — which is what keeps detection working while the
+// coordinator is down. Only death certificates travel; lease renewals
+// stay strictly first-hand, because second-hand freshness would mask
+// asymmetric partitions. The platform's failure detector calls this
+// every HeartbeatPeriod; kernel tests may drive it by hand.
 func (k *Kernel) Heartbeat(peer memsim.MachineID) error {
 	k.mu.Lock()
 	m := k.hbMeter
 	enabled := k.leaseTTL > 0
+	certs := k.deadPeersLocked()
 	k.mu.Unlock()
 	if !enabled || peer == k.machine.ID() {
 		return nil
 	}
-	_, err := k.callCat(m, simtime.CatHeartbeat, peer, LeaseEndpoint, nil)
+	var req []byte
+	if len(certs) > 0 {
+		req = encodeCerts(certs)
+	}
+	resp, err := k.callCat(m, simtime.CatHeartbeat, peer, LeaseEndpoint, req)
 	if err != nil {
 		k.ProbeFailed(peer, err)
 		return err
 	}
 	k.RenewLease(peer)
+	if len(resp) > 8 {
+		for _, dead := range decodeCerts(resp[8:]) {
+			k.MarkPeerDead(dead)
+		}
+	}
 	return nil
 }
 
+// lease request: optional death certificates (u16 n | n × u32 machine);
+// nil/empty means none (the pre-gossip format).
 // lease response: gen u64 — the probed machine's current registration
-// generation, proof of liveness and a cheap staleness hint.
+// generation, proof of liveness and a cheap staleness hint — followed by
+// the responder's own death certificates.
 func (k *Kernel) handleLease(m *simtime.Meter, req []byte) ([]byte, error) {
 	if k.machine.Crashed() {
 		return nil, fmt.Errorf("%w: machine %d", memsim.ErrMachineCrashed, k.machine.ID())
 	}
+	for _, dead := range decodeCerts(req) {
+		k.MarkPeerDead(dead)
+	}
 	k.mu.Lock()
 	gen := k.memGen
+	certs := k.deadPeersLocked()
 	k.mu.Unlock()
-	resp := make([]byte, 8)
+	resp := make([]byte, 8, 8+2+4*len(certs))
 	binary.LittleEndian.PutUint64(resp, gen)
+	resp = append(resp, encodeCerts(certs)...)
 	return resp, nil
 }
 

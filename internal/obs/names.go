@@ -48,6 +48,31 @@ const (
 	// MetricColdStarts counts pod cold starts (first use of a freshly
 	// created pod when Options.ColdStart is on).
 	MetricColdStarts = "rmmap_pod_cold_starts_total"
+
+	// Control-plane counters (internal/ctrl, DESIGN.md §13): the journaled
+	// coordinator's durability and recovery activity plus the SWIM-lite
+	// gossip rounds the failure detector ran.
+	// MetricCtrlJournalAppends counts journal records written.
+	MetricCtrlJournalAppends = "rmmap_ctrl_journal_appends_total"
+	// MetricCtrlJournalBytes counts bytes appended to the journal.
+	MetricCtrlJournalBytes = "rmmap_ctrl_journal_bytes_total"
+	// MetricCtrlSnapshots counts snapshot compactions.
+	MetricCtrlSnapshots = "rmmap_ctrl_snapshots_total"
+	// MetricCtrlReplays counts journal records replayed by recoveries.
+	MetricCtrlReplays = "rmmap_ctrl_replays_total"
+	// MetricCtrlEpochBumps counts coordinator epoch adoptions (initial
+	// start + one per recovery).
+	MetricCtrlEpochBumps = "rmmap_ctrl_epoch_bumps_total"
+	// MetricCtrlRecoveries counts successful coordinator recoveries.
+	MetricCtrlRecoveries = "rmmap_ctrl_recoveries_total"
+	// MetricCtrlDeferred counts control-plane operations backlogged while
+	// the coordinator was down or partitioned.
+	MetricCtrlDeferred = "rmmap_ctrl_deferred_total"
+	// MetricCtrlDrift counts reconciliation repairs (label "kind":
+	// dropped|adopted — kernels are authoritative).
+	MetricCtrlDrift = "rmmap_ctrl_drift_total"
+	// MetricCtrlGossipRounds counts failure-detector gossip rounds.
+	MetricCtrlGossipRounds = "rmmap_ctrl_gossip_rounds_total"
 )
 
 // FieldAliases maps the deprecated, inconsistently named counters that

@@ -38,20 +38,29 @@ type pendingSubmit struct {
 func (e *Engine) SubmitTenant(info SubmitInfo, done func(RunResult)) {
 	now := e.Cluster.Sim.Now()
 	rel := info.Deadline
-	if rel == 0 && e.ctrl != nil {
-		rel = e.ctrl.Config().DefaultDeadline
+	if rel == 0 && e.admitCtrl != nil {
+		rel = e.admitCtrl.Config().DefaultDeadline
 	}
 	var deadline simtime.Time
 	if rel > 0 {
 		deadline = now.Add(rel)
 	}
-	if e.ctrl == nil {
+	// Control-plane outage: a new submission would need registrations and
+	// reclamation journaled by a coordinator that cannot journal anything,
+	// so it sheds deterministically with the typed error. In-flight
+	// requests are untouched — the data plane runs autonomously.
+	if e.coord != nil && e.coord.Down() {
+		ps := &pendingSubmit{tenant: info.Tenant, deadline: deadline, submitted: now, done: done}
+		e.finishShed(ps, admit.ReasonControlPlane)
+		return
+	}
+	if e.admitCtrl == nil {
 		e.startRequest(info.Tenant, deadline, done)
 		return
 	}
 	ps := &pendingSubmit{tenant: info.Tenant, deadline: deadline, submitted: now, done: done}
 	r := &admit.Request{Tenant: info.Tenant, Deadline: deadline, Payload: ps}
-	act, reason := e.ctrl.Submit(now, r, e.inflight, len(e.regs))
+	act, reason := e.admitCtrl.Submit(now, r, e.inflight, e.coord.Live())
 	e.publishAdmission()
 	switch act {
 	case admit.ActionRun:
@@ -61,7 +70,7 @@ func (e *Engine) SubmitTenant(info SubmitInfo, done func(RunResult)) {
 			// The queue-expiry timer: if the request is still queued at its
 			// deadline, shed it there instead of letting it rot until a pop.
 			e.Cluster.Sim.At(deadline, func() {
-				if _, ok := e.ctrl.Drop(e.Cluster.Sim.Now(), ps); ok {
+				if _, ok := e.admitCtrl.Drop(e.Cluster.Sim.Now(), ps); ok {
 					e.publishAdmission()
 					e.finishShed(ps, admit.ReasonDeadline)
 				}
@@ -76,11 +85,11 @@ func (e *Engine) SubmitTenant(info SubmitInfo, done func(RunResult)) {
 // completion path calls it after every finished request, so the queue
 // drains at the exact virtual-time instants capacity frees up.
 func (e *Engine) pumpAdmission() {
-	if e.ctrl == nil {
+	if e.admitCtrl == nil {
 		return
 	}
-	for e.inflight < e.ctrl.InflightLimit() {
-		r, reason, ok := e.ctrl.Next(e.Cluster.Sim.Now())
+	for e.inflight < e.admitCtrl.InflightLimit() {
+		r, reason, ok := e.admitCtrl.Next(e.Cluster.Sim.Now())
 		if !ok {
 			return
 		}
@@ -88,6 +97,12 @@ func (e *Engine) pumpAdmission() {
 		ps := r.Payload.(*pendingSubmit)
 		if reason == admit.ReasonDeadline {
 			e.finishShed(ps, admit.ReasonDeadline)
+			continue
+		}
+		if e.coord != nil && e.coord.Down() {
+			// The coordinator crashed while this request sat queued; it
+			// sheds like a fresh arrival would (see SubmitTenant).
+			e.finishShed(ps, admit.ReasonControlPlane)
 			continue
 		}
 		e.startAdmitted(ps)
@@ -127,6 +142,13 @@ func (e *Engine) finishShed(ps *pendingSubmit, reason admit.Reason) {
 		}}
 	}
 	if e.opts.Obs != nil {
+		// Control-plane sheds bypass the admit.Controller, so its stats
+		// never count them; publish the shed counter directly.
+		if reason == admit.ReasonControlPlane {
+			e.opts.Obs.Counter(obs.MetricAdmissionSheds,
+				obs.Labels{"workflow": e.wf.Name, "mode": e.mode.String()}.
+					With("reason", reason.String())).Add(1)
+		}
 		PublishRun(e.opts.Obs, e.wf.Name, e.mode.String(), res)
 	}
 	if ps.done != nil {
@@ -137,27 +159,27 @@ func (e *Engine) finishShed(ps *pendingSubmit, reason admit.Reason) {
 // AdmissionStats snapshots the overload layer's cumulative counters (zero
 // Stats without Options.Admission).
 func (e *Engine) AdmissionStats() admit.Stats {
-	if e.ctrl == nil {
+	if e.admitCtrl == nil {
 		return admit.Stats{}
 	}
-	return e.ctrl.Stats()
+	return e.admitCtrl.Stats()
 }
 
 // AdmissionQueueLen reports currently queued submissions.
 func (e *Engine) AdmissionQueueLen() int {
-	if e.ctrl == nil {
+	if e.admitCtrl == nil {
 		return 0
 	}
-	return e.ctrl.QueueLen()
+	return e.admitCtrl.QueueLen()
 }
 
 // TenantBreaker reports a tenant's circuit-breaker state (BreakerClosed
 // without admission).
 func (e *Engine) TenantBreaker(tenant string) admit.BreakerState {
-	if e.ctrl == nil {
+	if e.admitCtrl == nil {
 		return admit.BreakerClosed
 	}
-	return e.ctrl.TenantBreaker(tenant)
+	return e.admitCtrl.TenantBreaker(tenant)
 }
 
 // publishAdmission adds the admission counters accumulated since the last
@@ -165,15 +187,15 @@ func (e *Engine) TenantBreaker(tenant string) admit.BreakerState {
 // and drains the breaker-transition log. Transitions are drained even
 // without a registry so the log cannot grow unboundedly.
 func (e *Engine) publishAdmission() {
-	if e.ctrl == nil {
+	if e.admitCtrl == nil {
 		return
 	}
-	trans := e.ctrl.TakeTransitions()
+	trans := e.admitCtrl.TakeTransitions()
 	if e.opts.Obs == nil {
 		return
 	}
 	base := obs.Labels{"workflow": e.wf.Name, "mode": e.mode.String()}
-	s := e.ctrl.Stats()
+	s := e.admitCtrl.Stats()
 	shed := func(reason admit.Reason, cur, prev int) {
 		if cur > prev {
 			e.opts.Obs.Counter(obs.MetricAdmissionSheds,

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"rmmap/internal/admit"
+	"rmmap/internal/ctrl"
 	"rmmap/internal/kernel"
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
@@ -52,8 +53,18 @@ type Engine struct {
 	byMachine map[memsim.MachineID][]*Pod
 
 	nextReg  uint64
-	regs     map[regRef]*registration
 	requests int
+
+	// Control plane (internal/ctrl, DESIGN.md §13): coord journals the
+	// registration directory, issued address plan, and pod placements to
+	// simulated durable storage; ctrlBacklog holds operations deferred
+	// while coord was down or partitioned (strict FIFO, drained at
+	// recovery and completion events); gossipRound rotates the failure
+	// detector's probe targets across rounds and gossipRounds counts them.
+	coord        *ctrl.Coordinator
+	ctrlBacklog  []ctrlOp
+	gossipRound  int
+	gossipRounds int
 
 	// textFrames shares the resident library (text) frames between
 	// containers of the same function type on the same machine — the
@@ -92,11 +103,11 @@ type Engine struct {
 	detectorLive bool
 	inflight     int // requests started but not yet completed
 
-	// Admission control (Options.Admission): ctrl makes every decision on
-	// the simulator thread; pubAdmit remembers the stats already published
+	// Admission control (Options.Admission): admitCtrl makes every decision
+	// on the simulator thread; pubAdmit remembers the stats already published
 	// to Options.Obs so only deltas are added (same scheme as published).
-	ctrl     *admit.Controller
-	pubAdmit admit.Stats
+	admitCtrl *admit.Controller
+	pubAdmit  admit.Stats
 
 	// published remembers the cluster-cumulative counters (cache stats,
 	// replicated bytes, lease expiries) as of the last PublishRun, so
@@ -107,21 +118,9 @@ type Engine struct {
 		cache      kernel.CacheStats
 		replicated int64
 		leases     int
+		ctrlStats  ctrl.Stats
+		gossip     int
 	}
-}
-
-type regRef struct {
-	id  kernel.FuncID
-	key kernel.Key
-}
-
-type registration struct {
-	machine int
-	// refs counts payloads (original + forwarded) that reference this
-	// registration; deregister_mem fires when it reaches zero.
-	refs int
-	// allowed mirrors the kernel-side ACL so forwarding can extend it.
-	allowed []kernel.FuncID
 }
 
 type nodeKey struct {
@@ -293,6 +292,14 @@ type RunResult struct {
 	// counters at completion time (cumulative across the cluster's life;
 	// per-invocation deltas are on the trace spans).
 	Cache kernel.CacheStats
+	// Ctrl snapshots the coordinator's cumulative activity counters —
+	// journal appends and bytes, snapshots, replays, epoch bumps,
+	// recoveries, deferred operations, reconciliation drift (DESIGN.md
+	// §13). Cumulative like Cache; PublishRun receives per-run deltas.
+	Ctrl ctrl.Stats
+	// GossipRounds counts completed failure-detector gossip rounds
+	// (cumulative across the engine's life).
+	GossipRounds int
 }
 
 // NewEngine builds an engine for one workflow and transfer mode on a fresh
@@ -333,14 +340,13 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 		opts:       opts,
 		msg:        transport.NewMessaging(cm),
 		cds:        objrt.DefaultCDS(),
-		regs:       make(map[regRef]*registration),
 		textFrames: make(map[textKey][]memsim.PFN),
 		warm:       make(map[SlotID]map[int]*Pod),
 		byMachine:  make(map[memsim.MachineID][]*Pod),
 		schedSinks: make([]*execItem, len(cluster.Machines)),
 	}
 	if opts.Admission != nil {
-		e.ctrl = admit.NewController(*opts.Admission)
+		e.admitCtrl = admit.NewController(*opts.Admission)
 	}
 	// Per-run page-cache/readahead knobs (zero value keeps the cluster
 	// defaults wired by NewCluster).
@@ -411,6 +417,14 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 				f.Name, *f.PinMachine)
 		}
 	}
+	// The control plane: a journaled coordinator seeded with the address
+	// plan and pod placements, its chaos schedule (if any) armed on the
+	// simulator — events fire inside Run, never during construction.
+	e.coord = ctrl.New(cm)
+	if err := e.seedCoordinator(); err != nil {
+		return nil, err
+	}
+	e.armCoordinatorFaults()
 	return e, nil
 }
 
@@ -476,7 +490,7 @@ func (e *Engine) startRequest(tenant string, deadline simtime.Time, done func(Ru
 	e.inflight++
 	req.done = func(r *request) {
 		e.inflight--
-		if e.ctrl != nil {
+		if e.admitCtrl != nil {
 			out := admit.OutcomeOK
 			switch {
 			case r.deadlineHit:
@@ -484,7 +498,7 @@ func (e *Engine) startRequest(tenant string, deadline simtime.Time, done func(Ru
 			case r.err != nil:
 				out = admit.OutcomeError
 			}
-			e.ctrl.Record(e.Cluster.Sim.Now(), r.tenant, out)
+			e.admitCtrl.Record(e.Cluster.Sim.Now(), r.tenant, out)
 			e.publishAdmission()
 		}
 		if done != nil {
@@ -519,12 +533,21 @@ func (e *Engine) startRequest(tenant string, deadline simtime.Time, done func(Ru
 	e.dispatch()
 }
 
-// startFailureDetector drives the kernels' heartbeat probes: every
-// HeartbeatPeriod each live machine probes every peer, renewing or aging
-// its lease. Probes ride the same (fault-wrapped) transport as real
-// traffic, so partitions block them and crashes fail them — exactly the
-// evidence the lease state machine wants. The loop stops once no request
-// is in flight so the simulator's event queue can drain; Submit re-arms.
+// startFailureDetector drives the kernels' heartbeat probes as SWIM-lite
+// rounds: every HeartbeatPeriod each live machine probes gossipFanout
+// rotating peers (round r, probe j targets the (r*fanout+j) mod (n-1)'th
+// successor), so with the default 25µs period and fanout 2 every peer is
+// probed first-hand at least every 2 rounds — inside the 100µs lease TTL —
+// at 2n probes per round instead of the old full mesh's n·(n-1). Probes
+// piggyback death certificates both ways (kernel.Heartbeat), which is what
+// spreads crash evidence cluster-wide without a central scan: detection
+// keeps working while the coordinator is down. Probes ride the same
+// (fault-wrapped) transport as real traffic, so partitions block them and
+// crashes fail them — exactly the evidence the lease state machine wants.
+// The loop stops once no request is in flight so the simulator's event
+// queue can drain; Submit re-arms it, and gossipRound persists across
+// re-arms so the probe rotation (and with it every artifact) stays a pure
+// function of the event sequence.
 func (e *Engine) startFailureDetector() {
 	if e.detectorLive {
 		return
@@ -534,20 +557,31 @@ func (e *Engine) startFailureDetector() {
 	if period <= 0 {
 		period = 25 * simtime.Microsecond
 	}
+	const gossipFanout = 2
+	n := len(e.Cluster.Machines)
+	fanout := gossipFanout
+	if fanout > n-1 {
+		fanout = n - 1
+	}
 	s := e.Cluster.Sim
 	s.Every(s.Now().Add(period), period, func() bool {
 		if e.inflight == 0 {
 			e.detectorLive = false
 			return false
 		}
+		if fanout <= 0 {
+			return true
+		}
+		r := e.gossipRound
+		e.gossipRound++
+		e.gossipRounds++
 		for i, k := range e.Cluster.Kernels {
 			if e.Cluster.Machines[i].Crashed() {
 				continue
 			}
-			for j, peer := range e.Cluster.Machines {
-				if j == i {
-					continue
-				}
+			for j := 0; j < fanout; j++ {
+				idx := (r*fanout + j) % (n - 1)
+				peer := e.Cluster.Machines[(i+1+idx)%n]
 				_ = k.Heartbeat(peer.ID())
 			}
 		}
@@ -573,6 +607,8 @@ func (e *Engine) collect(r *request) RunResult {
 	}
 	res.ReplicatedBytes = e.Cluster.ReplicatedBytes()
 	res.LeaseExpiries = e.Cluster.LeaseExpiries()
+	res.Ctrl = e.coord.Stats()
+	res.GossipRounds = e.gossipRounds
 	if r.deadlineHit {
 		res.Shed = true
 		res.ShedReason = admit.ReasonDeadline.String()
@@ -596,9 +632,13 @@ func (e *Engine) collect(r *request) RunResult {
 		pub.Cache.LiveBytes = res.Cache.LiveBytes // gauge, not a delta
 		pub.ReplicatedBytes = res.ReplicatedBytes - e.published.replicated
 		pub.LeaseExpiries = res.LeaseExpiries - e.published.leases
+		pub.Ctrl = res.Ctrl.Sub(e.published.ctrlStats)
+		pub.GossipRounds = res.GossipRounds - e.published.gossip
 		e.published.cache = res.Cache
 		e.published.replicated = res.ReplicatedBytes
 		e.published.leases = res.LeaseExpiries
+		e.published.ctrlStats = res.Ctrl
+		e.published.gossip = res.GossipRounds
 		PublishRun(e.opts.Obs, e.wf.Name, e.mode.String(), pub)
 	}
 	return res
@@ -946,6 +986,10 @@ func (e *Engine) commit(it *execItem) {
 		pod.busy = false
 		pod.lastBusy = e.Cluster.Sim.Now()
 		e.podFreed(pod)
+		// Redeliver control-plane operations deferred by an injected
+		// fault or a lifted partition before this completion issues new
+		// ones (strict FIFO keeps the journal in canonical order).
+		e.drainCtrlBacklog()
 		// Fold the attempt's meter so re-executed nodes accumulate across
 		// attempts instead of overwriting.
 		if agg, ok := req.meters[inv.node]; ok {
@@ -1138,21 +1182,32 @@ func (e *Engine) forwardable(payloads []*statePayload, out objrt.Obj) *statePayl
 }
 
 // forward republishes an upstream registration to this node's consumers,
-// extending its ACL to the new consumer function types. The registration
-// table mutation (and the cross-machine SetACL it implies) is deferred to
-// the commit phase: downstream consumers only rmap after this node's
-// completion event, which fires after commit, so they always see the
-// extended ACL.
+// extending its ACL to the new consumer function types. Both mutations are
+// deferred to the commit phase: downstream consumers only rmap after this
+// node's completion event, which fires after commit, so they always see
+// the extended ACL. The kernel extension runs unconditionally — the data
+// plane stays authoritative for access control even while the coordinator
+// is down; the directory ref-count and journaled ACL extension backlog
+// until recovery in that case.
 func (e *Engine) forward(it *execItem, p *statePayload, out objrt.Obj, node nodeKey, consumers int) *statePayload {
-	ref := regRef{p.meta.ID, p.meta.Key}
+	meta := p.meta
+	more := make([]kernel.FuncID, 0, 1)
+	for _, cfn := range e.wf.Consumers(node.fn) {
+		more = append(more, typeID(cfn))
+	}
 	it.commits = append(it.commits, func() {
-		if reg, ok := e.regs[ref]; ok {
-			reg.refs++
-			for _, cfn := range e.wf.Consumers(node.fn) {
-				reg.allowed = append(reg.allowed, typeID(cfn))
+		_ = e.Cluster.Kernels[meta.Machine].ExtendACL(meta.ID, meta.Key, more)
+		e.ctrlDo(meta.Machine, "ctrl.forward", func() {
+			ref := ctrlRef(meta.ID, meta.Key)
+			if e.coord.AddRef(ref) != nil {
+				return // the directory lost the entry; the kernel still holds it
 			}
-			_ = e.Cluster.Kernels[reg.machine].SetACL(p.meta.ID, p.meta.Key, reg.allowed)
-		}
+			moreIDs := make([]uint64, len(more))
+			for i, m := range more {
+				moreIDs[i] = uint64(m)
+			}
+			_ = e.coord.ExtendACL(ref, moreIDs)
+		})
 	})
 	fw := &statePayload{
 		from: node, mode: p.mode, meta: p.meta,
@@ -1443,12 +1498,22 @@ func (e *Engine) produce(it *execItem, c *Container, pod *Pod, meter *simtime.Me
 		}
 		// Meta (addresses, key, prefetch list) piggybacks on the
 		// coordinator completion event, like the storage key above. The
-		// coordinator's registration-table insert is deferred to commit:
-		// the table is shared engine state, and nothing reads this entry
+		// coordinator's directory insert (journaled) is deferred to commit:
+		// the coordinator is sim-thread-only, and nothing reads this entry
 		// before the producer's completion event (which fires after
-		// commit) delivers the payload downstream.
-		reg := &registration{machine: int(meta.Machine), refs: 1, allowed: allowed}
-		it.commits = append(it.commits, func() { e.regs[regRef{id, key}] = reg })
+		// commit) delivers the payload downstream. While the coordinator
+		// is down the insert backlogs — the kernel-side registration above
+		// already happened, so the data plane proceeds regardless.
+		allowedIDs := make([]uint64, len(allowed))
+		for i, a := range allowed {
+			allowedIDs[i] = uint64(a)
+		}
+		mach := int(meta.Machine)
+		it.commits = append(it.commits, func() {
+			e.ctrlDo(meta.Machine, "ctrl.register", func() {
+				_ = e.coord.Register(ctrlRef(id, key), mach, allowedIDs)
+			})
+		})
 	}
 	return p, nil
 }
@@ -1521,9 +1586,15 @@ func (e *Engine) deliver(req *request, node nodeKey, payload *statePayload) {
 
 // releaseConsumer decrements a state's consumer count; when the last
 // consumer finishes, the coordinator reclaims it — deregister_mem for
-// rmmap states (§4.2), buffer/storage release for serialized ones. Under
-// DropReclamation (coordinator-failure injection) rmmap registrations are
-// forgotten instead, leaving cleanup to the pods' lease scanners.
+// rmmap states (§4.2), buffer/storage release for serialized ones. The
+// reclamation order is a control-plane command: the coordinator journals
+// the release, and the deregister carries the issuing incarnation's epoch
+// so kernels fence a zombie coordinator's stale orders. While the
+// coordinator is down the whole release backlogs — memory stays
+// registered until recovery drains it (or the pods' lease scanners reap
+// it first). Under DropReclamation (coordinator-failure injection) the
+// directory entry is released but the deregister is skipped, leaving
+// cleanup to the lease scanners.
 func (e *Engine) releaseConsumer(p *statePayload) {
 	p.consumers--
 	if p.consumers > 0 {
@@ -1536,24 +1607,28 @@ func (e *Engine) releaseConsumer(p *statePayload) {
 	if !p.mode.IsRMMAP() {
 		return
 	}
-	ref := regRef{p.meta.ID, p.meta.Key}
-	reg, ok := e.regs[ref]
-	if !ok {
-		return
-	}
-	reg.refs--
-	if reg.refs > 0 {
-		return // a forwarded payload still references the registration
-	}
-	delete(e.regs, ref)
-	if e.opts.DropReclamation {
-		return // coordinator "crashed": the lease scan must reclaim
-	}
-	_ = e.Cluster.Kernels[reg.machine].DeregisterMem(p.meta.ID, p.meta.Key)
+	meta := p.meta
+	e.ctrlDo(meta.Machine, "ctrl.release", func() {
+		ref := ctrlRef(meta.ID, meta.Key)
+		machine, last, err := e.coord.Release(ref)
+		if err != nil || !last {
+			return // unknown (reconciled away) or a forwarded ref remains
+		}
+		if e.opts.DropReclamation {
+			return // coordinator "crashed": the lease scan must reclaim
+		}
+		k := e.Cluster.Kernels[machine]
+		if e.opts.DisableEpochFence {
+			_ = k.DeregisterMem(meta.ID, meta.Key)
+		} else if err := k.DeregisterMemFenced(e.coord.Epoch(), meta.ID, meta.Key); err != nil {
+			return // fenced: a newer incarnation owns this registration
+		}
+		_ = e.coord.NoteReclaim(ref, machine)
+	})
 }
 
 // LiveRegistrations reports registrations the coordinator still tracks.
-func (e *Engine) LiveRegistrations() int { return len(e.regs) }
+func (e *Engine) LiveRegistrations() int { return e.coord.Live() }
 
 // ColdStarts reports container creations charged as cold starts
 // (Options.ColdStart) across all pods.

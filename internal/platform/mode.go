@@ -125,6 +125,12 @@ type Options struct {
 	// starts every request immediately, exactly the pre-admission
 	// behaviour.
 	Admission *admit.Config
+	// DisableEpochFence turns off coordinator-epoch fencing on kernels:
+	// recoveries do not broadcast the bumped epoch and reclamation orders
+	// go out unfenced, so a zombie pre-crash coordinator's stale commands
+	// execute. The negative control for the coordinator chaos experiments
+	// (DESIGN.md §13) — never set it outside them.
+	DisableEpochFence bool
 	// Replicas asynchronously replicates every registration's shadow
 	// frames to this many backup machines (clipped to machines-1) and
 	// turns on lease-based liveness tracking: consumers of a crashed

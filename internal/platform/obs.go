@@ -119,6 +119,19 @@ func PublishRun(reg *obs.Registry, workflow, mode string, res RunResult) {
 	reg.Counter(obs.MetricReadaheadPages, base).Add(res.Cache.ReadaheadPages)
 	reg.Counter(obs.MetricReplicatedBytes, base).Add(res.ReplicatedBytes)
 	reg.Counter(obs.MetricLeaseExpiries, base).Add(int64(res.LeaseExpiries))
+
+	// Control-plane counters (DESIGN.md §13). Drift keeps one series per
+	// reconciliation direction; everything else is a plain counter.
+	reg.Counter(obs.MetricCtrlJournalAppends, base).Add(int64(res.Ctrl.Appends))
+	reg.Counter(obs.MetricCtrlJournalBytes, base).Add(res.Ctrl.JournalBytes)
+	reg.Counter(obs.MetricCtrlSnapshots, base).Add(int64(res.Ctrl.Snapshots))
+	reg.Counter(obs.MetricCtrlReplays, base).Add(int64(res.Ctrl.Replays))
+	reg.Counter(obs.MetricCtrlEpochBumps, base).Add(int64(res.Ctrl.EpochBumps))
+	reg.Counter(obs.MetricCtrlRecoveries, base).Add(int64(res.Ctrl.Recoveries))
+	reg.Counter(obs.MetricCtrlDeferred, base).Add(int64(res.Ctrl.Deferred))
+	reg.Counter(obs.MetricCtrlDrift, base.With("kind", "dropped")).Add(int64(res.Ctrl.DriftDropped))
+	reg.Counter(obs.MetricCtrlDrift, base.With("kind", "adopted")).Add(int64(res.Ctrl.DriftAdopted))
+	reg.Counter(obs.MetricCtrlGossipRounds, base).Add(int64(res.GossipRounds))
 }
 
 // BuildProfile folds a run's trace into a virtual-time profile: one cell

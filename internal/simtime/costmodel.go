@@ -116,6 +116,16 @@ type CostModel struct {
 	// before the peer becomes suspect and reads must be revalidated.
 	LeaseTTL Duration
 
+	// --- Control plane (coordinator journal, DESIGN.md §13) ---
+
+	// JournalAppend is the fixed cost of one coordinator write-ahead
+	// journal append (an NVMe-class log write), charged to CatStorage on
+	// the coordinator's background meter.
+	JournalAppend Duration
+	// JournalPerByte is the marginal journal/snapshot write cost
+	// (~2 GB/s sequential).
+	JournalPerByte float64
+
 	// --- Memory (local) ---
 
 	// MemcpyPerByte is a plain local copy at DRAM-ish single-thread
@@ -168,6 +178,9 @@ func DefaultCostModel() *CostModel {
 		RDMAPageWrite:   2 * Microsecond,
 		HeartbeatPeriod: 25 * Microsecond,
 		LeaseTTL:        100 * Microsecond,
+
+		JournalAppend:  5 * Microsecond,
+		JournalPerByte: 0.5, // ~2 GB/s sequential log write
 
 		MemcpyPerByte:  0.2, // 5 GB/s single-thread copy
 		ComputePerByte: 1.5,
