@@ -7,6 +7,7 @@
 //	rmmap-bench -list
 //	rmmap-bench [-scale 0.25] [fig11a fig14 ...]
 //	rmmap-bench -json [-scale 0.25]
+//	rmmap-bench -topology spine-leaf -json
 //	rmmap-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz fig14
 //
 // With no experiment IDs, all experiments run in registration order.
@@ -14,9 +15,13 @@
 // default documented in EXPERIMENTS.md. -json writes the machine-readable
 // Fig 14 grid (per-mode latency, fabric reads, cache hit rate, and the
 // faults/sec-per-core headline) to BENCH_fig14.json; combined with
-// experiment IDs it also runs those. -cpuprofile/-memprofile write pprof
-// profiles of the run (heap taken at exit after a GC), for digging into
-// hot-path regressions the benchmarks flag.
+// experiment IDs it also runs those. -topology runs the Fig-14 grid and
+// the fan-out ablation on a multi-rack cluster shape — a platformbuilder
+// recipe by name or a topology JSON file (recipes, JSON schema, and the
+// link-cost model are documented in PLATFORMS.md); rows carry the shape in
+// their "topology" field. -cpuprofile/-memprofile write pprof profiles of
+// the run (heap taken at exit after a GC), for digging into hot-path
+// regressions the benchmarks flag.
 //
 // For the overload/scale soak — open-loop multi-tenant load with
 // deadlines and admission control, writing BENCH_scale.json — see
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"rmmap/internal/bench"
+	"rmmap/internal/platformbuilder"
 )
 
 func main() {
@@ -45,10 +51,20 @@ func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "write the Fig 14 grid to BENCH_fig14.json")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); results are identical, only wall time changes")
+	topology := flag.String("topology", "", "cluster shape for the Fig-14 grid and fan-out ablation: a recipe name ("+
+		"see PLATFORMS.md) or a topology JSON file; default is the classic flat cluster")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
 	bench.Workers = *workers
+	if *topology != "" {
+		// Validate eagerly so a typo fails before any experiment runs.
+		if _, err := platformbuilder.Resolve(*topology, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "-topology: %v (known recipes: %v)\n", err, platformbuilder.Recipes())
+			return 1
+		}
+		bench.Topology = *topology
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

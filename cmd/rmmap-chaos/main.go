@@ -8,16 +8,20 @@
 //
 //	rmmap-chaos [-workflow finra] [-small] [-seed 20260805] [-prob 0.1]
 //	            [-crash-machine 1 -crash-at 100us] [-plan plan.json]
+//	            [-topology two-rack | -topology topo.json]
 //	            [-requests 1] [-deadline 0] [-replicas 1]
 //	            [-no-replication] [-no-recovery] [-trace]
 //	            [-ctrl-journal ctrl.save]
 //
 // A -plan file replaces the flag-built plan entirely (see
 // cmd/rmmap-chaos/plans/ for examples including partitions and the
-// coordinator crash/recovery schedules of DESIGN.md §13). -ctrl-journal
-// dumps the coordinator's durable image (snapshot + journal tail) after
-// the run; audit it with rmmap-plan -verify. For open-loop multi-tenant
-// load against the same plans, see cmd/rmmap-load.
+// coordinator crash/recovery schedules of DESIGN.md §13). -topology runs
+// the same plan on a multi-rack cluster shape — a platformbuilder recipe
+// or topology JSON file (PLATFORMS.md) — so faults land on machines with
+// ToR/spine hop costs and link contention in play. -ctrl-journal dumps
+// the coordinator's durable image (snapshot + journal tail) after the
+// run; audit it with rmmap-plan -verify. For open-loop multi-tenant load
+// against the same plans, see cmd/rmmap-load.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"rmmap/internal/load"
 	"rmmap/internal/memsim"
 	"rmmap/internal/platform"
+	"rmmap/internal/platformbuilder"
 	"rmmap/internal/simtime"
 )
 
@@ -49,6 +54,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "backup machines per registration (0: replication off)")
 	noReplication := flag.Bool("no-replication", false, "force replication off even with -replicas set")
 	machines := flag.Int("machines", 4, "cluster size")
+	topology := flag.String("topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 	pods := flag.Int("pods", 16, "warm pods")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); the fault schedule and outcome are identical at any setting")
 	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
@@ -98,7 +104,24 @@ func main() {
 	if *noRecovery {
 		opts.Recovery = nil
 	}
-	cluster := platform.NewChaosCluster(*machines, simtime.DefaultCostModel(), plan, rec.Retry)
+	// Both shapes flow through the same builder-backed assembly:
+	// platformbuilder.Flat compiles to the flat spec platform.NewChaosCluster
+	// uses, so the default is byte-identical to the pre-builder binary.
+	shape := *topology
+	if shape == "" {
+		shape = "flat"
+	}
+	b, err := platformbuilder.Resolve(shape, *machines)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-topology: %v (known recipes: %v)\n", err, platformbuilder.Recipes())
+		os.Exit(1)
+	}
+	cluster, err := b.WithChaos(plan, rec.Retry).Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
 	engine, err := platform.NewEngineOn(cluster, wf, platform.ModeRMMAPPrefetch, opts, *pods)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)

@@ -8,6 +8,7 @@
 //	rmmap-load [-workflow wordcount] [-small] [-rate 200] [-burst-rate 0]
 //	           [-burst-every 500ms] [-burst-len 100ms] [-horizon 2s]
 //	           [-tenants 1000] [-deadline 0] [-seed 1] [-plan plan.json]
+//	           [-topology two-rack | -topology topo.json]
 //	           [-queue-limit 256] [-max-inflight 64] [-queue-policy fifo]
 //	           [-quota-rate 0] [-quota-burst 0] [-breaker-threshold 8]
 //	           [-curve 0.25,0.5,1,2,4] [-save-trace t.jsonl | -trace t.jsonl]
@@ -30,6 +31,7 @@ import (
 	"rmmap/internal/faults"
 	"rmmap/internal/load"
 	"rmmap/internal/platform"
+	"rmmap/internal/platformbuilder"
 	"rmmap/internal/simtime"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	pods := flag.Int("pods", 16, "warm pods")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores); the report is identical at any setting")
 	mode := flag.String("mode", "rmmap", "transfer mode: messaging, pocket, rdma, rmmap, prefetch")
+	topology := flag.String("topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 
 	rate := flag.Float64("rate", 200, "steady offered load, requests per virtual second")
 	burstRate := flag.Float64("burst-rate", 0, "offered load inside burst windows (0: no bursts)")
@@ -125,6 +128,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *topology != "" {
+		if _, err := platformbuilder.Resolve(*topology, *machines); err != nil {
+			fmt.Fprintf(os.Stderr, "-topology: %v (known recipes: %v)\n", err, platformbuilder.Recipes())
+			os.Exit(1)
+		}
+	}
+
 	spec := load.SoakSpec{
 		Workflow: *name,
 		Small:    *small,
@@ -132,6 +142,7 @@ func main() {
 		Machines: *machines,
 		Pods:     *pods,
 		Workers:  *workers,
+		Topology: *topology,
 		Gen:      gen,
 		Events:   events,
 		Plan:     plan,

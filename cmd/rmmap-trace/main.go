@@ -8,10 +8,17 @@
 //
 //	rmmap-trace -list
 //	rmmap-trace -workload FINRA -mode "rmmap(prefetch)" [-scale 0.25] \
-//	    [-requests 3] [-metrics metrics.json] [-chrome-trace trace.json] \
-//	    [-jsonl spans.jsonl] [-profile profile.folded]
+//	    [-requests 3] [-topology spine-leaf] [-metrics metrics.json] \
+//	    [-chrome-trace trace.json] [-jsonl spans.jsonl] \
+//	    [-profile profile.folded]
 //	rmmap-trace -workload ML-prediction -openloop 200 -duration 500ms \
 //	    -metrics metrics.json
+//
+// -topology runs the workload on a multi-rack cluster shape (a
+// platformbuilder recipe name or topology JSON file — see PLATFORMS.md);
+// spans then carry "tor", "spine", and "linkwait" categories in their
+// breakdowns, so the Chrome trace shows where hop latency and link
+// queueing land.
 //
 // Modes accept the report names (messaging, storage(pocket), storage(rdma),
 // rmmap, rmmap(prefetch)) and flag-friendly aliases (storage-pocket,
@@ -36,6 +43,7 @@ import (
 	"rmmap/internal/bench"
 	"rmmap/internal/obs"
 	"rmmap/internal/platform"
+	"rmmap/internal/platformbuilder"
 	"rmmap/internal/simtime"
 )
 
@@ -48,6 +56,7 @@ type config struct {
 	duration time.Duration
 	machines int
 	pods     int
+	topology string
 
 	metricsPath string
 	chromePath  string
@@ -66,6 +75,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "virtual duration of the open-loop run")
 	flag.IntVar(&cfg.machines, "machines", 10, "cluster machines")
 	flag.IntVar(&cfg.pods, "pods", 80, "cluster pods")
+	flag.StringVar(&cfg.topology, "topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write canonical metrics snapshot JSON here")
 	flag.StringVar(&cfg.chromePath, "chrome-trace", "", "write Chrome trace-event JSON here")
 	flag.StringVar(&cfg.jsonlPath, "jsonl", "", "write flat span JSONL here")
@@ -105,8 +115,19 @@ func run(cfg config, out io.Writer) error {
 
 	reg := obs.NewRegistry()
 	opts := platform.Options{Trace: true, Obs: reg}
-	e, err := platform.NewEngine(builder.Build(), mode, opts,
-		platform.ClusterConfig{Machines: cfg.machines, Pods: cfg.pods})
+	clCfg := platform.ClusterConfig{Machines: cfg.machines, Pods: cfg.pods}
+	if cfg.topology != "" {
+		b, err := platformbuilder.Resolve(cfg.topology, cfg.machines)
+		if err != nil {
+			return fmt.Errorf("-topology: %w (known recipes: %v)", err, platformbuilder.Recipes())
+		}
+		spec, err := b.Spec()
+		if err != nil {
+			return err
+		}
+		clCfg.Spec = &spec
+	}
+	e, err := platform.NewEngine(builder.Build(), mode, opts, clCfg)
 	if err != nil {
 		return err
 	}

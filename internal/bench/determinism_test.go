@@ -57,6 +57,7 @@ func fig14RowBytes(t *testing.T, name string, mode platform.Mode, e *platform.En
 	row := Fig14Row{
 		Workflow:            name,
 		Mode:                mode.String(),
+		Topology:            "flat",
 		LatencyNs:           int64(res.Latency),
 		FabricOneSidedReads: reads,
 		FabricBatches:       batches,

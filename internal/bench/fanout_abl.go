@@ -7,7 +7,6 @@ import (
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
 	"rmmap/internal/platform"
-	"rmmap/internal/simtime"
 )
 
 // fanoutWorkflow pins one page-dense producer to machine 0 and width
@@ -15,10 +14,22 @@ import (
 // remote page cache pays off: without it every co-located consumer
 // refetches the producer's whole state over the fabric.
 func fanoutWorkflow(width, elems int) *platform.Workflow {
+	return topoFanout(0, 1, width, elems)
+}
+
+// topoFanout is fanoutWorkflow with parameterized pins: the producer goes
+// on machine producer, the consumers on machine consumer — or wherever the
+// engine's placement policy puts them when consumer < 0 (the abl-topology
+// placement-policy legs).
+func topoFanout(producer, consumer, width, elems int) *platform.Workflow {
+	var consumerPin *int
+	if consumer >= 0 {
+		consumerPin = platform.Pin(consumer)
+	}
 	return &platform.Workflow{
 		Name: "fanout",
 		Functions: []*platform.FunctionSpec{
-			{Name: "produce", Instances: 1, PinMachine: platform.Pin(0),
+			{Name: "produce", Instances: 1, PinMachine: platform.Pin(producer),
 				Handler: func(ctx *platform.Ctx) (objrt.Obj, error) {
 					vals := make([]int64, elems)
 					for i := range vals {
@@ -26,7 +37,7 @@ func fanoutWorkflow(width, elems int) *platform.Workflow {
 					}
 					return ctx.RT.NewIntList(vals)
 				}},
-			{Name: "consume", Instances: width, PinMachine: platform.Pin(1),
+			{Name: "consume", Instances: width, PinMachine: consumerPin,
 				Handler: func(ctx *platform.Ctx) (objrt.Obj, error) {
 					in := ctx.Inputs[0]
 					cnt, err := in.Len()
@@ -88,7 +99,10 @@ func runAblFanout(w io.Writer, scale float64) error {
 	}
 	t := newTable(w, "cache/readahead", "latency", "fabric-pages", "roundtrips", "hits", "hit-rate", "ra-pages")
 	for _, g := range grid {
-		cl := platform.NewCluster(2, simtime.DefaultCostModel())
+		cl, _, err := topoCluster(2)
+		if err != nil {
+			return err
+		}
 		e, err := platform.NewEngineOn(cl, fanoutWorkflow(width, elems), platform.ModeRMMAP, g.opts, 4+2*width)
 		if err != nil {
 			return err

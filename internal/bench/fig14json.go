@@ -13,8 +13,12 @@ import (
 // report: end-to-end latency plus the fabric and remote-page-cache
 // counters behind it.
 type Fig14Row struct {
-	Workflow            string  `json:"workflow"`
-	Mode                string  `json:"mode"`
+	Workflow string `json:"workflow"`
+	Mode     string `json:"mode"`
+	// Topology is the cluster shape the cell ran on: "flat" for the classic
+	// single-rack cluster, otherwise the recipe or topology-file name
+	// selected with rmmap-bench -topology.
+	Topology            string  `json:"topology"`
 	LatencyNs           int64   `json:"latency_ns"`
 	FabricOneSidedReads int     `json:"fabric_one_sided_reads"`
 	FabricBatches       int     `json:"fabric_doorbell_batches"`
@@ -38,6 +42,9 @@ type Fig14Report struct {
 	Scale    float64       `json:"scale"`
 	Rows     []Fig14Row    `json:"rows"`
 	Failover []FailoverRow `json:"failover,omitempty"`
+	// Topology is the topology-cliff section: the same pinned fan-out
+	// placed intra- versus cross-rack on each recipe (abl-topology).
+	Topology []TopologyRow `json:"topology_cliff,omitempty"`
 	// OpenLoop is the parallel-engine worker scaling section: the open-loop
 	// bench at Workers ∈ {1, 8}. Virtual-time fields are seeded and
 	// deterministic; wall_clock_ms and speedup depend on the host.
@@ -56,13 +63,18 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 	cfg := benchCluster()
 	for _, wfb := range wfBuilders(scale) {
 		for _, mode := range platform.AllModes() {
-			cl := platform.NewCluster(cfg.Machines, simtime.DefaultCostModel())
+			cl, topoName, err := topoCluster(cfg.Machines)
+			if err != nil {
+				return rep, err
+			}
 			e, err := platform.NewEngineOn(cl, wfb.Build(), mode, benchOptions(), cfg.Pods)
 			if err != nil {
+				cl.Close()
 				return rep, err
 			}
 			res, err := e.Run()
 			if err != nil {
+				cl.Close()
 				return rep, err
 			}
 			reads, batches, _, bytesRead := cl.Fabric.Stats()
@@ -73,6 +85,7 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 			rep.Rows = append(rep.Rows, Fig14Row{
 				Workflow:            wfb.Name,
 				Mode:                mode.String(),
+				Topology:            topoName,
 				LatencyNs:           int64(res.Latency),
 				FabricOneSidedReads: reads,
 				FabricBatches:       batches,
@@ -84,9 +97,15 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 				ReadaheadPages:      res.Cache.ReadaheadPages,
 				BreakdownNs:         breakdown,
 			})
+			cl.Close()
 		}
 	}
 	rep.Failover = CollectFailover(scale)
+	topoRows, err := CollectTopology(scale)
+	if err != nil {
+		return rep, err
+	}
+	rep.Topology = topoRows
 	ol, err := CollectOpenLoop(scale, []int{1, 8})
 	if err != nil {
 		return rep, err

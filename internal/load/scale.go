@@ -9,6 +9,7 @@ import (
 	"rmmap/internal/admit"
 	"rmmap/internal/faults"
 	"rmmap/internal/platform"
+	"rmmap/internal/platformbuilder"
 	"rmmap/internal/simtime"
 )
 
@@ -26,6 +27,12 @@ type SoakSpec struct {
 	// Workers sizes the engine worker pool. It deliberately does NOT
 	// appear in the report — the report must not depend on it.
 	Workers int
+	// Topology selects the cluster shape: "" (or "flat") is the classic
+	// flat cluster, otherwise a platformbuilder recipe name or topology
+	// JSON file (rmmap-load -topology). Multi-rack shapes add ToR/spine
+	// hop and link-contention costs to every remote operation, all in
+	// virtual time — the report stays deterministic.
+	Topology string
 
 	// Gen is the arrival schedule (BurstRate == BaseRate gives plain
 	// Poisson).
@@ -64,8 +71,11 @@ type CurvePoint struct {
 // virtual time and deterministic counters — no wall clock, no worker
 // count — so two runs of the same SoakSpec marshal to identical bytes.
 type ScaleReport struct {
-	Workflow string  `json:"workflow"`
-	Mode     string  `json:"mode"`
+	Workflow string `json:"workflow"`
+	Mode     string `json:"mode"`
+	// Topology is the cluster shape the soak ran on (omitted for the
+	// classic flat cluster).
+	Topology string  `json:"topology,omitempty"`
 	Machines int     `json:"machines"`
 	Pods     int     `json:"pods"`
 	Tenants  int     `json:"tenants"`
@@ -117,12 +127,40 @@ func (spec SoakSpec) engine() (*platform.Engine, *platform.Cluster, error) {
 		ColdStart: spec.ColdStart,
 		Workers:   spec.Workers,
 	}
-	cluster := platform.NewChaosCluster(spec.Machines, simtime.DefaultCostModel(), spec.Plan, rec.Retry)
+	cluster, err := spec.cluster(rec)
+	if err != nil {
+		return nil, nil, err
+	}
 	e, err := platform.NewEngineOn(cluster, wf, spec.Mode, opts, spec.Pods)
 	if err != nil {
 		return nil, nil, err
 	}
 	return e, cluster, nil
+}
+
+// cluster builds the soak's substrate: the classic flat chaos cluster, or
+// — with Topology set — a platformbuilder shape with the same fault
+// injector and retry policy wired outside the topology wrap.
+func (spec SoakSpec) cluster(rec *platform.RecoveryPolicy) (*platform.Cluster, error) {
+	if spec.Topology == "" || spec.Topology == "flat" {
+		return platform.NewChaosCluster(spec.Machines, simtime.DefaultCostModel(), spec.Plan, rec.Retry), nil
+	}
+	b, err := platformbuilder.Resolve(spec.Topology, spec.Machines)
+	if err != nil {
+		return nil, err
+	}
+	return b.WithChaos(spec.Plan, rec.Retry).Build()
+}
+
+// topologyLabel is what the report records for the soak's cluster shape.
+func (spec SoakSpec) topologyLabel() string {
+	if spec.Topology == "" || spec.Topology == "flat" {
+		return ""
+	}
+	if b, err := platformbuilder.Resolve(spec.Topology, spec.Machines); err == nil {
+		return b.Name()
+	}
+	return spec.Topology
 }
 
 // RunSoak runs the soak and builds its report: the headline numbers from
@@ -142,10 +180,12 @@ func RunSoak(spec SoakSpec) (ScaleReport, error) {
 	if err != nil {
 		return ScaleReport{}, err
 	}
+	defer cluster.Close()
 	res := Replay(e, events, spec.Gen.Horizon)
 	rep := ScaleReport{
 		Workflow: spec.Workflow,
 		Mode:     e.Mode().String(),
+		Topology: spec.topologyLabel(),
 		Machines: spec.Machines,
 		Pods:     spec.Pods,
 		Tenants:  spec.Gen.Tenants,
@@ -180,11 +220,12 @@ func RunSoak(spec SoakSpec) (ScaleReport, error) {
 		gen := spec.Gen
 		gen.BaseRate *= mult
 		gen.BurstRate *= mult
-		pe, _, err := spec.engine()
+		pe, pcl, err := spec.engine()
 		if err != nil {
 			return ScaleReport{}, err
 		}
 		pres := Replay(pe, Bursty(gen), gen.Horizon)
+		pcl.Close()
 		rep.Curve = append(rep.Curve, CurvePoint{
 			Multiplier: mult,
 			OfferedRPS: pres.OfferedRPS(),

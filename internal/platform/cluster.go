@@ -22,10 +22,18 @@ type Cluster struct {
 	Kernels  []*kernel.Kernel
 	Sim      *sim.Simulator
 
+	// Topo is non-nil on multi-rack clusters: the link-cost model every
+	// kernel's transport charges through (DESIGN.md §14). Flat clusters
+	// leave it nil and take exactly the pre-topology code path.
+	Topo *rdma.Topology
+
 	// Injector is non-nil on chaos clusters (NewChaosCluster): the seeded
 	// fault source every kernel's transport consults.
 	Injector *faults.Injector
 	retriers []*faults.RetryTransport
+
+	// cleanup stops real-socket servers on TCP-backed clusters.
+	cleanup func()
 
 	// retainCrashedPages keeps cluster caches' entries for a crashed
 	// machine's pages: with replication on, those cached bytes are still
@@ -35,19 +43,165 @@ type Cluster struct {
 	retainCrashedPages bool
 }
 
-// NewCluster builds n machines, each with an RMMAP kernel serving RPC.
-func NewCluster(n int, cm *simtime.CostModel) *Cluster {
-	c := &Cluster{CM: cm, Fabric: rdma.NewSimFabric(cm), Sim: sim.New()}
-	for i := 0; i < n; i++ {
+// ClusterSpec is the declarative input to BuildCluster — the assembly
+// contract the platformbuilder's fluent API compiles down to. The zero
+// value plus a machine count reproduces the classic flat cluster.
+type ClusterSpec struct {
+	// Machines is the machine count (must be ≥ 1).
+	Machines int
+	// CM is the cost model; nil means simtime.DefaultCostModel().
+	CM *simtime.CostModel
+	// Topo, when non-nil, attaches the multi-rack link-cost model: every
+	// kernel transport is wrapped in rdma.WithTopology, and racks marked
+	// FabricTCP get a real loopback-TCP byte transport muxed in for the
+	// links that touch them. Machine count must match the topology.
+	Topo *rdma.Topology
+	// Chaos, when non-nil, wires the seeded fault injector and retrying
+	// transport exactly like NewChaosCluster, outside the topology wrap:
+	// retry(faults(topo(nic))), so injected faults short-circuit before
+	// any link cost is charged and retries re-charge hops honestly.
+	Chaos *faults.Plan
+	// Retry is the retry policy for Chaos clusters (normalized defaults
+	// apply when zero).
+	Retry faults.RetryPolicy
+	// AllTCP puts every machine on the real loopback-TCP fabric (the
+	// NewClusterTCP behaviour); mutually exclusive with per-rack fabric
+	// selection via Topo.
+	AllTCP bool
+}
+
+// BuildCluster assembles a cluster from a spec. It is the single assembly
+// path: the engine, the chaos/bench/load CLIs, and the platformbuilder all
+// flow through it, so a flat one-rack build is byte-identical to the
+// pre-topology cluster by construction.
+func BuildCluster(spec ClusterSpec) (*Cluster, error) {
+	if spec.Machines < 1 {
+		return nil, fmt.Errorf("platform: cluster needs at least 1 machine, got %d", spec.Machines)
+	}
+	cm := spec.CM
+	if cm == nil {
+		cm = simtime.DefaultCostModel()
+	}
+	if spec.Topo != nil && spec.Topo.Machines() != spec.Machines {
+		return nil, fmt.Errorf("platform: topology covers %d machines, cluster has %d",
+			spec.Topo.Machines(), spec.Machines)
+	}
+	c := &Cluster{CM: cm, Sim: sim.New(), Topo: spec.Topo}
+	if spec.Topo != nil {
+		spec.Topo.Clock = c.Sim.Now
+	}
+	if spec.Chaos != nil {
+		c.Injector = faults.NewInjector(*spec.Chaos, c.Sim.Now)
+	}
+
+	wantSim := !spec.AllTCP
+	wantTCP := spec.AllTCP || (spec.Topo != nil && spec.Topo.HasTCP())
+	if wantSim {
+		c.Fabric = rdma.NewSimFabric(cm)
+	}
+	var tcpFabric *rdma.TCPFabric
+	var servers []*rdma.TCPServer
+	var tcpNICs []*rdma.TCPNIC
+	if wantTCP {
+		tcpFabric = rdma.NewTCPFabric(cm)
+		c.cleanup = func() {
+			for _, nic := range tcpNICs {
+				nic.Close()
+			}
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+	}
+
+	for i := 0; i < spec.Machines; i++ {
 		m := memsim.NewMachine(memsim.MachineID(i))
-		c.Fabric.Attach(m)
-		k := kernel.New(m, rdma.NewNIC(m.ID(), c.Fabric), cm)
+		var transport rdma.Transport
+		if wantSim {
+			c.Fabric.Attach(m)
+			transport = rdma.NewNIC(m.ID(), c.Fabric)
+		}
+		if wantTCP {
+			srv, err := tcpFabric.Serve(m, "127.0.0.1:0")
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			servers = append(servers, srv)
+			nic := rdma.NewTCPNIC(m, tcpFabric)
+			tcpNICs = append(tcpNICs, nic)
+			if transport == nil {
+				transport = nic
+			} else {
+				// Mixed fabrics: TCP for links the topology marks TCP,
+				// the in-process fabric for everything else.
+				id, topo := m.ID(), spec.Topo
+				transport = rdma.NewMux(transport, nic, func(target memsim.MachineID) bool {
+					return topo.UseTCP(id, target)
+				})
+			}
+		}
+		if spec.Topo != nil {
+			transport = rdma.WithTopology(transport, spec.Topo)
+		}
+		if c.Injector != nil {
+			rt := faults.WithRetry(faults.Wrap(transport, c.Injector), spec.Retry)
+			c.retriers = append(c.retriers, rt)
+			transport = rt
+		}
+		k := kernel.New(m, transport, cm)
 		k.Clock = c.Sim.Now
-		k.ServeRPC(c.Fabric)
+		if wantSim {
+			k.ServeRPC(c.Fabric)
+		}
+		if wantTCP {
+			k.ServeTCP(servers[i])
+		}
 		c.Machines = append(c.Machines, m)
 		c.Kernels = append(c.Kernels, k)
 	}
 	c.wirePageCaches()
+	if spec.Chaos != nil {
+		c.armCrashes(*spec.Chaos)
+	}
+	return c, nil
+}
+
+// armCrashes schedules the plan's machine crashes on the simulator.
+func (c *Cluster) armCrashes(plan faults.Plan) {
+	for _, cr := range plan.Crashes {
+		if int(cr.Machine) < 0 || int(cr.Machine) >= len(c.Machines) {
+			continue
+		}
+		mach := c.Machines[cr.Machine]
+		c.Sim.At(cr.At, func() {
+			mach.Crash()
+			// The crashed machine's frames are gone; cached copies of them
+			// cluster-wide are stale by definition — unless replication
+			// retains them as authoritative (checked at fire time, since
+			// the engine wires replication after the cluster is built).
+			if !c.retainCrashedPages {
+				c.invalidateMachine(mach.ID())
+			}
+		})
+	}
+}
+
+// Close stops any real-socket servers backing the cluster. Safe on
+// pure-simulation clusters (no-op) and safe to call more than once.
+func (c *Cluster) Close() {
+	if c.cleanup != nil {
+		c.cleanup()
+		c.cleanup = nil
+	}
+}
+
+// NewCluster builds n machines, each with an RMMAP kernel serving RPC.
+func NewCluster(n int, cm *simtime.CostModel) *Cluster {
+	c, err := BuildCluster(ClusterSpec{Machines: n, CM: cm})
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -96,35 +250,9 @@ func (c *Cluster) CacheStats() kernel.CacheStats {
 // the engine's recovery ladder. The plan's machine crashes are armed on the
 // simulator; everything downstream is deterministic in plan.Seed.
 func NewChaosCluster(n int, cm *simtime.CostModel, plan faults.Plan, retry faults.RetryPolicy) *Cluster {
-	c := &Cluster{CM: cm, Fabric: rdma.NewSimFabric(cm), Sim: sim.New()}
-	c.Injector = faults.NewInjector(plan, c.Sim.Now)
-	for i := 0; i < n; i++ {
-		m := memsim.NewMachine(memsim.MachineID(i))
-		c.Fabric.Attach(m)
-		rt := faults.WithRetry(faults.Wrap(rdma.NewNIC(m.ID(), c.Fabric), c.Injector), retry)
-		c.retriers = append(c.retriers, rt)
-		k := kernel.New(m, rt, cm)
-		k.Clock = c.Sim.Now
-		k.ServeRPC(c.Fabric)
-		c.Machines = append(c.Machines, m)
-		c.Kernels = append(c.Kernels, k)
-	}
-	c.wirePageCaches()
-	for _, cr := range plan.Crashes {
-		if int(cr.Machine) < 0 || int(cr.Machine) >= n {
-			continue
-		}
-		mach := c.Machines[cr.Machine]
-		c.Sim.At(cr.At, func() {
-			mach.Crash()
-			// The crashed machine's frames are gone; cached copies of them
-			// cluster-wide are stale by definition — unless replication
-			// retains them as authoritative (checked at fire time, since
-			// the engine wires replication after the cluster is built).
-			if !c.retainCrashedPages {
-				c.invalidateMachine(mach.ID())
-			}
-		})
+	c, err := BuildCluster(ClusterSpec{Machines: n, CM: cm, Chaos: &plan, Retry: retry})
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -185,36 +313,11 @@ func (c *Cluster) LeaseExpiries() int {
 // Virtual-time accounting is identical; only the byte transport is real.
 // Close the returned closer to stop the servers.
 func NewClusterTCP(n int, cm *simtime.CostModel) (*Cluster, func(), error) {
-	c := &Cluster{CM: cm, Sim: sim.New()}
-	fabric := rdma.NewTCPFabric(cm)
-	var servers []*rdma.TCPServer
-	var nics []*rdma.TCPNIC
-	cleanup := func() {
-		for _, nic := range nics {
-			nic.Close()
-		}
-		for _, s := range servers {
-			s.Close()
-		}
+	c, err := BuildCluster(ClusterSpec{Machines: n, CM: cm, AllTCP: true})
+	if err != nil {
+		return nil, nil, err
 	}
-	for i := 0; i < n; i++ {
-		m := memsim.NewMachine(memsim.MachineID(i))
-		srv, err := fabric.Serve(m, "127.0.0.1:0")
-		if err != nil {
-			cleanup()
-			return nil, nil, err
-		}
-		servers = append(servers, srv)
-		nic := rdma.NewTCPNIC(m, fabric)
-		nics = append(nics, nic)
-		k := kernel.New(m, nic, cm)
-		k.Clock = c.Sim.Now
-		k.ServeTCP(srv)
-		c.Machines = append(c.Machines, m)
-		c.Kernels = append(c.Kernels, k)
-	}
-	c.wirePageCaches()
-	return c, cleanup, nil
+	return c, c.Close, nil
 }
 
 // LiveBytes sums live memory across machines (Fig 16a accounting).

@@ -11,15 +11,19 @@ import (
 	"rmmap/internal/kernel"
 	"rmmap/internal/memsim"
 	"rmmap/internal/objrt"
+	"rmmap/internal/rdma"
 	"rmmap/internal/sim"
 	"rmmap/internal/simtime"
 	"rmmap/internal/transport"
 )
 
-// ClusterConfig sizes the physical substrate for a run.
+// ClusterConfig sizes the physical substrate for a run. Spec, when set,
+// carries a full build specification (topology, fabrics, chaos) from the
+// platformbuilder layer; Machines must then match the spec.
 type ClusterConfig struct {
 	Machines int
 	Pods     int
+	Spec     *ClusterSpec
 }
 
 // DefaultClusterConfig mirrors the paper's 10-machine testbed with 8
@@ -212,6 +216,10 @@ type execItem struct {
 	cacheDelta kernel.CacheStats
 	// sched journals the kernel's deferred-scheduling calls in issue order.
 	sched []schedEntry
+	// linkUses journals the invocation's shared-link occupancy (multi-rack
+	// topologies only), replayed against global link state at commit so
+	// queueing waits are deterministic at any worker count (DESIGN.md §14).
+	linkUses []rdma.LinkUse
 	// commits are engine-map mutations (registration table inserts,
 	// forwarded-ACL extensions) deferred to the commit phase.
 	commits []func()
@@ -310,6 +318,17 @@ func NewEngine(wf *Workflow, mode Mode, opts Options, cfg ClusterConfig) (*Engin
 	}
 	if cfg.Machines <= 0 || cfg.Pods <= 0 {
 		return nil, fmt.Errorf("platform: bad cluster config %+v", cfg)
+	}
+	if cfg.Spec != nil {
+		if cfg.Spec.Machines != cfg.Machines {
+			return nil, fmt.Errorf("platform: cluster spec has %d machines, config asks for %d",
+				cfg.Spec.Machines, cfg.Machines)
+		}
+		cl, err := BuildCluster(*cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewEngineOn(cl, wf, mode, opts, cfg.Pods)
 	}
 	cm := simtime.DefaultCostModel()
 	return NewEngineOn(NewCluster(cfg.Machines, cm), wf, mode, opts, cfg.Pods)
@@ -783,7 +802,7 @@ func (e *Engine) formBatch() []*execItem {
 	for len(e.queue) > 0 {
 		inv := e.queue[0]
 		slot := SlotID{inv.node.fn, inv.node.inst}
-		pod := e.pickPod(slot, e.wf.Function(inv.node.fn).PinMachine)
+		pod := e.pickPod(slot, e.wf.Function(inv.node.fn).PinMachine, e.preferredRack(inv))
 		if pod == nil {
 			break
 		}
@@ -825,6 +844,14 @@ func (e *Engine) runBatch(batch []*execItem) {
 		}
 		e.schedSinks[mid] = nil
 	}
+	// Multi-rack topologies journal link occupancy during the phase (the
+	// journaling happens in both the sequential and parallel paths, so
+	// queueing waits replay identically at any worker count).
+	if topo := e.Cluster.Topo; topo != nil {
+		for _, mid := range order {
+			topo.BeginDeferred(mid)
+		}
+	}
 	if w := e.opts.workerCount(); w <= 1 || len(order) == 1 {
 		for _, mid := range order {
 			runGroup(mid, groups[mid])
@@ -837,17 +864,41 @@ func (e *Engine) runBatch(batch []*execItem) {
 		}
 		sim.RunGroups(w, fns)
 	}
+	if topo := e.Cluster.Topo; topo != nil {
+		for _, mid := range order {
+			topo.EndDeferred(mid)
+		}
+	}
 	for _, it := range batch {
 		e.commit(it)
 	}
 }
 
+// preferredRack resolves rack-local placement (Options.RackLocal): the
+// rack holding the producer of the invocation's first rmap input, so the
+// consumer's demand faults stay under one ToR instead of crossing the
+// spine. -1 means no preference (flat cluster, option off, or no rmap
+// input). It runs on the simulator thread during batch formation, where
+// req.inputs is stable.
+func (e *Engine) preferredRack(inv *invocation) int {
+	if !e.opts.RackLocal || e.Cluster.Topo == nil {
+		return -1
+	}
+	for _, in := range inv.req.inputs[inv.node] {
+		if in.mode.IsRMMAP() {
+			return e.Cluster.Topo.RackOf(in.meta.Machine)
+		}
+	}
+	return -1
+}
+
 // pickPod selects the pod for one invocation: the lowest-ID free pod
 // holding the slot's warm container wins (cache affinity), then pinned
-// functions scan their machine's pods, then the free-pod heap yields the
-// lowest-ID free pod. Crashed machines take no new work; their frames (and
-// warm containers) are gone.
-func (e *Engine) pickPod(slot SlotID, pin *int) *Pod {
+// functions scan their machine's pods, then — under rack-local placement —
+// the preferred rack's lowest-ID free pod, then the free-pod heap yields
+// the lowest-ID free pod. Crashed machines take no new work; their frames
+// (and warm containers) are gone.
+func (e *Engine) pickPod(slot SlotID, pin *int, prefRack int) *Pod {
 	var best *Pod
 	for _, p := range e.warm[slot] {
 		if p.busy || p.Machine.Crashed() {
@@ -870,6 +921,25 @@ func (e *Engine) pickPod(slot SlotID, pin *int) *Pod {
 			}
 		}
 		return nil
+	}
+	if prefRack >= 0 {
+		// Rack-local placement: lowest-ID free pod on any machine in the
+		// preferred rack. Entries may still sit in the free heap; the
+		// heap's lazy deletion discards them on pop, exactly like pods
+		// taken via the warm or pin paths.
+		for _, mid := range e.Cluster.Topo.RackMachines(prefRack) {
+			for _, p := range e.byMachine[mid] {
+				if p.busy || p.Machine.Crashed() {
+					continue
+				}
+				if best == nil || p.ID < best.ID {
+					best = p
+				}
+			}
+		}
+		if best != nil {
+			return best
+		}
 	}
 	for e.freePods.Len() > 0 {
 		p := heap.Pop(&e.freePods).(*Pod)
@@ -956,6 +1026,12 @@ func (e *Engine) executeItem(it *execItem) {
 	it.retries = e.Cluster.MachineRetries(mid) - retryBase
 	it.cacheDelta = it.pod.Kernel.CacheStats().Sub(cacheBase)
 	it.failovers = int(it.pod.Kernel.Failovers() - failBase)
+	if topo := e.Cluster.Topo; topo != nil {
+		// All link uses journaled since the previous item on this machine
+		// belong to this invocation: its group owns the machine's
+		// transport exclusively during the phase.
+		it.linkUses = topo.DrainDeferred(mid)
+	}
 }
 
 // commit applies one executed item's effects on the simulator thread, in
@@ -979,6 +1055,12 @@ func (e *Engine) commit(it *execItem) {
 	req.fallbacks += it.fallbacks
 	for _, s := range it.sched {
 		e.Cluster.Sim.After(s.d, s.fn)
+	}
+	// Replay journaled shared-link occupancy in canonical commit order:
+	// queueing waits land on the meter before the completion delay is
+	// computed, so link contention extends the invocation's latency.
+	if topo := e.Cluster.Topo; topo != nil && len(it.linkUses) > 0 {
+		topo.Replay(meter, it.linkUses, e.Cluster.Sim.Now())
 	}
 	started := e.Cluster.Sim.Now()
 	d := meter.Total()

@@ -154,6 +154,12 @@ type Options struct {
 	// ReadaheadWindow overrides the maximum readahead window in pages
 	// (0 = kernel.DefaultReadaheadMax).
 	ReadaheadWindow int
+	// RackLocal enables rack-locality-aware placement on multi-rack
+	// clusters: an invocation whose first input arrives by rmap prefers a
+	// free pod in the producer's rack, so demand faults stay under one
+	// ToR instead of crossing the spine. No-op on flat clusters; warm
+	// affinity and explicit pins still take precedence.
+	RackLocal bool
 	// Workers sizes the engine's worker pool: invocations that are
 	// concurrently eligible (same dispatch frontier, different machines)
 	// execute on up to this many goroutines, with their effects committed

@@ -1,0 +1,130 @@
+package platformbuilder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A recipe is a named platform shape, parameterized by machine count so
+// CLIs can say `-topology spine-leaf -machines 16` and experiments can
+// sweep sizes. Machines are distributed over the recipe's racks in
+// contiguous blocks (rack 0 gets the first ⌈N/R⌉ IDs and so on), so a
+// recipe's rack membership is obvious from the machine ID alone.
+type recipe struct {
+	racks    int
+	describe string
+	build    func(b *Builder, machines int) *Builder
+}
+
+var recipes = map[string]recipe{
+	"flat": {
+		racks:    1,
+		describe: "one rack, uniform link cost — the classic pre-topology cluster",
+		build:    func(b *Builder, machines int) *Builder { return b },
+	},
+	"two-rack": {
+		racks:    2,
+		describe: "two racks behind one spine hop, default 100 Gbps ToR / oversubscribed 6.4 Gbps spine links",
+		build: func(b *Builder, machines int) *Builder {
+			return b.WithToRLinks(DefaultToRLink.Hop, DefaultToRLink.GBps).
+				WithSpine(DefaultSpineLink.Hop, DefaultSpineLink.GBps)
+		},
+	},
+	"spine-leaf": {
+		racks:    4,
+		describe: "four racks in a leaf-spine fabric with an oversubscribed spine",
+		build: func(b *Builder, machines int) *Builder {
+			return b.WithToRLinks(DefaultToRLink.Hop, DefaultToRLink.GBps).
+				WithSpine(DefaultSpineLink.Hop, DefaultSpineLink.GBps)
+		},
+	},
+	"spine-leaf-tcp": {
+		racks:    4,
+		describe: "spine-leaf with mixed fabrics: in-process intra-rack, real loopback TCP cross-rack",
+		build: func(b *Builder, machines int) *Builder {
+			return b.WithToRLinks(DefaultToRLink.Hop, DefaultToRLink.GBps).
+				WithSpine(DefaultSpineLink.Hop, DefaultSpineLink.GBps).
+				WithCrossRackTCP()
+		},
+	},
+	"straggler": {
+		racks:    2,
+		describe: "two racks with the last machine a 3× straggler",
+		build: func(b *Builder, machines int) *Builder {
+			return b.WithToRLinks(DefaultToRLink.Hop, DefaultToRLink.GBps).
+				WithSpine(DefaultSpineLink.Hop, DefaultSpineLink.GBps).
+				WithStraggler(machines-1, 3.0)
+		},
+	},
+}
+
+// Recipes lists recipe names in sorted order with one-line descriptions,
+// for CLI -topology help text.
+func Recipes() []string {
+	names := make([]string, 0, len(recipes))
+	for n := range recipes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecipeHelp returns one "name — description" line per recipe.
+func RecipeHelp() string {
+	var b strings.Builder
+	for _, n := range Recipes() {
+		fmt.Fprintf(&b, "  %-15s %s\n", n, recipes[n].describe)
+	}
+	return b.String()
+}
+
+// Recipe returns a fresh builder for a named recipe sized to machines
+// (0 = the recipe's natural minimum, two machines per rack). The machine
+// count is rounded up to at least one machine per rack.
+func Recipe(name string, machines int) (*Builder, error) {
+	r, ok := recipes[name]
+	if !ok {
+		return nil, fmt.Errorf("platformbuilder: unknown recipe %q (have: %s)", name, strings.Join(Recipes(), ", "))
+	}
+	if machines <= 0 {
+		machines = 2 * r.racks
+	}
+	if machines < r.racks {
+		machines = r.racks
+	}
+	b := NewBuilder().WithName(name).WithRacks(r.racks)
+	per := (machines + r.racks - 1) / r.racks
+	b = r.build(b, machines)
+	// Explicit placement so the machine count is exact even when it does
+	// not divide evenly: contiguous blocks of ⌈N/R⌉, last rack short.
+	for id := 0; id < machines; id++ {
+		b = b.WithMachine(id, id/per)
+	}
+	return b, nil
+}
+
+// Resolve interprets a CLI -topology argument: a recipe name, or a path to
+// a JSON topology file (anything containing a path separator or ending in
+// .json). The machines hint sizes recipes; files carry their own machine
+// sets and reject a conflicting hint.
+func Resolve(arg string, machines int) (*Builder, error) {
+	if strings.HasSuffix(arg, ".json") || strings.ContainsAny(arg, "/\\") {
+		b, err := LoadTopologyFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		if machines > 0 && b.Machines() != machines {
+			return nil, fmt.Errorf("platformbuilder: topology file %s defines %d machines, run asked for %d", arg, b.Machines(), machines)
+		}
+		return b, nil
+	}
+	return Recipe(arg, machines)
+}
+
+// Flat returns the trivial one-rack build for n machines — what every
+// pre-topology call site means by "a cluster".
+func Flat(n int) *Builder {
+	b, _ := Recipe("flat", n)
+	return b
+}

@@ -1,0 +1,88 @@
+package rdma
+
+import (
+	"rmmap/internal/memsim"
+	"rmmap/internal/simtime"
+)
+
+// Mux dispatches each remote operation to one of two transports based on
+// the target machine — the mixed-fabric building block: a machine keeps a
+// SimFabric NIC for intra-rack traffic and a TCPFabric NIC for links the
+// topology marks as TCP, and the mux picks per operation. Both inner
+// transports must share the owner machine. The category-attributed
+// interfaces are preserved through the mux with the same assertion
+// fallback the faults wrappers use.
+type Mux struct {
+	a, b  Transport
+	pick  func(target memsim.MachineID) bool // true → b
+	owner memsim.MachineID
+}
+
+// NewMux returns a transport that routes operations to b when
+// pickB(target) is true and to a otherwise.
+func NewMux(a, b Transport, pickB func(target memsim.MachineID) bool) *Mux {
+	return &Mux{a: a, b: b, pick: pickB, owner: a.Owner()}
+}
+
+func (x *Mux) route(target memsim.MachineID) Transport {
+	if x.pick(target) {
+		return x.b
+	}
+	return x.a
+}
+
+// Owner implements Transport.
+func (x *Mux) Owner() memsim.MachineID { return x.owner }
+
+// Read implements Transport.
+func (x *Mux) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN, off int, buf []byte) error {
+	return x.route(target).Read(m, target, pfn, off, buf)
+}
+
+// ReadPages implements Transport.
+func (x *Mux) ReadPages(m *simtime.Meter, target memsim.MachineID, reqs []PageRead) error {
+	return x.route(target).ReadPages(m, target, reqs)
+}
+
+// ReadPagesCat forwards category-attributed batches to the chosen inner.
+func (x *Mux) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageRead) error {
+	inner := x.route(target)
+	if rp, ok := inner.(interface {
+		ReadPagesCat(*simtime.Meter, simtime.Category, memsim.MachineID, []PageRead) error
+	}); ok {
+		return rp.ReadPagesCat(m, cat, target, reqs)
+	}
+	return inner.ReadPages(m, target, reqs)
+}
+
+// WritePages implements Transport.
+func (x *Mux) WritePages(m *simtime.Meter, target memsim.MachineID, reqs []PageWrite) error {
+	return x.route(target).WritePages(m, target, reqs)
+}
+
+// WritePagesCat forwards category-attributed write batches.
+func (x *Mux) WritePagesCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, reqs []PageWrite) error {
+	inner := x.route(target)
+	if wp, ok := inner.(interface {
+		WritePagesCat(*simtime.Meter, simtime.Category, memsim.MachineID, []PageWrite) error
+	}); ok {
+		return wp.WritePagesCat(m, cat, target, reqs)
+	}
+	return inner.WritePages(m, target, reqs)
+}
+
+// Call implements Transport.
+func (x *Mux) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	return x.route(target).Call(m, target, endpoint, req)
+}
+
+// CallCat forwards category-attributed RPCs to the chosen inner.
+func (x *Mux) CallCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	inner := x.route(target)
+	if cc, ok := inner.(interface {
+		CallCat(*simtime.Meter, simtime.Category, memsim.MachineID, string, []byte) ([]byte, error)
+	}); ok {
+		return cc.CallCat(m, cat, target, endpoint, req)
+	}
+	return inner.Call(m, target, endpoint, req)
+}

@@ -341,8 +341,9 @@ type TCPNIC struct {
 	fabric *TCPFabric
 	local  *memsim.Machine // fast path for same-machine reads
 
-	mu    sync.Mutex
-	conns map[memsim.MachineID]*tcpConn
+	mu      sync.Mutex
+	conns   map[memsim.MachineID]*tcpConn
+	charged map[memsim.MachineID]bool
 }
 
 type tcpConn struct {
@@ -355,7 +356,26 @@ type tcpConn struct {
 
 // NewTCPNIC returns a NIC for machine local on fabric f.
 func NewTCPNIC(local *memsim.Machine, f *TCPFabric) *TCPNIC {
-	return &TCPNIC{owner: local.ID(), fabric: f, local: local, conns: make(map[memsim.MachineID]*tcpConn)}
+	return &TCPNIC{owner: local.ID(), fabric: f, local: local,
+		conns: make(map[memsim.MachineID]*tcpConn), charged: make(map[memsim.MachineID]bool)}
+}
+
+// chargeConnect charges kernel-space QP establishment on first contact
+// with a peer, exactly like the SimFabric NIC, so the two byte transports
+// stay virtual-time identical operation for operation.
+func (n *TCPNIC) chargeConnect(m *simtime.Meter, target memsim.MachineID) {
+	if target == n.owner {
+		return
+	}
+	n.mu.Lock()
+	first := !n.charged[target]
+	if first {
+		n.charged[target] = true
+	}
+	n.mu.Unlock()
+	if first {
+		m.Charge(simtime.CatMap, n.fabric.cm.RDMAConnectKernel)
+	}
 }
 
 // Owner implements Transport.
@@ -479,6 +499,7 @@ func (n *TCPNIC) Read(m *simtime.Meter, target memsim.MachineID, pfn memsim.PFN,
 	binary.LittleEndian.PutUint64(req[1:], uint64(pfn))
 	binary.LittleEndian.PutUint32(req[9:], uint32(off))
 	binary.LittleEndian.PutUint32(req[13:], uint32(len(buf)))
+	n.chargeConnect(m, target)
 	resp, err := n.roundtrip(target, req)
 	if err != nil {
 		return err
@@ -516,6 +537,7 @@ func (n *TCPNIC) ReadPagesCat(m *simtime.Meter, cat simtime.Category, target mem
 		binary.LittleEndian.PutUint32(req[5+i*12+8:], uint32(len(r.Buf)))
 		total += len(r.Buf)
 	}
+	n.chargeConnect(m, target)
 	resp, err := n.roundtrip(target, req)
 	if err != nil {
 		return err
@@ -563,6 +585,7 @@ func (n *TCPNIC) WritePagesCat(m *simtime.Meter, cat simtime.Category, target me
 		req = append(req, hdr[:]...)
 		req = append(req, r.Data...)
 	}
+	n.chargeConnect(m, target)
 	if _, err := n.roundtrip(target, req); err != nil {
 		return err
 	}
@@ -578,16 +601,27 @@ func (n *TCPNIC) WritePagesCat(m *simtime.Meter, cat simtime.Category, target me
 
 // Call implements Transport over TCP.
 func (n *TCPNIC) Call(m *simtime.Meter, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
+	return n.CallCat(m, simtime.CatMap, target, endpoint, req)
+}
+
+// CallCat is Call with an explicit charge category, matching the SimFabric
+// NIC so category attribution survives a switch to the TCP byte transport.
+func (n *TCPNIC) CallCat(m *simtime.Meter, cat simtime.Category, target memsim.MachineID, endpoint string, req []byte) ([]byte, error) {
 	msg := make([]byte, 3+len(endpoint)+len(req))
 	msg[0] = opRPC
 	binary.LittleEndian.PutUint16(msg[1:], uint16(len(endpoint)))
 	copy(msg[3:], endpoint)
 	copy(msg[3+len(endpoint):], req)
+	n.chargeConnect(m, target)
 	resp, err := n.roundtrip(target, msg)
 	if err != nil {
 		return nil, err
 	}
 	cm := n.fabric.cm
-	m.Charge(simtime.CatMap, cm.RPCBase+simtime.Bytes(len(req)+len(resp), cm.RPCPerByte))
+	// Request and response bytes are charged separately, mirroring the sim
+	// NIC exactly — summing first would round differently and break the
+	// virtual-time equality between fabrics.
+	m.Charge(cat, cm.RPCBase+simtime.Bytes(len(req), cm.RPCPerByte))
+	m.Charge(cat, simtime.Bytes(len(resp), cm.RPCPerByte))
 	return resp, nil
 }

@@ -101,6 +101,15 @@ const (
 	// CatReplicate is async state replication: shadow-frame pushes to a
 	// backup machine plus the prepare/commit control RPCs.
 	CatReplicate
+	// CatToR is top-of-rack switch traversal: per-hop latency plus access
+	// link serialization on multi-rack topologies (DESIGN.md §14).
+	CatToR
+	// CatSpine is spine/aggregation traversal for cross-rack transfers:
+	// the extra hop latency plus spine-link serialization.
+	CatSpine
+	// CatLinkWait is queueing delay: virtual time a transfer spent waiting
+	// for a shared link already occupied by an earlier transfer.
+	CatLinkWait
 	numCategories
 )
 
@@ -119,6 +128,9 @@ var categoryNames = [...]string{
 	CatReadahead:   "readahead",
 	CatHeartbeat:   "heartbeat",
 	CatReplicate:   "replicate",
+	CatToR:         "tor",
+	CatSpine:       "spine",
+	CatLinkWait:    "linkwait",
 }
 
 func (c Category) String() string {
@@ -182,6 +194,27 @@ func (m *Meter) Reset() { m.byCat = [numCategories]Duration{} }
 func (m *Meter) AddAll(o *Meter) {
 	for i, d := range o.byCat {
 		m.byCat[i] += d
+	}
+}
+
+// Mark captures the meter's current per-category totals so a later
+// ScaleSince can stretch just the charges added in between. The returned
+// value is a plain copy; holding it allocates nothing beyond the caller's
+// frame.
+func (m *Meter) Mark() Meter { return *m }
+
+// ScaleSince multiplies every charge added after base was captured by
+// mult, charging the extra (mult−1)× portion to the same categories. It is
+// how straggler machines stretch an operation's cost without knowing its
+// breakdown (DESIGN.md §14). Multipliers at or below 1 are no-ops.
+func (m *Meter) ScaleSince(base Meter, mult float64) {
+	if m == nil || mult <= 1 {
+		return
+	}
+	for i := range m.byCat {
+		if delta := m.byCat[i] - base.byCat[i]; delta > 0 {
+			m.byCat[i] += Duration(float64(delta) * (mult - 1))
+		}
 	}
 }
 
