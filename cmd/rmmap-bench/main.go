@@ -51,12 +51,14 @@ func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "write the Fig 14 grid to BENCH_fig14.json")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); results are identical, only wall time changes")
+	ctrlShards := flag.Int("ctrl-shards", 0, "consistent-hash coordinator shards (0/1 = single coordinator); results are identical at any setting")
 	topology := flag.String("topology", "", "cluster shape for the Fig-14 grid and fan-out ablation: a recipe name ("+
 		"see PLATFORMS.md) or a topology JSON file; default is the classic flat cluster")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
 	bench.Workers = *workers
+	bench.CtrlShards = *ctrlShards
 	if *topology != "" {
 		// Validate eagerly so a typo fails before any experiment runs.
 		if _, err := platformbuilder.Resolve(*topology, 0); err != nil {

@@ -57,6 +57,7 @@ func main() {
 	topology := flag.String("topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 	pods := flag.Int("pods", 16, "warm pods")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores, 1 = sequential); the fault schedule and outcome are identical at any setting")
+	ctrlShards := flag.Int("ctrl-shards", 0, "consistent-hash coordinator shards (0/1 = single coordinator); a plan's \"shard\" field can then target one shard's crash")
 	trace := flag.Bool("trace", false, "print the per-invocation execution timeline")
 	ctrlJournal := flag.String("ctrl-journal", "", "write the coordinator's durable image (snapshot + journal) to this file after the run")
 	flag.Parse()
@@ -100,6 +101,7 @@ func main() {
 		Replicas:      *replicas,
 		NoReplication: *noReplication,
 		Workers:       *workers,
+		CtrlShards:    *ctrlShards,
 	}
 	if *noRecovery {
 		opts.Recovery = nil
@@ -205,13 +207,13 @@ func main() {
 		fmt.Printf("liveness: replicated %d bytes, lease expiries=%d\n",
 			last.ReplicatedBytes, last.LeaseExpiries)
 	}
-	coord := engine.Coordinator()
-	cs := coord.Stats()
-	fmt.Printf("ctrl: epoch=%d down=%v appends=%d journal=%dB snapshots=%d replays=%d crashes=%d recoveries=%d deferred=%d drift=%d/%d gossip-rounds=%d\n",
-		coord.Epoch(), coord.Down(), cs.Appends, cs.JournalBytes, cs.Snapshots, cs.Replays,
-		cs.Crashes, cs.Recoveries, cs.Deferred, cs.DriftDropped, cs.DriftAdopted, engine.GossipRounds())
+	cp := engine.ControlPlane()
+	cs := cp.Stats()
+	fmt.Printf("ctrl: shards=%d epoch=%d down=%v appends=%d journal=%dB snapshots=%d replays=%d crashes=%d recoveries=%d deferred=%d stale-routes=%d drift=%d/%d gossip-rounds=%d\n",
+		cp.NumShards(), engine.Coordinator().Epoch(), cp.Down(), cs.Appends, cs.JournalBytes, cs.Snapshots, cs.Replays,
+		cs.Crashes, cs.Recoveries, cs.Deferred, cs.StaleRoutes, cs.DriftDropped, cs.DriftAdopted, engine.GossipRounds())
 	if *ctrlJournal != "" {
-		if err := coord.SaveFile(*ctrlJournal); err != nil {
+		if err := cp.SaveFile(*ctrlJournal); err != nil {
 			fmt.Fprintf(os.Stderr, "ctrl-journal: %v\n", err)
 			os.Exit(1)
 		}

@@ -41,6 +41,7 @@ func main() {
 	machines := flag.Int("machines", 4, "cluster size")
 	pods := flag.Int("pods", 16, "warm pods")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = all cores); the report is identical at any setting")
+	ctrlShards := flag.Int("ctrl-shards", 0, "consistent-hash coordinator shards (0/1 = single coordinator); the report is identical at any setting")
 	mode := flag.String("mode", "rmmap", "transfer mode: messaging, pocket, rdma, rmmap, prefetch")
 	topology := flag.String("topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 
@@ -136,16 +137,17 @@ func main() {
 	}
 
 	spec := load.SoakSpec{
-		Workflow: *name,
-		Small:    *small,
-		Mode:     m,
-		Machines: *machines,
-		Pods:     *pods,
-		Workers:  *workers,
-		Topology: *topology,
-		Gen:      gen,
-		Events:   events,
-		Plan:     plan,
+		Workflow:   *name,
+		Small:      *small,
+		Mode:       m,
+		Machines:   *machines,
+		Pods:       *pods,
+		Workers:    *workers,
+		CtrlShards: *ctrlShards,
+		Topology:   *topology,
+		Gen:        gen,
+		Events:     events,
+		Plan:       plan,
 		Admission: admit.Config{
 			QueueLimit:       *queueLimit,
 			MaxInflight:      *maxInflight,

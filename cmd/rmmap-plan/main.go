@@ -3,12 +3,14 @@
 // range (and segment layout) per function instance.
 //
 // With -verify it instead audits a coordinator save file (written by
-// rmmap-chaos -ctrl-journal, DESIGN.md §13): the snapshot is loaded, the
-// journal tail replayed, and every journaled address-plan slot checked
-// against the same disjointness rule Plan.Validate enforces at issuance.
-// A violation prints the offending slot and exits non-zero — the post-hoc
-// proof that no coordinator crash/recovery ever journaled overlapping
-// address ranges.
+// rmmap-chaos -ctrl-journal, DESIGN.md §13, §15): each shard's snapshot is
+// loaded, its journal tail replayed, and every journaled address-plan slot
+// — across ALL shards — checked against the same disjointness rule
+// Plan.Validate enforces at issuance. Both the legacy single-coordinator
+// save and the sharded "RMCSHRD1" container are accepted. A violation
+// prints the offending slots (naming their shards) and exits non-zero —
+// the post-hoc proof that no shard crash/recovery or mis-routed issuance
+// ever journaled overlapping address ranges.
 //
 // Usage:
 //
@@ -20,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"text/tabwriter"
@@ -37,18 +40,9 @@ func main() {
 	flag.Parse()
 
 	if *verify != "" {
-		st, replayed, err := ctrl.LoadStateFile(*verify)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "load %s: %v\n", *verify, err)
-			os.Exit(1)
+		if code := runVerify(*verify, os.Stdout, os.Stderr); code != 0 {
+			os.Exit(code)
 		}
-		fmt.Printf("%s: epoch %d, %d slots, %d live registrations, %d placements (%d journal records replayed)\n",
-			*verify, st.Epoch, len(st.Slots), len(st.Regs), len(st.Places), replayed)
-		if err := verifySlots(st.Slots); err != nil {
-			fmt.Fprintf(os.Stderr, "plan invalid: %v\n", err)
-			os.Exit(2)
-		}
-		fmt.Printf("plan verified: %d journaled slots disjoint\n", len(st.Slots))
 		return
 	}
 
@@ -97,26 +91,88 @@ func main() {
 	tw.Flush()
 }
 
-// verifySlots applies Plan.Validate's rules to journaled slots: every
-// range must be well-formed and pairwise disjoint. The returned error
-// names the offending slot as fn#inst.
-func verifySlots(slots []ctrl.PlanSlot) error {
-	sorted := append([]ctrl.PlanSlot(nil), slots...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Start != sorted[j].Start {
-			return sorted[i].Start < sorted[j].Start
+// runVerify audits a coordinator save file (either format): per-shard
+// summary, then the cross-shard disjointness check over the union of
+// every shard's journaled slots. Returns the process exit code: 0 clean,
+// 1 unreadable, 2 plan invalid.
+func runVerify(path string, stdout, stderr io.Writer) int {
+	states, err := ctrl.LoadShardStatesFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "load %s: %v\n", path, err)
+		return 1
+	}
+	var all []shardSlot
+	for _, ss := range states {
+		prefix := path
+		if len(states) > 1 {
+			prefix = fmt.Sprintf("%s shard %d", path, ss.Shard)
 		}
-		return sorted[i].End < sorted[j].End
+		fmt.Fprintf(stdout, "%s: epoch %d, %d slots, %d live registrations, %d placements (%d journal records replayed)\n",
+			prefix, ss.State.Epoch, len(ss.State.Slots), len(ss.State.Regs), len(ss.State.Places), ss.Replayed)
+		for _, sl := range ss.State.Slots {
+			all = append(all, shardSlot{slot: sl, shard: ss.Shard, sharded: len(states) > 1})
+		}
+	}
+	if err := verifyShardSlots(all); err != nil {
+		fmt.Fprintf(stderr, "plan invalid: %v\n", err)
+		return 2
+	}
+	if len(states) > 1 {
+		fmt.Fprintf(stdout, "plan verified: %d journaled slots disjoint across %d shards\n", len(all), len(states))
+	} else {
+		fmt.Fprintf(stdout, "plan verified: %d journaled slots disjoint\n", len(all))
+	}
+	return 0
+}
+
+// shardSlot is one journaled slot tagged with its owning shard; sharded
+// selects the "(shard N)" error rendering for multi-shard saves.
+type shardSlot struct {
+	slot    ctrl.PlanSlot
+	shard   int
+	sharded bool
+}
+
+func (s shardSlot) String() string {
+	if s.sharded {
+		return fmt.Sprintf("%s#%d (shard %d)", s.slot.Fn, s.slot.Inst, s.shard)
+	}
+	return fmt.Sprintf("%s#%d", s.slot.Fn, s.slot.Inst)
+}
+
+// verifySlots applies Plan.Validate's rules to one coordinator's journaled
+// slots: every range must be well-formed and pairwise disjoint. The
+// returned error names the offending slot as fn#inst.
+func verifySlots(slots []ctrl.PlanSlot) error {
+	tagged := make([]shardSlot, len(slots))
+	for i, sl := range slots {
+		tagged[i] = shardSlot{slot: sl}
+	}
+	return verifyShardSlots(tagged)
+}
+
+// verifyShardSlots is the cross-shard audit: the union of every shard's
+// slots must be pairwise disjoint — shard journals partition the plan,
+// they never partition the address space, so an overlap between two
+// shards is as fatal as one within a shard. Errors name both slots (and,
+// on sharded saves, both shards).
+func verifyShardSlots(slots []shardSlot) error {
+	sorted := append([]shardSlot(nil), slots...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].slot.Start != sorted[j].slot.Start {
+			return sorted[i].slot.Start < sorted[j].slot.Start
+		}
+		return sorted[i].slot.End < sorted[j].slot.End
 	})
 	for i, s := range sorted {
-		if s.End <= s.Start {
-			return fmt.Errorf("slot %s#%d: empty or inverted range [%#x,%#x)", s.Fn, s.Inst, s.Start, s.End)
+		if s.slot.End <= s.slot.Start {
+			return fmt.Errorf("slot %s: empty or inverted range [%#x,%#x)", s, s.slot.Start, s.slot.End)
 		}
 		if i > 0 {
 			prev := sorted[i-1]
-			if s.Start < prev.End {
-				return fmt.Errorf("slot %s#%d [%#x,%#x) overlaps %s#%d [%#x,%#x)",
-					s.Fn, s.Inst, s.Start, s.End, prev.Fn, prev.Inst, prev.Start, prev.End)
+			if s.slot.Start < prev.slot.End {
+				return fmt.Errorf("slot %s [%#x,%#x) overlaps %s [%#x,%#x)",
+					s, s.slot.Start, s.slot.End, prev, prev.slot.Start, prev.slot.End)
 			}
 		}
 	}

@@ -48,15 +48,16 @@ import (
 )
 
 type config struct {
-	workload string
-	mode     string
-	scale    float64
-	requests int
-	openRate float64
-	duration time.Duration
-	machines int
-	pods     int
-	topology string
+	workload   string
+	mode       string
+	scale      float64
+	requests   int
+	openRate   float64
+	duration   time.Duration
+	machines   int
+	pods       int
+	ctrlShards int
+	topology   string
 
 	metricsPath string
 	chromePath  string
@@ -75,6 +76,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "virtual duration of the open-loop run")
 	flag.IntVar(&cfg.machines, "machines", 10, "cluster machines")
 	flag.IntVar(&cfg.pods, "pods", 80, "cluster pods")
+	flag.IntVar(&cfg.ctrlShards, "ctrl-shards", 0, "consistent-hash coordinator shards (0/1 = single coordinator); artifacts are identical at any setting")
 	flag.StringVar(&cfg.topology, "topology", "", "cluster shape: a platformbuilder recipe name or topology JSON file (see PLATFORMS.md); default flat")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write canonical metrics snapshot JSON here")
 	flag.StringVar(&cfg.chromePath, "chrome-trace", "", "write Chrome trace-event JSON here")
@@ -114,7 +116,7 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	reg := obs.NewRegistry()
-	opts := platform.Options{Trace: true, Obs: reg}
+	opts := platform.Options{Trace: true, Obs: reg, CtrlShards: cfg.ctrlShards}
 	clCfg := platform.ClusterConfig{Machines: cfg.machines, Pods: cfg.pods}
 	if cfg.topology != "" {
 		b, err := platformbuilder.Resolve(cfg.topology, cfg.machines)

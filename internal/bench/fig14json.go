@@ -49,6 +49,10 @@ type Fig14Report struct {
 	// bench at Workers ∈ {1, 8}. Virtual-time fields are seeded and
 	// deterministic; wall_clock_ms and speedup depend on the host.
 	OpenLoop *OpenLoopReport `json:"openloop,omitempty"`
+	// CtrlThroughput is the sharded-control-plane metadata headline: the
+	// wall-clock register/release churn rate at shard counts {1, 16}
+	// (DESIGN.md §15). Wall-clock fields are machine-dependent.
+	CtrlThroughput *CtrlRateReport `json:"ctrl_throughput,omitempty"`
 	// MetricAliases maps this report's historical JSON keys (and the
 	// RunResult fields they came from) to the canonical obs metric names —
 	// the migration table for consumers of this file.
@@ -111,6 +115,11 @@ func CollectFig14(scale float64) (Fig14Report, error) {
 		return rep, err
 	}
 	rep.OpenLoop = &ol
+	cr, err := CollectCtrlRate([]int{1, 16}, scale)
+	if err != nil {
+		return rep, err
+	}
+	rep.CtrlThroughput = &cr
 	rep.MetricAliases = obs.FieldAliases()
 	return rep, nil
 }

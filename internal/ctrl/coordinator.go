@@ -40,6 +40,10 @@ type Stats struct {
 	Deferred      int   // operations backlogged while down (NoteDeferred)
 	DriftDropped  int   // directory entries dropped by reconciliation
 	DriftAdopted  int   // kernel registrations adopted by reconciliation
+	// StaleRoutes counts route tickets invalidated by a shard recovery or
+	// ring membership change between issue and use (Sharded only; always 0
+	// on a single Coordinator's own stats).
+	StaleRoutes int
 }
 
 // Sub returns s minus o field-wise — the per-run delta the engine
@@ -57,6 +61,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Deferred:      s.Deferred - o.Deferred,
 		DriftDropped:  s.DriftDropped - o.DriftDropped,
 		DriftAdopted:  s.DriftAdopted - o.DriftAdopted,
+		StaleRoutes:   s.StaleRoutes - o.StaleRoutes,
 	}
 }
 
@@ -182,6 +187,14 @@ func (c *Coordinator) Start() error {
 	c.epoch = 1
 	c.stats.EpochBumps++
 	return c.append(Record{Kind: RecEpoch, Epoch: 1})
+}
+
+// StampShard journals this coordinator's shard identity (index and total
+// shard count). The sharded control plane stamps each shard at Start and
+// again after every recovery, so the journal tail is always
+// self-describing; a single-shard plane never calls it.
+func (c *Coordinator) StampShard(shard, of int) error {
+	return c.append(Record{Kind: RecShard, Shard: shard, Shards: of})
 }
 
 // IssueSlot journals one issued address-plan slot.

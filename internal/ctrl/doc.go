@@ -13,6 +13,19 @@
 // commands from stale epochs, so a zombie pre-crash coordinator can
 // never reclaim live memory.
 //
+// Sharded scales the metadata path (DESIGN.md §15): N complete
+// coordinators behind a consistent-hash Ring (64 vnodes per shard,
+// generation-counted membership). Each shard owns its journal, snapshot
+// trigger, epoch, and deferred-op backlog, so reclamation fencing and
+// crash recovery are shard-local; Route* methods return generation-
+// fenced Tickets that go ErrStaleRoute across membership changes or the
+// target shard's crash. A single-shard plane saves the exact legacy
+// durable image; multi-shard saves frame per-shard blobs in the
+// RMCSHRD1 container, each journal stamped with its shard position.
+// The throughput win is algorithmic: per-shard journals stay below the
+// snapshot trigger, eliminating the single coordinator's repeated
+// O(live-registrations) compaction re-encodes.
+//
 // The package is a leaf: it imports only simtime, speaks uint64
 // ids/keys and int machine indices, and is sim-thread-only (no internal
 // locking) — the platform engine adapts kernel types and invokes it

@@ -30,6 +30,7 @@ func FuzzJournal(f *testing.F) {
 		{Kind: RecACL, Ref: RegRef{ID: 7, Key: 0xdead}, Allowed: []uint64{13}},
 		{Kind: RecRelease, Ref: RegRef{ID: 7, Key: 0xdead}},
 		{Kind: RecReclaim, Ref: RegRef{ID: 7, Key: 0xdead}, Machine: 1},
+		{Kind: RecShard, Shard: 1, Shards: 4},
 	})
 	f.Add(valid)
 	f.Add(valid[:len(valid)-1]) // truncated checksum
@@ -90,6 +91,57 @@ func FuzzJournal(f *testing.F) {
 		}
 		// And as a snapshot section it must never panic either.
 		_, _ = DecodeSnapshot(data)
+		// Nor as a (possibly sharded) save container.
+		_, _ = LoadShardStates(data)
+	})
+}
+
+// FuzzRingRoute fuzzes consistent-hash routing (ISSUE satellite): for any
+// vnode count, membership mask, and key, Route is total — it never
+// panics, fails only on the empty ring, always names a member, and is
+// idempotent for the same key.
+func FuzzRingRoute(f *testing.F) {
+	f.Add(uint8(DefaultVnodes), uint32(0b1111), uint64(0xdeadbeef))
+	f.Add(uint8(1), uint32(1), uint64(0))
+	f.Add(uint8(0), uint32(0), uint64(1))
+	f.Add(uint8(255), uint32(0xffffffff), uint64(1<<63))
+
+	f.Fuzz(func(t *testing.T, vnodes uint8, mask uint32, key uint64) {
+		r := NewRing(int(vnodes)%16 + 1)
+		members := map[int]bool{}
+		for s := 0; s < 32; s++ {
+			if mask&(1<<s) != 0 {
+				r.Add(s)
+				members[s] = true
+			}
+		}
+		shard, ok := r.Route(key)
+		if len(members) == 0 {
+			if ok {
+				t.Fatalf("empty ring routed key %#x to shard %d", key, shard)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("non-empty ring (%d members) failed to route key %#x", len(members), key)
+		}
+		if !members[shard] {
+			t.Fatalf("key %#x routed to non-member shard %d", key, shard)
+		}
+		if again, _ := r.Route(key); again != shard {
+			t.Fatalf("route not idempotent: %d then %d", shard, again)
+		}
+		// Removing an unrelated member must not move the key (exactness is
+		// pinned by TestRingChurnProperty; here only the total/no-panic path).
+		for s := range members {
+			if s != shard {
+				r.Remove(s)
+				if after, ok2 := r.Route(key); !ok2 || after != shard {
+					t.Fatalf("removing bystander %d moved key %#x: %d→%d", s, key, shard, after)
+				}
+				break
+			}
+		}
 	})
 }
 

@@ -60,6 +60,7 @@ type partitionJSON struct {
 type coordCrashJSON struct {
 	At        string `json:"at"`
 	RecoverAt string `json:"recover_at,omitempty"` // omitted = stays down
+	Shard     *int   `json:"shard,omitempty"`      // nil or -1 = every shard
 }
 
 type coordPartitionJSON struct {
@@ -187,6 +188,15 @@ func ParsePlan(data []byte) (Plan, error) {
 		if cc.RecoverAt != 0 && cc.RecoverAt <= cc.At {
 			return Plan{}, fmt.Errorf("coordinator crash %d: recover_at %q <= at %q",
 				i, cj.RecoverAt, cj.At)
+		}
+		if cj.Shard != nil {
+			if *cj.Shard < -1 {
+				return Plan{}, fmt.Errorf("coordinator crash %d: bad shard %d (use -1 or omit for every shard)", i, *cj.Shard)
+			}
+			if *cj.Shard >= 0 {
+				shard := *cj.Shard
+				cc.Shard = &shard
+			}
 		}
 		p.CoordCrashes = append(p.CoordCrashes, cc)
 	}

@@ -76,11 +76,38 @@ func TestParsePlanErrors(t *testing.T) {
 		{"self partition", `{"partitions":[{"from":2,"to":2}]}`, "partition 0: machine 2 cannot partition from itself"},
 		{"empty partition window", `{"partitions":[{"from":0,"to":1,"after":"1.5ms","until":"1ms"}]}`, "partition 0: empty window"},
 		{"zero partition window", `{"partitions":[{"from":0,"to":1,"after":"1ms","until":"1ms"}]}`, "partition 0: empty window"},
+		{"bad coord crash shard", `{"coordinator_crashes":[{"at":"1ms","shard":-2}]}`, "coordinator crash 0: bad shard -2"},
 	}
 	for _, tc := range cases {
 		_, err := ParsePlan([]byte(tc.in))
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParsePlanCoordShard pins the shard-targeted coordinator-crash
+// syntax (DESIGN.md §15): an explicit shard index targets one shard,
+// while -1 and an omitted field both mean the legacy every-shard outage
+// (CoordCrash.Shard == nil), preserving pre-sharding plan semantics.
+func TestParsePlanCoordShard(t *testing.T) {
+	p, err := ParsePlan([]byte(`{"coordinator_crashes":[{"at":"1ms","recover_at":"2ms","shard":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CoordCrashes) != 1 || p.CoordCrashes[0].Shard == nil || *p.CoordCrashes[0].Shard != 2 {
+		t.Fatalf("shard 2 crash parsed as %+v", p.CoordCrashes)
+	}
+	for name, in := range map[string]string{
+		"omitted": `{"coordinator_crashes":[{"at":"1ms"}]}`,
+		"minus-1": `{"coordinator_crashes":[{"at":"1ms","shard":-1}]}`,
+	} {
+		p, err := ParsePlan([]byte(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.CoordCrashes) != 1 || p.CoordCrashes[0].Shard != nil {
+			t.Fatalf("%s: want every-shard crash (nil Shard), got %+v", name, p.CoordCrashes)
 		}
 	}
 }

@@ -20,39 +20,61 @@ import (
 // is lower than the highest this kernel has adopted.
 var ErrStaleEpoch = errors.New("kernel: command from a stale coordinator epoch")
 
-// AdoptEpoch raises this kernel's coordinator epoch; lower values are
-// ignored (epochs only move forward).
-func (k *Kernel) AdoptEpoch(epoch uint64) {
+// Epochs are tracked per coordinator shard (DESIGN.md §15): a shard
+// crash + recovery bumps only that shard's epoch, so its stale commands
+// fence while every other shard's commands keep flowing. The unsuffixed
+// API operates on shard 0 — exactly the single-shard (default) control
+// plane's epoch, preserving the pre-sharding behaviour.
+
+// AdoptShardEpoch raises this kernel's adopted epoch for one coordinator
+// shard; lower values are ignored (epochs only move forward).
+func (k *Kernel) AdoptShardEpoch(shard int, epoch uint64) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if epoch > k.ctrlEpoch {
-		k.ctrlEpoch = epoch
+	if epoch > k.ctrlEpochs[shard] {
+		if k.ctrlEpochs == nil {
+			k.ctrlEpochs = make(map[int]uint64)
+		}
+		k.ctrlEpochs[shard] = epoch
 	}
 }
 
-// CtrlEpoch returns the highest coordinator epoch this kernel has seen.
-func (k *Kernel) CtrlEpoch() uint64 {
+// CtrlShardEpoch returns the highest epoch adopted for one shard.
+func (k *Kernel) CtrlShardEpoch(shard int) uint64 {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.ctrlEpoch
+	return k.ctrlEpochs[shard]
 }
 
-// DeregisterMemFenced is DeregisterMem gated on the coordinator epoch of
-// the issuing incarnation. A command from a stale epoch is refused with
+// AdoptEpoch raises the shard-0 epoch (single-shard control plane).
+func (k *Kernel) AdoptEpoch(epoch uint64) { k.AdoptShardEpoch(0, epoch) }
+
+// CtrlEpoch returns the highest shard-0 epoch this kernel has seen.
+func (k *Kernel) CtrlEpoch() uint64 { return k.CtrlShardEpoch(0) }
+
+// DeregisterMemFencedShard is DeregisterMem gated on the issuing shard
+// incarnation's epoch. A command from a stale epoch is refused with
 // ErrStaleEpoch; a newer epoch is adopted first (commands are implicit
-// epoch announcements, as in SWIM-style incarnation numbers).
-func (k *Kernel) DeregisterMemFenced(epoch uint64, id FuncID, key Key) error {
+// epoch announcements, as in SWIM-style incarnation numbers). The fence
+// is per shard: it never consults — or disturbs — other shards' epochs.
+func (k *Kernel) DeregisterMemFencedShard(shard int, epoch uint64, id FuncID, key Key) error {
 	k.mu.Lock()
-	if epoch < k.ctrlEpoch {
-		cur := k.ctrlEpoch
+	if cur := k.ctrlEpochs[shard]; epoch < cur {
 		k.mu.Unlock()
-		return fmt.Errorf("%w: epoch %d < %d (id=%d)", ErrStaleEpoch, epoch, cur, id)
-	}
-	if epoch > k.ctrlEpoch {
-		k.ctrlEpoch = epoch
+		return fmt.Errorf("%w: shard %d epoch %d < %d (id=%d)", ErrStaleEpoch, shard, epoch, cur, id)
+	} else if epoch > cur {
+		if k.ctrlEpochs == nil {
+			k.ctrlEpochs = make(map[int]uint64)
+		}
+		k.ctrlEpochs[shard] = epoch
 	}
 	k.mu.Unlock()
 	return k.DeregisterMem(id, key)
+}
+
+// DeregisterMemFenced is the shard-0 form of DeregisterMemFencedShard.
+func (k *Kernel) DeregisterMemFenced(epoch uint64, id FuncID, key Key) error {
+	return k.DeregisterMemFencedShard(0, epoch, id, key)
 }
 
 // RegListing is one live registration named by its (id, key) pair; the

@@ -87,10 +87,10 @@ type Mapping struct {
 	// container at a time (like its address space), so the scratch needs
 	// no locking.
 	winBuf []memsim.VPN
-	locals []memsim.PFN     // freshly allocated destination frames
-	rpfns  []memsim.PFN     // producer (logical) frame numbers, cache keys
-	canon  []memsim.PFN     // canonical frames returned by cache admission
-	reqs   []rdma.PageRead  // doorbell batch descriptors
+	locals []memsim.PFN    // freshly allocated destination frames
+	rpfns  []memsim.PFN    // producer (logical) frame numbers, cache keys
+	canon  []memsim.PFN    // canonical frames returned by cache admission
+	reqs   []rdma.PageRead // doorbell batch descriptors
 }
 
 // ensureScratch sizes the batch scratch for an n-page window.

@@ -106,8 +106,8 @@ type cacheEntry struct {
 type cacheShard struct {
 	mu       sync.Mutex
 	entries  map[cacheKey]*cacheEntry
-	lruHead  *cacheEntry // most recently used
-	lruTail  *cacheEntry // least recently used
+	lruHead  *cacheEntry                      // most recently used
+	lruTail  *cacheEntry                      // least recently used
 	prod     map[memsim.MachineID]*cacheEntry // head of per-producer list
 	prodTail map[memsim.MachineID]*cacheEntry // tail (O(1) append)
 	free     []*cacheEntry

@@ -60,7 +60,7 @@ func (e *Engine) SubmitTenant(info SubmitInfo, done func(RunResult)) {
 	}
 	ps := &pendingSubmit{tenant: info.Tenant, deadline: deadline, submitted: now, done: done}
 	r := &admit.Request{Tenant: info.Tenant, Deadline: deadline, Payload: ps}
-	act, reason := e.admitCtrl.Submit(now, r, e.inflight, e.coord.Live())
+	act, reason := e.admitCtrl.Submit(now, r, e.inflight, admit.BackpressureLive(e.coord.ShardLive()))
 	e.publishAdmission()
 	switch act {
 	case admit.ActionRun:

@@ -59,14 +59,16 @@ type Engine struct {
 	nextReg  uint64
 	requests int
 
-	// Control plane (internal/ctrl, DESIGN.md §13): coord journals the
-	// registration directory, issued address plan, and pod placements to
-	// simulated durable storage; ctrlBacklog holds operations deferred
-	// while coord was down or partitioned (strict FIFO, drained at
-	// recovery and completion events); gossipRound rotates the failure
-	// detector's probe targets across rounds and gossipRounds counts them.
-	coord        *ctrl.Coordinator
-	ctrlBacklog  []ctrlOp
+	// Control plane (internal/ctrl, DESIGN.md §13, §15): coord is the
+	// consistent-hash-sharded set of journaled coordinators (one shard by
+	// default) holding the registration directory, issued address plan,
+	// and pod placements in simulated durable storage; ctrlBacklogs holds,
+	// per shard, operations deferred while that shard was down or the
+	// requester partitioned (strict FIFO per shard, drained at recovery
+	// and completion events); gossipRound rotates the failure detector's
+	// probe targets across rounds and gossipRounds counts them.
+	coord        *ctrl.Sharded
+	ctrlBacklogs [][]ctrlOp
 	gossipRound  int
 	gossipRounds int
 
@@ -241,13 +243,13 @@ type request struct {
 	deadlineHit bool
 	start       simtime.Time
 	pending     map[nodeKey]int
-	inputs    map[nodeKey][]*statePayload
-	meters    map[nodeKey]*simtime.Meter
-	remaining int
-	result    any
-	err       error
-	done      func(*request)
-	spans     []Span
+	inputs      map[nodeKey][]*statePayload
+	meters      map[nodeKey]*simtime.Meter
+	remaining   int
+	result      any
+	err         error
+	done        func(*request)
+	spans       []Span
 
 	// Recovery state (see recovery.go).
 	reexecs        int
@@ -439,11 +441,14 @@ func NewEngineOn(cluster *Cluster, wf *Workflow, mode Mode, opts Options, pods i
 	// The control plane: a journaled coordinator seeded with the address
 	// plan and pod placements, its chaos schedule (if any) armed on the
 	// simulator — events fire inside Run, never during construction.
-	e.coord = ctrl.New(cm)
+	e.coord = ctrl.NewSharded(cm, opts.ctrlShards())
+	e.ctrlBacklogs = make([][]ctrlOp, opts.ctrlShards())
 	if err := e.seedCoordinator(); err != nil {
 		return nil, err
 	}
-	e.armCoordinatorFaults()
+	if err := e.armCoordinatorFaults(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -610,13 +615,13 @@ func (e *Engine) startFailureDetector() {
 
 func (e *Engine) collect(r *request) RunResult {
 	res := RunResult{
-		Tenant:      r.tenant,
-		Latency:     e.Cluster.Sim.Now().Sub(r.start),
-		Meter:       simtime.NewMeter(),
-		PerFunction: make(map[string]*simtime.Meter),
-		Output:      r.result,
-		Err:         r.err,
-		Trace:       r.spans,
+		Tenant:         r.tenant,
+		Latency:        e.Cluster.Sim.Now().Sub(r.start),
+		Meter:          simtime.NewMeter(),
+		PerFunction:    make(map[string]*simtime.Meter),
+		Output:         r.result,
+		Err:            r.err,
+		Trace:          r.spans,
 		Retries:        r.retries,
 		Fallbacks:      r.fallbacks,
 		Reexecs:        r.reexecs,
@@ -989,10 +994,10 @@ func (e *Engine) warmRemove(slot SlotID, p *Pod) {
 // podHeap is a min-heap of free pods by ID with lazy deletion.
 type podHeap []*Pod
 
-func (h podHeap) Len() int            { return len(h) }
-func (h podHeap) Less(i, j int) bool  { return h[i].ID < h[j].ID }
-func (h podHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *podHeap) Push(x any)         { *h = append(*h, x.(*Pod)) }
+func (h podHeap) Len() int           { return len(h) }
+func (h podHeap) Less(i, j int) bool { return h[i].ID < h[j].ID }
+func (h podHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *podHeap) Push(x any)        { *h = append(*h, x.(*Pod)) }
 func (h *podHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -1071,7 +1076,7 @@ func (e *Engine) commit(it *execItem) {
 		// Redeliver control-plane operations deferred by an injected
 		// fault or a lifted partition before this completion issues new
 		// ones (strict FIFO keeps the journal in canonical order).
-		e.drainCtrlBacklog()
+		e.drainCtrlBacklogs()
 		// Fold the attempt's meter so re-executed nodes accumulate across
 		// attempts instead of overwriting.
 		if agg, ok := req.meters[inv.node]; ok {
@@ -1088,7 +1093,7 @@ func (e *Engine) commit(it *execItem) {
 				Node: inv.node.String(), Pod: pod.ID, Machine: int(pod.Machine.ID()),
 				Start: started, End: e.Cluster.Sim.Now(),
 				Breakdown: meter.Snapshot(),
-				Retries: retries, Redo: inv.redo, Err: errText,
+				Retries:   retries, Redo: inv.redo, Err: errText,
 				CacheHits: cacheDelta.Hits, CacheMisses: cacheDelta.Misses,
 				ReadaheadPages: cacheDelta.ReadaheadPages,
 				Failovers:      failovers,
@@ -1279,8 +1284,8 @@ func (e *Engine) forward(it *execItem, p *statePayload, out objrt.Obj, node node
 	}
 	it.commits = append(it.commits, func() {
 		_ = e.Cluster.Kernels[meta.Machine].ExtendACL(meta.ID, meta.Key, more)
-		e.ctrlDo(meta.Machine, "ctrl.forward", func() {
-			ref := ctrlRef(meta.ID, meta.Key)
+		ref := ctrlRef(meta.ID, meta.Key)
+		e.ctrlDo(meta.Machine, "ctrl.forward", e.coord.RouteRef(ref), func() {
 			if e.coord.AddRef(ref) != nil {
 				return // the directory lost the entry; the kernel still holds it
 			}
@@ -1591,9 +1596,10 @@ func (e *Engine) produce(it *execItem, c *Container, pod *Pod, meter *simtime.Me
 			allowedIDs[i] = uint64(a)
 		}
 		mach := int(meta.Machine)
+		ref := ctrlRef(id, key)
 		it.commits = append(it.commits, func() {
-			e.ctrlDo(meta.Machine, "ctrl.register", func() {
-				_ = e.coord.Register(ctrlRef(id, key), mach, allowedIDs)
+			e.ctrlDo(meta.Machine, "ctrl.register", e.coord.RouteRef(ref), func() {
+				_ = e.coord.Register(ref, mach, allowedIDs)
 			})
 		})
 	}
@@ -1690,8 +1696,9 @@ func (e *Engine) releaseConsumer(p *statePayload) {
 		return
 	}
 	meta := p.meta
-	e.ctrlDo(meta.Machine, "ctrl.release", func() {
-		ref := ctrlRef(meta.ID, meta.Key)
+	ref := ctrlRef(meta.ID, meta.Key)
+	shard := e.coord.RouteRef(ref)
+	e.ctrlDo(meta.Machine, "ctrl.release", shard, func() {
 		machine, last, err := e.coord.Release(ref)
 		if err != nil || !last {
 			return // unknown (reconciled away) or a forwarded ref remains
@@ -1702,8 +1709,8 @@ func (e *Engine) releaseConsumer(p *statePayload) {
 		k := e.Cluster.Kernels[machine]
 		if e.opts.DisableEpochFence {
 			_ = k.DeregisterMem(meta.ID, meta.Key)
-		} else if err := k.DeregisterMemFenced(e.coord.Epoch(), meta.ID, meta.Key); err != nil {
-			return // fenced: a newer incarnation owns this registration
+		} else if err := k.DeregisterMemFencedShard(shard, e.coord.ShardEpoch(shard), meta.ID, meta.Key); err != nil {
+			return // fenced: a newer incarnation owns this shard's registration
 		}
 		_ = e.coord.NoteReclaim(ref, machine)
 	})

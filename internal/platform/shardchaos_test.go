@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"rmmap/internal/faults"
+	"rmmap/internal/kernel"
+)
+
+// Sharded control-plane chaos (DESIGN.md §15): sharding must never change
+// data-plane artifacts, and a shard-targeted crash must fence exactly one
+// shard — bystander shards keep serving, keep their epochs, and in-flight
+// latencies are unchanged.
+
+// TestChaosShardedCleanRunMatchesSingleShard pins the headline determinism
+// claim: the same workload produces byte-identical traces and latencies at
+// any shard count — sharding only re-partitions the journals.
+func TestChaosShardedCleanRunMatchesSingleShard(t *testing.T) {
+	run := func(shards int) RunResult {
+		opts := Options{Trace: true, Recovery: DefaultRecoveryPolicy(), CtrlShards: shards}
+		e := newCoordChaosEngine(t, pipelineWorkflow(1000), faults.Plan{Seed: chaosSeed}, opts, 3, 6)
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if e.LiveRegistrations() != 0 {
+			t.Fatalf("shards=%d left %d live directory entries", shards, e.LiveRegistrations())
+		}
+		return res
+	}
+	ref := run(1)
+	if ref.Output != pipelineSum {
+		t.Fatalf("reference output = %v, want %v", ref.Output, pipelineSum)
+	}
+	for _, shards := range []int{4, 16} {
+		got := run(shards)
+		if got.Output != ref.Output || got.Latency != ref.Latency {
+			t.Fatalf("shards=%d: output/latency %v/%v differ from single-shard %v/%v",
+				shards, got.Output, got.Latency, ref.Output, ref.Latency)
+		}
+		if traceString(got.Trace) != traceString(ref.Trace) {
+			t.Fatalf("shards=%d: trace not byte-identical to single-shard run", shards)
+		}
+	}
+}
+
+// TestChaosShardTargetedCrash crashes exactly one of four shards
+// mid-workflow. The data plane must not notice at all (latency and trace
+// byte-identical to the fault-free reference), the crash and recovery must
+// land on the victim shard alone, kernels must adopt the bumped epoch for
+// the victim shard only, and a submission during the outage sheds (new
+// work needs every shard).
+func TestChaosShardTargetedCrash(t *testing.T) {
+	const shards = 4
+	const victim = 2
+	opts := Options{Trace: true, Recovery: DefaultRecoveryPolicy(), CtrlShards: shards}
+
+	ce := newCoordChaosEngine(t, pipelineWorkflow(1000), faults.Plan{Seed: chaosSeed}, opts, 3, 6)
+	cref, err := ce.Run()
+	if err != nil || cref.Output != pipelineSum {
+		t.Fatalf("clean run: err=%v output=%v", err, cref.Output)
+	}
+	trans := findSpan(t, cref.Trace, "transform#0")
+	sink := findSpan(t, cref.Trace, "sink#0")
+	crashAt := trans.Start.Add(trans.Duration() / 2)
+	probeAt := trans.Start.Add(trans.Duration() * 3 / 4)
+	recoverAt := sink.Start.Add(sink.Duration() / 2)
+	target := victim
+	plan := faults.Plan{Seed: chaosSeed,
+		CoordCrashes: []faults.CoordCrash{{At: crashAt, RecoverAt: recoverAt, Shard: &target}}}
+
+	run := func() (RunResult, *RunResult, *Engine) {
+		e := newCoordChaosEngine(t, pipelineWorkflow(1000), plan, opts, 3, 6)
+		var shed *RunResult
+		e.Cluster.Sim.At(probeAt, func() {
+			e.SubmitTenant(SubmitInfo{}, func(r RunResult) { rr := r; shed = &rr })
+		})
+		res, _ := e.Run()
+		return res, shed, e
+	}
+
+	res, shed, e := run()
+	if res.Err != nil || res.Output != pipelineSum {
+		t.Fatalf("shard-crash run: err=%v output=%v", res.Err, res.Output)
+	}
+	// The fault fences one shard; the other shards' operations — and the
+	// whole data plane — proceed untouched, so latency is unchanged.
+	if res.Latency != cref.Latency {
+		t.Fatalf("latency %v != clean %v — a one-shard outage delayed the data plane", res.Latency, cref.Latency)
+	}
+	if traceString(res.Trace) != traceString(cref.Trace) {
+		t.Fatalf("trace not byte-identical to the fault-free run")
+	}
+
+	// Crash and recovery hit the victim shard alone.
+	cp := e.ControlPlane()
+	for i := 0; i < shards; i++ {
+		st := cp.Shard(i).Stats()
+		if i == victim {
+			if st.Crashes != 1 || st.Recoveries != 1 {
+				t.Fatalf("victim shard %d: crashes/recoveries = %d/%d, want 1/1", i, st.Crashes, st.Recoveries)
+			}
+			if got := cp.ShardEpoch(i); got != 2 {
+				t.Fatalf("victim shard epoch = %d, want 2", got)
+			}
+		} else {
+			if st.Crashes != 0 || st.Recoveries != 0 {
+				t.Fatalf("bystander shard %d crashed: %+v", i, st)
+			}
+			if got := cp.ShardEpoch(i); got != 1 {
+				t.Fatalf("bystander shard %d epoch = %d, want 1", i, got)
+			}
+		}
+	}
+	if e.LiveRegistrations() != 0 {
+		t.Fatalf("%d directory entries leaked", e.LiveRegistrations())
+	}
+
+	// Kernels adopted the bumped epoch for the victim shard only, and the
+	// fence is shard-local: a zombie epoch-1 command from the victim's
+	// pre-crash incarnation is refused, while other shards' epoch-1
+	// commands still pass the epoch gate.
+	for i, k := range e.Cluster.Kernels {
+		if got := k.CtrlShardEpoch(victim); got != 2 {
+			t.Fatalf("kernel %d: victim-shard epoch = %d, want 2", i, got)
+		}
+		for s := 0; s < shards; s++ {
+			if s == victim {
+				continue
+			}
+			// Bystander epochs are adopted lazily from that shard's own
+			// commands, so 0 (no traffic yet) or 1 — never the victim's 2.
+			if got := k.CtrlShardEpoch(s); got > 1 {
+				t.Fatalf("kernel %d: bystander shard %d epoch = %d, want <= 1", i, s, got)
+			}
+		}
+	}
+	k := e.Cluster.Kernels[0]
+	if err := k.DeregisterMemFencedShard(victim, 1, kernel.FuncID(424242), kernel.Key(7)); !errors.Is(err, kernel.ErrStaleEpoch) {
+		t.Fatalf("stale victim-shard reclaim returned %v, want ErrStaleEpoch", err)
+	}
+	other := (victim + 1) % shards
+	if err := k.DeregisterMemFencedShard(other, 1, kernel.FuncID(424242), kernel.Key(7)); errors.Is(err, kernel.ErrStaleEpoch) {
+		t.Fatalf("bystander shard's current epoch fenced by the victim's bump")
+	}
+
+	// New submissions need registrations journaled on whichever shard
+	// their keys hash to — one crashed shard sheds fresh arrivals.
+	if shed == nil {
+		t.Fatalf("submission during the one-shard outage never completed")
+	}
+	if !shed.Shed || shed.ShedReason != "control-plane" {
+		t.Fatalf("outage submission: shed=%v reason=%q, want control-plane shed", shed.Shed, shed.ShedReason)
+	}
+
+	// Deterministic replay: per-shard crash, backlog, recovery.
+	res2, shed2, _ := run()
+	if res2.Latency != res.Latency || res2.Output != res.Output || res2.Ctrl != res.Ctrl {
+		t.Fatalf("shard-crash run not deterministic")
+	}
+	if shed2 == nil || shed2.Latency != shed.Latency {
+		t.Fatalf("outage shed not deterministic")
+	}
+	if traceString(res2.Trace) != traceString(res.Trace) {
+		t.Fatalf("trace differs across identical shard-crash runs")
+	}
+}
+
+// TestChaosShardCrashWorkerInvariance: the shard-targeted outage replays
+// byte-identical at Workers ∈ {1, 8} — per-shard journals and backlogs
+// are committed in canonical order regardless of the worker pool.
+func TestChaosShardCrashWorkerInvariance(t *testing.T) {
+	const shards = 4
+	target := 1
+	base := Options{Trace: true, Recovery: DefaultRecoveryPolicy(), CtrlShards: shards}
+	ce := newCoordChaosEngine(t, pipelineWorkflow(1000), faults.Plan{Seed: chaosSeed}, base, 3, 6)
+	cref, err := ce.Run()
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	trans := findSpan(t, cref.Trace, "transform#0")
+	sink := findSpan(t, cref.Trace, "sink#0")
+	plan := faults.Plan{Seed: chaosSeed,
+		CoordCrashes: []faults.CoordCrash{{
+			At:        trans.Start.Add(trans.Duration() / 2),
+			RecoverAt: sink.Start.Add(sink.Duration() / 2),
+			Shard:     &target,
+		}}}
+
+	run := func(workers int) RunResult {
+		o := base
+		o.Workers = workers
+		e := newCoordChaosEngine(t, pipelineWorkflow(1000), plan, o, 3, 6)
+		res, _ := e.Run()
+		return res
+	}
+	w1 := run(1)
+	w8 := run(8)
+	if w1.Err != nil || w1.Output != pipelineSum {
+		t.Fatalf("w1: err=%v output=%v", w1.Err, w1.Output)
+	}
+	if w8.Latency != w1.Latency || w8.Output != w1.Output || w8.Ctrl != w1.Ctrl {
+		t.Fatalf("shard-crash run differs between workers=1 and workers=8:\n w1: lat=%v ctrl=%+v\n w8: lat=%v ctrl=%+v",
+			w1.Latency, w1.Ctrl, w8.Latency, w8.Ctrl)
+	}
+	if traceString(w8.Trace) != traceString(w1.Trace) {
+		t.Fatalf("trace differs between workers=1 and workers=8")
+	}
+}

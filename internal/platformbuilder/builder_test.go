@@ -184,8 +184,8 @@ func TestCrossRackCostsMoreThanIntraRack(t *testing.T) {
 		}
 		return b
 	}
-	intra, _ := runChain(t, mk(), 0, 1)   // both in rack 0
-	cross, cl := runChain(t, mk(), 0, 2)  // rack 0 → rack 1
+	intra, _ := runChain(t, mk(), 0, 1)  // both in rack 0
+	cross, cl := runChain(t, mk(), 0, 2) // rack 0 → rack 1
 	if cl.Topo.CrossRackOps() == 0 {
 		t.Fatal("cross-rack run recorded no cross-rack operations")
 	}
